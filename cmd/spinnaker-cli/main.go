@@ -1,0 +1,83 @@
+// spinnaker-cli talks to a spinnaker-server over its line protocol, either
+// as a one-shot command or as an interactive REPL.
+//
+// Usage:
+//
+//	spinnaker-cli -addr 127.0.0.1:7070 PUT user42 email x@example.com
+//	spinnaker-cli -addr 127.0.0.1:7070            # interactive
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "spinnaker-server address")
+	flag.Parse()
+
+	conn, err := net.Dial("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "connect %s: %v\n", *addr, err)
+		os.Exit(1)
+	}
+	defer conn.Close()
+	server := bufio.NewScanner(conn)
+	server.Buffer(make([]byte, 0, 1<<20), 1<<20)
+
+	send := func(line string) bool {
+		if _, err := fmt.Fprintln(conn, line); err != nil {
+			fmt.Fprintf(os.Stderr, "send: %v\n", err)
+			return false
+		}
+		if !server.Scan() {
+			return false
+		}
+		resp := server.Text()
+		fmt.Println(resp)
+		// Multi-line responses: "OK <n>" after ROW/NODES.
+		fields := strings.Fields(line)
+		if len(fields) > 0 {
+			cmd := strings.ToUpper(fields[0])
+			if (cmd == "ROW" || cmd == "NODES") && strings.HasPrefix(resp, "OK ") {
+				var n int
+				fmt.Sscanf(resp, "OK %d", &n)
+				for i := 0; i < n && server.Scan(); i++ {
+					fmt.Println(server.Text())
+				}
+			}
+		}
+		return true
+	}
+
+	if args := flag.Args(); len(args) > 0 {
+		if !send(strings.Join(args, " ")) {
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Println("spinnaker-cli: PUT/GET/DEL/CPUT/CDEL/ROW/INCR/LEADER/NODES/CRASH/RESTART; ctrl-d to exit")
+	stdin := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !stdin.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(stdin.Text())
+		if line == "" {
+			continue
+		}
+		if strings.EqualFold(line, "quit") || strings.EqualFold(line, "exit") {
+			return
+		}
+		if !send(line) {
+			return
+		}
+	}
+}

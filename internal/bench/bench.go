@@ -1,0 +1,266 @@
+// Package bench implements the experiment harness that regenerates every
+// table and figure of the paper's evaluation (§9, Appendix D) on one box.
+// Each experiment builds in-process Spinnaker and/or baseline clusters over
+// simulated devices and networks, drives the paper's workload, and returns
+// a printable table with the same series the paper reports.
+//
+// Latencies are ~10× scaled (see DESIGN.md): absolute numbers differ from
+// the paper's hardware, but the comparisons — who wins, by what factor,
+// where the knees and crossovers fall — are the reproduction targets.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"spinnaker/internal/dynamo"
+	"spinnaker/internal/sim"
+	"spinnaker/internal/wal"
+)
+
+// Table is one experiment's result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   string
+}
+
+// Format renders the table as aligned text.
+func (t Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "paper: %s\n", t.Notes)
+	}
+	return b.String()
+}
+
+// Config tunes experiment cost. The defaults complete the full suite in a
+// few minutes; cmd/spinnaker-bench exposes them as flags for longer runs.
+type Config struct {
+	// PointDuration is the measurement window per load point.
+	PointDuration time.Duration
+	// Threads are the closed-loop client counts swept for load curves
+	// (the paper increases threads per client node by powers of two).
+	Threads []int
+	// Nodes is the cluster size for single-cluster experiments (the
+	// paper's local testbed has 10).
+	Nodes int
+	// Rows is the preloaded key-space size.
+	Rows int
+	// ValueSize is the payload size (the paper uses 4KB).
+	ValueSize int
+	// Progress, when non-nil, receives one line per completed stage.
+	Progress func(string)
+}
+
+// Defaults returns the standard configuration.
+func Defaults() Config {
+	return Config{
+		PointDuration: 300 * time.Millisecond,
+		Threads:       []int{1, 2, 4, 8, 16, 32},
+		Nodes:         6,
+		Rows:          2000,
+		ValueSize:     4096,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	d := Defaults()
+	if c.PointDuration <= 0 {
+		c.PointDuration = d.PointDuration
+	}
+	if len(c.Threads) == 0 {
+		c.Threads = d.Threads
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = d.Nodes
+	}
+	if c.Rows <= 0 {
+		c.Rows = d.Rows
+	}
+	if c.ValueSize <= 0 {
+		c.ValueSize = d.ValueSize
+	}
+}
+
+func (c *Config) progress(format string, args ...any) {
+	if c.Progress != nil {
+		c.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// Simulation parameters shared by the experiments.
+const (
+	netDelay    = 50 * time.Microsecond // rack-level switch hop
+	readService = 2 * time.Millisecond  // per-read CPU+network service cost
+	readCores   = 2                     // simulated service slots per node
+)
+
+// ms formats a duration as fractional milliseconds.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000)
+}
+
+// tput formats ops/sec.
+func tput(v float64) string { return fmt.Sprintf("%.0f", v) }
+
+// spinOpts builds sim options for a Spinnaker cluster. Storage thresholds
+// are kept small so long write workloads flush, truncate the log, and stay
+// memory-flat instead of accumulating garbage that poisons later points.
+func spinOpts(cfg Config, device wal.DeviceProfile) sim.Options {
+	return sim.Options{
+		Nodes:           cfg.Nodes,
+		NetworkDelay:    netDelay,
+		Device:          device,
+		ReadServiceTime: readService,
+		ReadConcurrency: readCores,
+		FlushBytes:      512 << 10,
+		SegmentBytes:    4 << 20,
+		FlushInterval:   50 * time.Millisecond,
+	}
+}
+
+// dynOpts builds sim options for a baseline cluster.
+func dynOpts(cfg Config, device wal.DeviceProfile) sim.Options {
+	return spinOpts(cfg, device)
+}
+
+// newSpin starts a ready Spinnaker cluster.
+func newSpin(opts sim.Options) (*sim.SpinnakerCluster, error) {
+	sc, err := sim.NewSpinnakerCluster(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := sc.WaitReady(60 * time.Second); err != nil {
+		sc.Stop()
+		return nil, err
+	}
+	return sc, nil
+}
+
+// preloadSpin writes rows 0..rows-1 with a 4KB value in column "c".
+func preloadSpin(sc *sim.SpinnakerCluster, rows, valueSize int) error {
+	value := sim.ValueOfSize(valueSize)
+	const loaders = 8
+	var wg sync.WaitGroup
+	errCh := make(chan error, loaders)
+	for l := 0; l < loaders; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			c := sc.NewClient()
+			for i := l; i < rows; i += loaders {
+				if _, err := c.Put(sim.StridedKey(i, rows, 8), "c", value); err != nil {
+					errCh <- fmt.Errorf("preload key %d: %w", i, err)
+					return
+				}
+			}
+		}(l)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}
+
+// preloadDyn is preloadSpin for the baseline (quorum writes).
+func preloadDyn(dc *sim.DynamoCluster, rows, valueSize int) error {
+	value := sim.ValueOfSize(valueSize)
+	const loaders = 8
+	var wg sync.WaitGroup
+	errCh := make(chan error, loaders)
+	for l := 0; l < loaders; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			c := dc.NewClient()
+			for i := l; i < rows; i += loaders {
+				if _, err := c.Put(sim.StridedKey(i, rows, 8), "c", value, dynamo.Quorum); err != nil {
+					errCh <- fmt.Errorf("preload key %d: %w", i, err)
+					return
+				}
+			}
+		}(l)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}
+
+// Experiment names, in paper order.
+var Names = []string{
+	"figure8", "figure9", "table1", "figure11", "figure12",
+	"figure13", "figure14", "figure15", "figure16",
+	"ablation-groupcommit", "ablation-piggyback",
+	"ablation-staleness", "ablation-parallelpropose",
+}
+
+// Run executes one named experiment.
+func Run(name string, cfg Config) (Table, error) {
+	switch name {
+	case "figure8":
+		return Figure8(cfg)
+	case "figure9":
+		return Figure9(cfg)
+	case "table1":
+		return Table1(cfg)
+	case "figure11":
+		return Figure11(cfg)
+	case "figure12":
+		return Figure12(cfg)
+	case "figure13":
+		return Figure13(cfg)
+	case "figure14":
+		return Figure14(cfg)
+	case "figure15":
+		return Figure15(cfg)
+	case "figure16":
+		return Figure16(cfg)
+	case "ablation-groupcommit":
+		return AblationGroupCommit(cfg)
+	case "ablation-piggyback":
+		return AblationPiggyback(cfg)
+	case "ablation-staleness":
+		return AblationStaleness(cfg)
+	case "ablation-parallelpropose":
+		return AblationParallelPropose(cfg)
+	default:
+		return Table{}, fmt.Errorf("bench: unknown experiment %q (have %v)", name, Names)
+	}
+}

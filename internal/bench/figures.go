@@ -1,0 +1,670 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"spinnaker/internal/core"
+	"spinnaker/internal/dynamo"
+	"spinnaker/internal/sim"
+	"spinnaker/internal/wal"
+)
+
+// Figure8 reproduces "Average read latency" (§9.1): 4KB reads of random
+// rows, latency vs load, four series — Spinnaker consistent and timeline
+// reads vs Cassandra quorum and weak reads.
+func Figure8(cfg Config) (Table, error) {
+	cfg.fillDefaults()
+
+	sc, err := newSpin(spinOpts(cfg, wal.DeviceInstant))
+	if err != nil {
+		return Table{}, err
+	}
+	defer sc.Stop()
+	if err := preloadSpin(sc, cfg.Rows, cfg.ValueSize); err != nil {
+		return Table{}, err
+	}
+	cfg.progress("figure8: spinnaker preloaded")
+
+	dc, err := sim.NewDynamoCluster(dynOpts(cfg, wal.DeviceInstant))
+	if err != nil {
+		return Table{}, err
+	}
+	defer dc.Stop()
+	if err := preloadDyn(dc, cfg.Rows, cfg.ValueSize); err != nil {
+		return Table{}, err
+	}
+	cfg.progress("figure8: baseline preloaded")
+
+	spinRead := func(consistent bool) func(int) sim.Op {
+		return func(threads int) sim.Op {
+			clients := make([]*core.Client, threads)
+			picks := make([]*sim.KeyPicker, threads)
+			for i := range clients {
+				clients[i] = sc.NewClient()
+				picks[i] = sim.NewKeyPicker(cfg.Rows, 8, int64(i+1))
+			}
+			return func(t, _ int) error {
+				_, _, err := clients[t].Get(picks[t].Random(), "c", consistent)
+				return err
+			}
+		}
+	}
+	dynRead := func(level dynamo.ConsistencyLevel) func(int) sim.Op {
+		return func(threads int) sim.Op {
+			clients := make([]*dynamo.Client, threads)
+			picks := make([]*sim.KeyPicker, threads)
+			for i := range clients {
+				clients[i] = dc.NewClient()
+				picks[i] = sim.NewKeyPicker(cfg.Rows, 8, int64(i+1))
+			}
+			return func(t, _ int) error {
+				_, _, err := clients[t].Get(picks[t].Random(), "c", level)
+				return err
+			}
+		}
+	}
+
+	table := Table{
+		ID:    "Figure 8",
+		Title: "average read latency vs load (4KB values, random rows)",
+		Columns: []string{
+			"threads",
+			"sp-consistent req/s", "sp-consistent ms",
+			"sp-timeline req/s", "sp-timeline ms",
+			"cass-quorum req/s", "cass-quorum ms",
+			"cass-weak req/s", "cass-weak ms",
+		},
+		Notes: "quorum read 1.5x-3.0x worse than consistent read, knee sooner; timeline ~= weak",
+	}
+	for _, threads := range cfg.Threads {
+		pc := sim.RunClosedLoop(threads, cfg.PointDuration, spinRead(true)(threads))
+		pt := sim.RunClosedLoop(threads, cfg.PointDuration, spinRead(false)(threads))
+		pq := sim.RunClosedLoop(threads, cfg.PointDuration, dynRead(dynamo.Quorum)(threads))
+		pw := sim.RunClosedLoop(threads, cfg.PointDuration, dynRead(dynamo.Weak)(threads))
+		table.Rows = append(table.Rows, []string{
+			fmt.Sprint(threads),
+			tput(pc.Throughput), ms(pc.AvgLatency),
+			tput(pt.Throughput), ms(pt.AvgLatency),
+			tput(pq.Throughput), ms(pq.AvgLatency),
+			tput(pw.Throughput), ms(pw.AvgLatency),
+		})
+		cfg.progress("figure8: threads=%d done", threads)
+	}
+	return table, nil
+}
+
+// writeCurve measures a write latency-vs-load curve for both systems on
+// the given device profile (the §9.2 workload: 4KB values, consecutive
+// keys per client).
+func writeCurve(cfg Config, device wal.DeviceProfile, id, title, notes string) (Table, error) {
+	cfg.fillDefaults()
+	value := sim.ValueOfSize(cfg.ValueSize)
+
+	sc, err := newSpin(spinOpts(cfg, device))
+	if err != nil {
+		return Table{}, err
+	}
+	defer sc.Stop()
+	dc, err := sim.NewDynamoCluster(dynOpts(cfg, device))
+	if err != nil {
+		return Table{}, err
+	}
+	defer dc.Stop()
+
+	keySpace := cfg.Rows * 50 // fresh keys; consecutive per thread
+	spinWrites := func(threads int) sim.Op {
+		clients := make([]*core.Client, threads)
+		for i := range clients {
+			clients[i] = sc.NewClient()
+		}
+		return func(t, i int) error {
+			key := sim.StridedKey(t*keySpace/threads+i, keySpace, 8)
+			_, err := clients[t].Put(key, "c", value)
+			return err
+		}
+	}
+	dynWrites := func(level dynamo.ConsistencyLevel) func(int) sim.Op {
+		return func(threads int) sim.Op {
+			clients := make([]*dynamo.Client, threads)
+			for i := range clients {
+				clients[i] = dc.NewClient()
+			}
+			return func(t, i int) error {
+				key := sim.StridedKey(t*keySpace/threads+i, keySpace, 8)
+				_, err := clients[t].Put(key, "c", value, level)
+				return err
+			}
+		}
+	}
+
+	table := Table{
+		ID:    id,
+		Title: title,
+		Columns: []string{
+			"threads",
+			"spinnaker req/s", "spinnaker ms",
+			"cass-quorum req/s", "cass-quorum ms",
+			"sp/cass latency",
+		},
+		Notes: notes,
+	}
+	for _, threads := range cfg.Threads {
+		ps := sim.RunClosedLoop(threads, cfg.PointDuration, spinWrites(threads))
+		pq := sim.RunClosedLoop(threads, cfg.PointDuration, dynWrites(dynamo.Quorum)(threads))
+		ratio := "n/a"
+		if pq.AvgLatency > 0 {
+			ratio = fmt.Sprintf("%.2fx", float64(ps.AvgLatency)/float64(pq.AvgLatency))
+		}
+		table.Rows = append(table.Rows, []string{
+			fmt.Sprint(threads),
+			tput(ps.Throughput), ms(ps.AvgLatency),
+			tput(pq.Throughput), ms(pq.AvgLatency),
+			ratio,
+		})
+		cfg.progress("%s: threads=%d done", id, threads)
+	}
+	return table, nil
+}
+
+// Figure9 reproduces "Average write latency" (§9.2) on the HDD log device.
+func Figure9(cfg Config) (Table, error) {
+	return writeCurve(cfg, wal.DeviceHDD,
+		"Figure 9", "average write latency vs load (4KB values, consecutive keys, hdd log)",
+		"Spinnaker 5%-10% slower than Cassandra quorum writes across the board")
+}
+
+// Figure13 reproduces "Average write latency using an SSD for logging"
+// (App. D.4).
+func Figure13(cfg Config) (Table, error) {
+	return writeCurve(cfg, wal.DeviceSSD,
+		"Figure 13", "average write latency vs load (4KB values, ssd log)",
+		"both datastores improve dramatically over the hdd log (paper: to <=6ms in most cases)")
+}
+
+// Figure16 reproduces "Average write latency with a main memory log"
+// (App. D.6.2): commit after reaching 2 of 3 main-memory logs.
+func Figure16(cfg Config) (Table, error) {
+	cfg.fillDefaults()
+	value := sim.ValueOfSize(cfg.ValueSize)
+	sc, err := newSpin(spinOpts(cfg, wal.DeviceMem))
+	if err != nil {
+		return Table{}, err
+	}
+	defer sc.Stop()
+	keySpace := cfg.Rows * 50
+	mkOp := func(threads int) sim.Op {
+		clients := make([]*core.Client, threads)
+		for i := range clients {
+			clients[i] = sc.NewClient()
+		}
+		return func(t, i int) error {
+			key := sim.StridedKey(t*keySpace/threads+i, keySpace, 8)
+			_, err := clients[t].Put(key, "c", value)
+			return err
+		}
+	}
+	table := Table{
+		ID:      "Figure 16",
+		Title:   "average write latency with a main-memory log (commit on 2/3 memory logs)",
+		Columns: []string{"threads", "spinnaker req/s", "spinnaker ms"},
+		Notes:   "write latency improves to ~2ms (paper); a background thread flushes the memory log to disk",
+	}
+	for _, threads := range cfg.Threads {
+		p := sim.RunClosedLoop(threads, cfg.PointDuration, mkOp(threads))
+		table.Rows = append(table.Rows, []string{
+			fmt.Sprint(threads), tput(p.Throughput), ms(p.AvgLatency),
+		})
+		cfg.progress("figure16: threads=%d done", threads)
+	}
+	return table, nil
+}
+
+// Table1 reproduces "Cohort recovery time" (App. D.1): kill a cohort
+// leader under steady writes and measure the time until the cohort is open
+// for writes again, as a function of the commit period. The coordination
+// service's failure-detection timeout is excluded, as in the paper (our
+// crash expires the session immediately).
+func Table1(cfg Config) (Table, error) {
+	cfg.fillDefaults()
+	value := sim.ValueOfSize(cfg.ValueSize)
+	// Paper: commit periods 1/5/10/15s. At the harness's ~10× scale:
+	periods := []time.Duration{
+		100 * time.Millisecond,
+		500 * time.Millisecond,
+		1000 * time.Millisecond,
+		1500 * time.Millisecond,
+	}
+	paperSec := []string{"0.4", "1.5", "2.6", "4.0"}
+
+	table := Table{
+		ID:      "Table 1",
+		Title:   "cohort recovery time vs commit period (steady writes to one cohort)",
+		Columns: []string{"commit period", "unresolved writes", "recovery (best of 3)", "paper (1s=our 100ms)"},
+		Notes:   "unresolved volume (and hence recovery work) proportional to the commit period; recovery <0.5s at a 1s period. Our takeover resolves each write in ~10us (followers already hold them and just ack), so wall time is floor-dominated at these scales; the paper's ~270us/record makes the proportionality visible in seconds.",
+	}
+	for i, period := range periods {
+		recovery, unresolved, err := minRecovery(cfg, value, period, 3)
+		if err != nil {
+			return Table{}, err
+		}
+		paperPeriods := []string{"1s", "5s", "10s", "15s"}
+		table.Rows = append(table.Rows, []string{
+			fmt.Sprintf("%v (paper %s)", period, paperPeriods[i]),
+			fmt.Sprint(unresolved),
+			recovery.Round(time.Millisecond).String(),
+			paperSec[i] + "s",
+		})
+		cfg.progress("table1: period=%v unresolved=%d recovery=%v", period, unresolved, recovery.Round(time.Millisecond))
+	}
+	return table, nil
+}
+
+// minRecovery measures leader-failure recovery `trials` times, returning
+// the fastest observation — the intrinsic protocol cost, with host
+// scheduling noise (which is strictly additive) minimized — plus the
+// largest number of unresolved writes a new leader had to re-propose
+// (Table 1's proportionality driver: "the number of these log records is
+// proportional to the commit period").
+func minRecovery(cfg Config, value []byte, period time.Duration, trials int) (time.Duration, int, error) {
+	best := time.Duration(0)
+	maxUnresolved := 0
+	for trial := 0; trial < trials; trial++ {
+		opts := spinOpts(cfg, wal.DeviceHDD)
+		opts.Nodes = 3 // a single 3-node cohort per key range
+		opts.CommitPeriod = period
+		opts.WriteTimeout = 10 * time.Second
+		sc, err := newSpin(opts)
+		if err != nil {
+			return 0, 0, err
+		}
+
+		// Steady single-cohort writes: all keys in range 0. The number of
+		// log records the new leader must re-propose — and the committed
+		// writes it must ship to catch followers up — is proportional to
+		// the write rate times the commit period (App. D.1).
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		for w := 0; w < 24; w++ {
+			go func(w int) {
+				if w == 0 {
+					defer close(done)
+				}
+				c := sc.NewClient()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					_, _ = c.Put(sc.Key(w*100000+i%100000), "c", value)
+				}
+			}(w)
+		}
+		// Crash just before the next commit message so the followers'
+		// last-committed LSNs are maximally stale: the amount of state
+		// the new leader must resolve is then a full commit period's
+		// worth of writes, which is what Table 1 sweeps. We detect the
+		// commit tick by watching a follower's lastCommitted advance.
+		rangeID := sc.Layout.RangeOf(sc.Key(0))
+		leader := sc.LeaderOf(rangeID)
+		var followerNode *core.Node
+		for _, id := range sc.Nodes() {
+			if id == leader {
+				continue
+			}
+			if n, ok := sc.Node(id); ok {
+				if _, ok := n.ReplicaStats(rangeID); ok {
+					followerNode = n
+					break
+				}
+			}
+		}
+		if followerNode == nil {
+			sc.Stop()
+			return 0, 0, fmt.Errorf("table1: no follower found")
+		}
+		time.Sleep(300 * time.Millisecond) // let the write load ramp up
+		base, _ := followerNode.ReplicaStats(rangeID)
+		tickDeadline := time.Now().Add(2*period + time.Second)
+		for {
+			st, _ := followerNode.ReplicaStats(rangeID)
+			if st.LastCommitted > base.LastCommitted {
+				break // a commit message just arrived
+			}
+			if time.Now().After(tickDeadline) {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		time.Sleep(period * 9 / 10) // ride to just before the next tick
+
+		// Quiesce the writers: the unresolved state is in place, and
+		// recovery should be measured without competing client load
+		// (the paper likewise uses a single probing client).
+		close(stop)
+		<-done
+
+		// The unresolved volume a new leader must resolve: the pending
+		// (proposed, not yet covered by a commit message) writes at the
+		// surviving followers.
+		for _, id := range sc.Nodes() {
+			if id == leader {
+				continue
+			}
+			if n, ok := sc.Node(id); ok {
+				if st, ok := n.ReplicaStats(rangeID); ok && st.Pending > maxUnresolved {
+					maxUnresolved = st.Pending
+				}
+			}
+		}
+
+		crashAt := time.Now()
+		if err := sc.CrashNode(leader); err != nil {
+			sc.Stop()
+			return 0, 0, err
+		}
+		// Recovery = until a survivor reports an open leader role for
+		// the cohort (leader election + takeover, §6.2/§7).
+		var recovery time.Duration
+		for {
+			recovered := false
+			for _, id := range sc.Nodes() {
+				if n, ok := sc.Node(id); ok {
+					if st, ok := n.ReplicaStats(rangeID); ok && st.Role == core.RoleLeader && st.Open {
+						recovered = true
+					}
+				}
+			}
+			if recovered {
+				recovery = time.Since(crashAt)
+				break
+			}
+			if time.Since(crashAt) > 60*time.Second {
+				sc.Stop()
+				return 0, 0, fmt.Errorf("table1: cohort never recovered")
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+		sc.Stop()
+		if best == 0 || recovery < best {
+			best = recovery
+		}
+	}
+	return best, maxUnresolved, nil
+}
+
+// Figure11 reproduces "Average write latency with increasing cluster size"
+// (App. D.2): fixed per-node load at 20, 40, and 80 nodes; latency should
+// stay roughly constant for both systems since a write touches only the 3
+// nodes of its cohort.
+func Figure11(cfg Config) (Table, error) {
+	cfg.fillDefaults()
+	value := sim.ValueOfSize(cfg.ValueSize)
+	// The paper sweeps 20/40/80 EC2 instances; we sweep 10/20/40
+	// in-process nodes — the largest sizes this harness can host without
+	// the box itself becoming the bottleneck — with load fixed per node.
+	sizes := []int{10, 20, 40}
+
+	table := Table{
+		ID:      "Figure 11",
+		Title:   "average write latency vs cluster size (fixed per-node load, ssd log)",
+		Columns: []string{"nodes", "threads", "spinnaker ms", "cass-quorum ms"},
+		Notes:   "latency roughly constant with cluster size for both systems",
+	}
+	for _, nodes := range sizes {
+		threads := nodes / 2 // fixed per-node load
+		c := cfg
+		c.Nodes = nodes
+		keySpace := cfg.Rows * 50
+
+		sc, err := newSpin(spinOpts(c, wal.DeviceSSD))
+		if err != nil {
+			return Table{}, err
+		}
+		spinOp := func(threads int) sim.Op {
+			clients := make([]*core.Client, threads)
+			for i := range clients {
+				clients[i] = sc.NewClient()
+			}
+			return func(t, i int) error {
+				_, err := clients[t].Put(sim.StridedKey(t*keySpace/threads+i, keySpace, 8), "c", value)
+				return err
+			}
+		}
+		ps := sim.RunClosedLoop(threads, cfg.PointDuration, spinOp(threads))
+		sc.Stop()
+
+		dc, err := sim.NewDynamoCluster(dynOpts(c, wal.DeviceSSD))
+		if err != nil {
+			return Table{}, err
+		}
+		dynOp := func(threads int) sim.Op {
+			clients := make([]*dynamo.Client, threads)
+			for i := range clients {
+				clients[i] = dc.NewClient()
+			}
+			return func(t, i int) error {
+				_, err := clients[t].Put(sim.StridedKey(t*keySpace/threads+i, keySpace, 8), "c", value, dynamo.Quorum)
+				return err
+			}
+		}
+		pq := sim.RunClosedLoop(threads, cfg.PointDuration, dynOp(threads))
+		dc.Stop()
+
+		table.Rows = append(table.Rows, []string{
+			fmt.Sprint(nodes), fmt.Sprint(threads), ms(ps.AvgLatency), ms(pq.AvgLatency),
+		})
+		cfg.progress("figure11: nodes=%d done", nodes)
+	}
+	return table, nil
+}
+
+// Figure12 reproduces "Average latency on a mixed workload" (App. D.3):
+// fixed 2 client threads, write percentage swept 0%-60%, four series.
+func Figure12(cfg Config) (Table, error) {
+	cfg.fillDefaults()
+	value := sim.ValueOfSize(cfg.ValueSize)
+	const threads = 2
+
+	sc, err := newSpin(spinOpts(cfg, wal.DeviceHDD))
+	if err != nil {
+		return Table{}, err
+	}
+	defer sc.Stop()
+	if err := preloadSpin(sc, cfg.Rows, cfg.ValueSize); err != nil {
+		return Table{}, err
+	}
+	dc, err := sim.NewDynamoCluster(dynOpts(cfg, wal.DeviceHDD))
+	if err != nil {
+		return Table{}, err
+	}
+	defer dc.Stop()
+	if err := preloadDyn(dc, cfg.Rows, cfg.ValueSize); err != nil {
+		return Table{}, err
+	}
+	cfg.progress("figure12: preloaded")
+
+	spinMixed := func(consistent bool, writePct int) sim.Op {
+		clients := make([]*core.Client, threads)
+		rngs := make([]*rand.Rand, threads)
+		picks := make([]*sim.KeyPicker, threads)
+		for i := range clients {
+			clients[i] = sc.NewClient()
+			rngs[i] = rand.New(rand.NewSource(int64(writePct*10 + i)))
+			picks[i] = sim.NewKeyPicker(cfg.Rows, 8, int64(i+1))
+		}
+		return func(t, _ int) error {
+			if rngs[t].Intn(100) < writePct {
+				_, err := clients[t].Put(picks[t].Random(), "c", value)
+				return err
+			}
+			_, _, err := clients[t].Get(picks[t].Random(), "c", consistent)
+			return err
+		}
+	}
+	dynMixed := func(readLevel dynamo.ConsistencyLevel, writePct int) sim.Op {
+		clients := make([]*dynamo.Client, threads)
+		rngs := make([]*rand.Rand, threads)
+		picks := make([]*sim.KeyPicker, threads)
+		for i := range clients {
+			clients[i] = dc.NewClient()
+			rngs[i] = rand.New(rand.NewSource(int64(writePct*10 + i)))
+			picks[i] = sim.NewKeyPicker(cfg.Rows, 8, int64(i+1))
+		}
+		return func(t, _ int) error {
+			if rngs[t].Intn(100) < writePct {
+				// Writes always use quorum for equal durability.
+				_, err := clients[t].Put(picks[t].Random(), "c", value, dynamo.Quorum)
+				return err
+			}
+			_, _, err := clients[t].Get(picks[t].Random(), "c", readLevel)
+			return err
+		}
+	}
+
+	table := Table{
+		ID:    "Figure 12",
+		Title: "average latency, mixed reads+writes, 2 client threads, write % swept",
+		Columns: []string{
+			"write %",
+			"sp-consistent ms", "sp-timeline ms",
+			"cass-quorum ms", "cass-weak ms",
+		},
+		Notes: "sp-consistent ~10% better at 10% writes; cassandra ~7% better at 50%; timeline within 2-10% of weak",
+	}
+	for pct := 0; pct <= 60; pct += 10 {
+		pc := sim.RunClosedLoop(threads, cfg.PointDuration, spinMixed(true, pct))
+		pt := sim.RunClosedLoop(threads, cfg.PointDuration, spinMixed(false, pct))
+		pq := sim.RunClosedLoop(threads, cfg.PointDuration, dynMixed(dynamo.Quorum, pct))
+		pw := sim.RunClosedLoop(threads, cfg.PointDuration, dynMixed(dynamo.Weak, pct))
+		table.Rows = append(table.Rows, []string{
+			fmt.Sprintf("%d%%", pct),
+			ms(pc.AvgLatency), ms(pt.AvgLatency), ms(pq.AvgLatency), ms(pw.AvgLatency),
+		})
+		cfg.progress("figure12: %d%% writes done", pct)
+	}
+	return table, nil
+}
+
+// Figure14 reproduces "Conditional put vs regular put" (App. D.5): after
+// preloading, clients atomically replace values via conditional put.
+func Figure14(cfg Config) (Table, error) {
+	cfg.fillDefaults()
+	value := sim.ValueOfSize(cfg.ValueSize)
+	sc, err := newSpin(spinOpts(cfg, wal.DeviceHDD))
+	if err != nil {
+		return Table{}, err
+	}
+	defer sc.Stop()
+	if err := preloadSpin(sc, cfg.Rows, cfg.ValueSize); err != nil {
+		return Table{}, err
+	}
+	cfg.progress("figure14: preloaded")
+
+	condOp := func(threads int) sim.Op {
+		clients := make([]*core.Client, threads)
+		versions := make([]map[string]uint64, threads)
+		for i := range clients {
+			clients[i] = sc.NewClient()
+			versions[i] = make(map[string]uint64)
+		}
+		return func(t, i int) error {
+			// Each thread owns a key slice: no cross-thread conflicts,
+			// pure conditional-put cost (as in the paper's workload).
+			key := sim.StridedKey(t*cfg.Rows/threads+i%(cfg.Rows/threads+1), cfg.Rows, 8)
+			ver, ok := versions[t][key]
+			if !ok {
+				_, v, err := clients[t].Get(key, "c", true)
+				if err != nil {
+					return err
+				}
+				ver = v
+			}
+			v2, err := clients[t].ConditionalPut(key, "c", value, ver)
+			if err != nil {
+				delete(versions[t], key)
+				return err
+			}
+			versions[t][key] = v2
+			return nil
+		}
+	}
+	putOp := func(threads int) sim.Op {
+		clients := make([]*core.Client, threads)
+		for i := range clients {
+			clients[i] = sc.NewClient()
+		}
+		return func(t, i int) error {
+			key := sim.StridedKey(t*cfg.Rows/threads+i%(cfg.Rows/threads+1), cfg.Rows, 8)
+			_, err := clients[t].Put(key, "c", value)
+			return err
+		}
+	}
+
+	table := Table{
+		ID:      "Figure 14",
+		Title:   "conditional put vs regular put (4KB values, hdd log)",
+		Columns: []string{"threads", "condput req/s", "condput ms", "put req/s", "put ms"},
+		Notes:   "conditional put marginally worse: it reads a version and compares before writing",
+	}
+	for _, threads := range cfg.Threads {
+		p1 := sim.RunClosedLoop(threads, cfg.PointDuration, condOp(threads))
+		p2 := sim.RunClosedLoop(threads, cfg.PointDuration, putOp(threads))
+		table.Rows = append(table.Rows, []string{
+			fmt.Sprint(threads),
+			tput(p1.Throughput), ms(p1.AvgLatency),
+			tput(p2.Throughput), ms(p2.AvgLatency),
+		})
+		cfg.progress("figure14: threads=%d done", threads)
+	}
+	return table, nil
+}
+
+// Figure15 reproduces "Weak vs quorum writes in Cassandra" (App. D.6.1).
+func Figure15(cfg Config) (Table, error) {
+	cfg.fillDefaults()
+	value := sim.ValueOfSize(cfg.ValueSize)
+	dc, err := sim.NewDynamoCluster(dynOpts(cfg, wal.DeviceHDD))
+	if err != nil {
+		return Table{}, err
+	}
+	defer dc.Stop()
+
+	keySpace := cfg.Rows * 50
+	mkOp := func(level dynamo.ConsistencyLevel) func(int) sim.Op {
+		return func(threads int) sim.Op {
+			clients := make([]*dynamo.Client, threads)
+			for i := range clients {
+				clients[i] = dc.NewClient()
+			}
+			return func(t, i int) error {
+				_, err := clients[t].Put(sim.StridedKey(t*keySpace/threads+i, keySpace, 8), "c", value, level)
+				return err
+			}
+		}
+	}
+	table := Table{
+		ID:      "Figure 15",
+		Title:   "Cassandra weak vs quorum writes (4KB values, hdd log)",
+		Columns: []string{"threads", "weak req/s", "weak ms", "quorum req/s", "quorum ms", "quorum/weak"},
+		Notes:   "quorum write 40%-50% slower than weak write",
+	}
+	for _, threads := range cfg.Threads {
+		pw := sim.RunClosedLoop(threads, cfg.PointDuration, mkOp(dynamo.Weak)(threads))
+		pq := sim.RunClosedLoop(threads, cfg.PointDuration, mkOp(dynamo.Quorum)(threads))
+		ratio := "n/a"
+		if pw.AvgLatency > 0 {
+			ratio = fmt.Sprintf("%.2fx", float64(pq.AvgLatency)/float64(pw.AvgLatency))
+		}
+		table.Rows = append(table.Rows, []string{
+			fmt.Sprint(threads),
+			tput(pw.Throughput), ms(pw.AvgLatency),
+			tput(pq.Throughput), ms(pq.AvgLatency),
+			ratio,
+		})
+		cfg.progress("figure15: threads=%d done", threads)
+	}
+	return table, nil
+}

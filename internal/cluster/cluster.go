@@ -1,0 +1,145 @@
+// Package cluster implements Spinnaker's key-based range partitioning and
+// replica placement (paper §4, Figure 2). The rows of a table are
+// distributed by range partitioning: each node is assigned a base key
+// range, which is replicated on the next N−1 nodes in ring order (N = 3 by
+// default) — a placement style similar to chained declustering. The group
+// of nodes replicating a key range is its cohort; cohorts overlap, so a
+// node in a 3-way replicated cluster belongs to 3 cohorts.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultReplication is the paper's default replication factor (N = 3).
+const DefaultReplication = 3
+
+// Layout is the static partitioning of the key space across a cluster.
+// Leadership within each cohort is dynamic (chosen by election through the
+// coordination service) and deliberately not part of the Layout.
+type Layout struct {
+	nodes  []string
+	splits []string // splits[0] == ""; range i covers [splits[i], splits[i+1])
+	n      int      // replication factor
+}
+
+// New builds a layout. splits[0] must be the empty string (the lowest key);
+// range i covers [splits[i], splits[i+1]), with the last range extending to
+// the top of the key space. len(splits) must equal len(nodes): node i is
+// the home of base range i.
+func New(nodes []string, splits []string, replication int) (*Layout, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: no nodes")
+	}
+	if len(splits) != len(nodes) {
+		return nil, fmt.Errorf("cluster: %d splits for %d nodes", len(splits), len(nodes))
+	}
+	if splits[0] != "" {
+		return nil, fmt.Errorf("cluster: splits[0] must be the empty string")
+	}
+	if !sort.StringsAreSorted(splits) {
+		return nil, fmt.Errorf("cluster: splits must be sorted")
+	}
+	for i := 1; i < len(splits); i++ {
+		if splits[i] == splits[i-1] {
+			return nil, fmt.Errorf("cluster: duplicate split %q", splits[i])
+		}
+	}
+	if replication <= 0 {
+		replication = DefaultReplication
+	}
+	if replication > len(nodes) {
+		return nil, fmt.Errorf("cluster: replication %d exceeds %d nodes", replication, len(nodes))
+	}
+	return &Layout{
+		nodes:  append([]string(nil), nodes...),
+		splits: append([]string(nil), splits...),
+		n:      replication,
+	}, nil
+}
+
+// Uniform builds a layout over the given nodes with split points spaced
+// uniformly through a fixed-width decimal key space ("000000"..), matching
+// the numeric row keys used by the paper's workloads. Keys are expected to
+// be zero-padded to width digits.
+func Uniform(nodes []string, width, replication int) (*Layout, error) {
+	n := len(nodes)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: no nodes")
+	}
+	max := 1
+	for i := 0; i < width; i++ {
+		max *= 10
+	}
+	splits := make([]string, n)
+	for i := 1; i < n; i++ {
+		splits[i] = fmt.Sprintf("%0*d", width, i*max/n)
+	}
+	return New(nodes, splits, replication)
+}
+
+// Nodes returns the node ids in ring order.
+func (l *Layout) Nodes() []string { return append([]string(nil), l.nodes...) }
+
+// NumRanges returns the number of base key ranges (== number of nodes).
+func (l *Layout) NumRanges() int { return len(l.nodes) }
+
+// Replication returns the replication factor N.
+func (l *Layout) Replication() int { return l.n }
+
+// RangeOf returns the id of the base key range containing key.
+func (l *Layout) RangeOf(key string) uint32 {
+	// Find the last split ≤ key.
+	i := sort.Search(len(l.splits), func(i int) bool { return l.splits[i] > key }) - 1
+	if i < 0 {
+		i = 0
+	}
+	return uint32(i)
+}
+
+// Cohort returns the nodes replicating range r: the home node and the next
+// N−1 nodes in ring order (Figure 2).
+func (l *Layout) Cohort(r uint32) []string {
+	out := make([]string, 0, l.n)
+	for i := 0; i < l.n; i++ {
+		out = append(out, l.nodes[(int(r)+i)%len(l.nodes)])
+	}
+	return out
+}
+
+// CohortContains reports whether node participates in range r's cohort.
+func (l *Layout) CohortContains(r uint32, node string) bool {
+	for _, n := range l.Cohort(r) {
+		if n == node {
+			return true
+		}
+	}
+	return false
+}
+
+// RangesOf returns the ids of every range whose cohort includes node — the
+// base range it is home to plus the N−1 preceding ranges it follows for.
+func (l *Layout) RangesOf(node string) []uint32 {
+	var out []uint32
+	for r := 0; r < len(l.nodes); r++ {
+		if l.CohortContains(uint32(r), node) {
+			out = append(out, uint32(r))
+		}
+	}
+	return out
+}
+
+// Bounds returns the [low, high) key bounds of range r; high == "" means
+// the top of the key space.
+func (l *Layout) Bounds(r uint32) (low, high string) {
+	low = l.splits[r]
+	if int(r)+1 < len(l.splits) {
+		high = l.splits[r+1]
+	}
+	return low, high
+}
+
+// HomeNode returns the node that is home to base range r (the first member
+// of its cohort; the usual leader in a healthy cluster).
+func (l *Layout) HomeNode(r uint32) string { return l.nodes[r] }

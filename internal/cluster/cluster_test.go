@@ -1,0 +1,214 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func fiveNodes(t *testing.T) *Layout {
+	t.Helper()
+	// The paper's Figure 2: nodes A..E, base ranges [0,199], [200,399],
+	// [400,599], [600,799], [800,899].
+	l, err := New(
+		[]string{"A", "B", "C", "D", "E"},
+		[]string{"", "200", "400", "600", "800"},
+		3,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestFigure2Cohorts(t *testing.T) {
+	l := fiveNodes(t)
+	// "nodes A-B-C form the cohort for key range [0,199], nodes B-C-D
+	// form the cohort for key range [200,399], and so on."
+	cases := map[uint32][]string{
+		0: {"A", "B", "C"},
+		1: {"B", "C", "D"},
+		2: {"C", "D", "E"},
+		3: {"D", "E", "A"},
+		4: {"E", "A", "B"},
+	}
+	for r, want := range cases {
+		got := l.Cohort(r)
+		if len(got) != 3 {
+			t.Fatalf("cohort %d size %d", r, len(got))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("cohort %d = %v, want %v", r, got, want)
+			}
+		}
+	}
+}
+
+func TestFigure2NodeRanges(t *testing.T) {
+	l := fiveNodes(t)
+	// Figure 2: node A serves [0,199] (home), [800,899], [600,799].
+	got := l.RangesOf("A")
+	want := map[uint32]bool{0: true, 3: true, 4: true}
+	if len(got) != 3 {
+		t.Fatalf("node A in %d ranges", len(got))
+	}
+	for _, r := range got {
+		if !want[r] {
+			t.Errorf("node A unexpectedly in range %d", r)
+		}
+	}
+}
+
+func TestRangeOf(t *testing.T) {
+	l := fiveNodes(t)
+	cases := map[string]uint32{
+		"000": 0, "199": 0, "1": 0, "": 0,
+		"200": 1, "399": 1,
+		"400": 2, "599": 2,
+		"600": 3, "799": 3,
+		"800": 4, "899": 4, "999": 4, "zzz": 4,
+	}
+	for key, want := range cases {
+		if got := l.RangeOf(key); got != want {
+			t.Errorf("RangeOf(%q) = %d, want %d", key, got, want)
+		}
+	}
+}
+
+func TestBounds(t *testing.T) {
+	l := fiveNodes(t)
+	low, high := l.Bounds(0)
+	if low != "" || high != "200" {
+		t.Errorf("Bounds(0) = %q,%q", low, high)
+	}
+	low, high = l.Bounds(4)
+	if low != "800" || high != "" {
+		t.Errorf("Bounds(4) = %q,%q", low, high)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil, 3); err == nil {
+		t.Error("empty layout accepted")
+	}
+	if _, err := New([]string{"a"}, []string{"", "5"}, 1); err == nil {
+		t.Error("mismatched splits accepted")
+	}
+	if _, err := New([]string{"a", "b"}, []string{"5", "9"}, 2); err == nil {
+		t.Error("splits[0] != \"\" accepted")
+	}
+	if _, err := New([]string{"a", "b"}, []string{"", ""}, 2); err == nil {
+		t.Error("duplicate splits accepted")
+	}
+	if _, err := New([]string{"a", "b"}, []string{"", "9", "5"}, 2); err == nil {
+		t.Error("unsorted splits accepted")
+	}
+	if _, err := New([]string{"a", "b"}, []string{"", "5"}, 3); err == nil {
+		t.Error("replication > nodes accepted")
+	}
+}
+
+func TestDefaultReplication(t *testing.T) {
+	l, err := New([]string{"a", "b", "c", "d"}, []string{"", "3", "6", "9"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Replication() != DefaultReplication {
+		t.Errorf("Replication = %d", l.Replication())
+	}
+}
+
+func TestUniformLayout(t *testing.T) {
+	nodes := []string{"n0", "n1", "n2", "n3"}
+	l, err := Uniform(nodes, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumRanges() != 4 {
+		t.Fatalf("NumRanges = %d", l.NumRanges())
+	}
+	// Keys spread across all ranges.
+	counts := make(map[uint32]int)
+	for i := 0; i < 1000; i++ {
+		counts[l.RangeOf(fmt.Sprintf("%06d", i*999))]++
+	}
+	for r := uint32(0); r < 4; r++ {
+		if counts[r] == 0 {
+			t.Errorf("range %d received no keys: %v", r, counts)
+		}
+	}
+}
+
+func TestCohortContains(t *testing.T) {
+	l := fiveNodes(t)
+	if !l.CohortContains(0, "C") {
+		t.Error("C missing from cohort 0")
+	}
+	if l.CohortContains(0, "D") {
+		t.Error("D wrongly in cohort 0")
+	}
+}
+
+func TestHomeNode(t *testing.T) {
+	l := fiveNodes(t)
+	for r, want := range []string{"A", "B", "C", "D", "E"} {
+		if got := l.HomeNode(uint32(r)); got != want {
+			t.Errorf("HomeNode(%d) = %s, want %s", r, got, want)
+		}
+	}
+}
+
+func TestEveryNodeInExactlyNCohorts(t *testing.T) {
+	// Property: with replication N over any cluster size ≥ N, every node
+	// appears in exactly N cohorts and every cohort has exactly N nodes.
+	f := func(sizeRaw, nRaw uint8) bool {
+		size := int(sizeRaw%12) + 3
+		n := int(nRaw%3) + 1
+		if n > size {
+			n = size
+		}
+		nodes := make([]string, size)
+		splits := make([]string, size)
+		for i := range nodes {
+			nodes[i] = fmt.Sprintf("n%03d", i)
+			if i > 0 {
+				splits[i] = fmt.Sprintf("%03d", i*1000/size)
+			}
+		}
+		l, err := New(nodes, splits, n)
+		if err != nil {
+			return false
+		}
+		for _, node := range nodes {
+			if len(l.RangesOf(node)) != n {
+				return false
+			}
+		}
+		for r := 0; r < size; r++ {
+			if len(l.Cohort(uint32(r))) != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRangeOfPropertyWithinBounds(t *testing.T) {
+	l := fiveNodes(t)
+	f := func(k uint16) bool {
+		key := fmt.Sprintf("%03d", int(k)%1000)
+		r := l.RangeOf(key)
+		low, high := l.Bounds(r)
+		if key < low {
+			return false
+		}
+		return high == "" || key < high
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

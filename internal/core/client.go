@@ -1,0 +1,307 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"spinnaker/internal/cluster"
+	"spinnaker/internal/coord"
+	"spinnaker/internal/kv"
+	"spinnaker/internal/transport"
+)
+
+// Client implements the datastore API of §3: get / put / delete /
+// conditionalPut / conditionalDelete plus the multi-column variants, each
+// executed as a single-operation transaction. Writes and strongly
+// consistent reads are routed to the affected key range's cohort leader
+// (learned from the coordination service and cached); timeline reads go to
+// a random cohort member in exchange for better performance.
+type Client struct {
+	layout *cluster.Layout
+	ep     transport.Endpoint
+	sess   *coord.Session
+	rng    *rand.Rand
+
+	mu      sync.Mutex
+	leaders map[uint32]string
+}
+
+// NewClient builds a client over its own network endpoint and
+// coordination-service session.
+func NewClient(layout *cluster.Layout, ep transport.Endpoint, coordSvc *coord.Service, seed int64) *Client {
+	return &Client{
+		layout:  layout,
+		ep:      ep,
+		sess:    coordSvc.Connect(),
+		rng:     rand.New(rand.NewSource(seed)),
+		leaders: make(map[uint32]string),
+	}
+}
+
+// Close releases the client's coordination session.
+func (c *Client) Close() {
+	c.sess.Close()
+	c.ep.Close()
+}
+
+// leader resolves (with caching) the leader of a range.
+func (c *Client) leader(rangeID uint32) (string, error) {
+	c.mu.Lock()
+	if l, ok := c.leaders[rangeID]; ok {
+		c.mu.Unlock()
+		return l, nil
+	}
+	c.mu.Unlock()
+	data, err := c.sess.Get(leaderPath(rangeID))
+	if err != nil {
+		return "", fmt.Errorf("%w: range %d has no leader", ErrUnavailable, rangeID)
+	}
+	l := string(data)
+	c.mu.Lock()
+	c.leaders[rangeID] = l
+	c.mu.Unlock()
+	return l, nil
+}
+
+// forgetLeader drops a cached leader after a NotLeader or timeout.
+func (c *Client) forgetLeader(rangeID uint32) {
+	c.mu.Lock()
+	delete(c.leaders, rangeID)
+	c.mu.Unlock()
+}
+
+// anyReplica picks a random cohort member for timeline reads.
+func (c *Client) anyReplica(rangeID uint32) string {
+	cohort := c.layout.Cohort(rangeID)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cohort[c.rng.Intn(len(cohort))]
+}
+
+// writeRetries bounds leader re-resolution on routing misses.
+const writeRetries = 8
+
+// retryBackoff spaces routing retries so an in-flight election or takeover
+// (tens of milliseconds) can complete instead of burning all attempts in
+// microseconds.
+const retryBackoff = 25 * time.Millisecond
+
+// write routes a WriteOp to the range leader, retrying through leader
+// changes, and returns the assigned versions.
+func (c *Client) write(op WriteOp) ([]uint64, error) {
+	rangeID := c.layout.RangeOf(op.Row)
+	var lastErr error
+	for attempt := 0; attempt < writeRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(retryBackoff)
+		}
+		leader, err := c.leader(rangeID)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp, err := c.ep.Call(transport.Message{
+			To: leader, Kind: MsgWrite, Cohort: rangeID, Payload: EncodeWriteOp(nil, op),
+		})
+		if err != nil {
+			c.forgetLeader(rangeID)
+			lastErr = err
+			continue
+		}
+		res, err := decodeWriteResult(resp.Payload)
+		if err != nil {
+			return nil, err
+		}
+		switch res.Status {
+		case StatusOK:
+			return res.Versions, nil
+		case StatusNotLeader, StatusUnavailable:
+			c.forgetLeader(rangeID)
+			lastErr = StatusError(res.Status, res.Detail)
+			continue
+		default:
+			return nil, StatusError(res.Status, res.Detail)
+		}
+	}
+	if lastErr == nil {
+		lastErr = ErrUnavailable
+	}
+	return nil, lastErr
+}
+
+// Put inserts a column value into a row (§3) and returns the version
+// assigned to it.
+func (c *Client) Put(row, col string, value []byte) (uint64, error) {
+	vs, err := c.write(WriteOp{Row: row, Cols: []ColWrite{{Col: col, Value: value}}})
+	if err != nil {
+		return 0, err
+	}
+	return vs[0], nil
+}
+
+// Delete removes a column from a row (§3).
+func (c *Client) Delete(row, col string) error {
+	_, err := c.write(WriteOp{Row: row, Cols: []ColWrite{{Col: col, Delete: true}}})
+	return err
+}
+
+// ConditionalPut inserts a new value only if the column's current version
+// equals version; otherwise ErrVersionMismatch is returned (§3). A version
+// of 0 means "only if the column does not exist".
+func (c *Client) ConditionalPut(row, col string, value []byte, version uint64) (uint64, error) {
+	vs, err := c.write(WriteOp{Row: row, Cols: []ColWrite{{
+		Col: col, Value: value, Cond: true, CondVersion: version,
+	}}})
+	if err != nil {
+		return 0, err
+	}
+	return vs[0], nil
+}
+
+// ConditionalDelete removes the column only if its current version equals
+// version (§3).
+func (c *Client) ConditionalDelete(row, col string, version uint64) error {
+	_, err := c.write(WriteOp{Row: row, Cols: []ColWrite{{
+		Col: col, Delete: true, Cond: true, CondVersion: version,
+	}}})
+	return err
+}
+
+// Column is one column of a multi-column write.
+type Column struct {
+	Col   string
+	Value []byte
+}
+
+// MultiPut atomically puts several columns of the same row in one
+// single-operation transaction (§3: "the multi-column version of
+// conditional put allows multiple columns of the same row to be
+// conditionally put with one API call").
+func (c *Client) MultiPut(row string, cols []Column) ([]uint64, error) {
+	op := WriteOp{Row: row}
+	for _, col := range cols {
+		op.Cols = append(op.Cols, ColWrite{Col: col.Col, Value: col.Value})
+	}
+	return c.write(op)
+}
+
+// ConditionalMultiPut atomically puts several columns, each guarded by its
+// expected current version.
+func (c *Client) ConditionalMultiPut(row string, cols []Column, versions []uint64) ([]uint64, error) {
+	if len(cols) != len(versions) {
+		return nil, errors.New("core: cols and versions length mismatch")
+	}
+	op := WriteOp{Row: row}
+	for i, col := range cols {
+		op.Cols = append(op.Cols, ColWrite{
+			Col: col.Col, Value: col.Value, Cond: true, CondVersion: versions[i],
+		})
+	}
+	return c.write(op)
+}
+
+// Get reads a column value and its version (§3). consistent=true routes to
+// the cohort leader and always returns the latest value; consistent=false
+// (timeline consistency) reads any replica and may return a stale value in
+// exchange for better performance.
+func (c *Client) Get(row, col string, consistent bool) ([]byte, uint64, error) {
+	rangeID := c.layout.RangeOf(row)
+	req := encodeGetReq(getReq{Row: row, Col: col, Consistent: consistent})
+	var lastErr error
+	for attempt := 0; attempt < writeRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(retryBackoff)
+		}
+		var target string
+		if consistent {
+			var err error
+			if target, err = c.leader(rangeID); err != nil {
+				lastErr = err
+				continue
+			}
+		} else {
+			target = c.anyReplica(rangeID)
+		}
+		resp, err := c.ep.Call(transport.Message{To: target, Kind: MsgGet, Cohort: rangeID, Payload: req})
+		if err != nil {
+			if consistent {
+				c.forgetLeader(rangeID)
+			}
+			lastErr = err
+			continue
+		}
+		res, err := decodeGetResp(resp.Payload)
+		if err != nil {
+			return nil, 0, err
+		}
+		switch res.Status {
+		case StatusOK:
+			return res.Value, res.Version, nil
+		case StatusNotFound:
+			return nil, res.Version, ErrNotFound
+		case StatusNotLeader:
+			c.forgetLeader(rangeID)
+			lastErr = ErrNotLeader
+			continue
+		default:
+			return nil, 0, StatusError(res.Status, "")
+		}
+	}
+	if lastErr == nil {
+		lastErr = ErrUnavailable
+	}
+	return nil, 0, lastErr
+}
+
+// GetRow reads every live column of a row with the chosen consistency.
+func (c *Client) GetRow(row string, consistent bool) ([]kv.Entry, error) {
+	rangeID := c.layout.RangeOf(row)
+	req := encodeGetReq(getReq{Row: row, Consistent: consistent})
+	var lastErr error
+	for attempt := 0; attempt < writeRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(retryBackoff)
+		}
+		var target string
+		if consistent {
+			var err error
+			if target, err = c.leader(rangeID); err != nil {
+				lastErr = err
+				continue
+			}
+		} else {
+			target = c.anyReplica(rangeID)
+		}
+		resp, err := c.ep.Call(transport.Message{To: target, Kind: MsgGetRow, Cohort: rangeID, Payload: req})
+		if err != nil {
+			if consistent {
+				c.forgetLeader(rangeID)
+			}
+			lastErr = err
+			continue
+		}
+		res, err := decodeRowResp(resp.Payload)
+		if err != nil {
+			return nil, err
+		}
+		switch res.Status {
+		case StatusOK:
+			return res.Entries, nil
+		case StatusNotFound:
+			return nil, ErrNotFound
+		case StatusNotLeader:
+			c.forgetLeader(rangeID)
+			lastErr = ErrNotLeader
+			continue
+		default:
+			return nil, StatusError(res.Status, "")
+		}
+	}
+	if lastErr == nil {
+		lastErr = ErrUnavailable
+	}
+	return nil, lastErr
+}

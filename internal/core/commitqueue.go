@@ -1,0 +1,301 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"spinnaker/internal/kv"
+	"spinnaker/internal/wal"
+)
+
+// writeOutcome is delivered to the goroutine waiting on a leader-side write
+// when the write commits (or fails permanently).
+type writeOutcome struct {
+	status   uint8
+	detail   string
+	versions []uint64
+}
+
+// pendingWrite is one entry in the commit queue: a write that has been
+// logged and proposed but not yet committed (paper §4.1: "The commit queue
+// is a main-memory data structure that is used to track pending writes.
+// Writes are committed only after receiving a sufficient number of acks
+// from a cohort. In the meantime, they are stored in the commit queue.").
+type pendingWrite struct {
+	lsn        wal.LSN
+	op         WriteOp
+	selfForced bool // the local log force for this write completed
+	acks       int  // follower acks received (leader only)
+	done       chan writeOutcome
+	doneOnce   sync.Once
+	// lastPropose is when the leader last sent (or re-sent) the propose
+	// message, for retransmission of writes whose proposes were lost.
+	// The paper gets retransmission from TCP; across reconnects we must
+	// re-propose explicitly, which followers dedupe by LSN.
+	lastPropose time.Time
+}
+
+// finish delivers the write's outcome to its waiting client exactly once;
+// safe to call from any goroutine, and a no-op for follower-side pendings
+// (which have no waiting client).
+func (p *pendingWrite) finish(out writeOutcome) {
+	p.doneOnce.Do(func() {
+		if p.done != nil {
+			p.done <- out
+		}
+	})
+}
+
+// commitQueue tracks a cohort's pending writes in LSN order and decides
+// when the head of the queue may commit. Writes commit strictly in LSN
+// order within a cohort (§5.1), so a later write that gathers its quorum
+// early still waits for its predecessors.
+type commitQueue struct {
+	mu      sync.Mutex
+	byLSN   map[wal.LSN]*pendingWrite
+	order   []wal.LSN // ascending
+	byKey   map[kv.Key]wal.LSN
+	keyLSNs map[kv.Key][]wal.LSN
+}
+
+func newCommitQueue() *commitQueue {
+	return &commitQueue{
+		byLSN:   make(map[wal.LSN]*pendingWrite),
+		byKey:   make(map[kv.Key]wal.LSN),
+		keyLSNs: make(map[kv.Key][]wal.LSN),
+	}
+}
+
+// add inserts a pending write. It reports false if the LSN is already
+// pending (a re-proposal the node has already logged, Fig 6 line 5:
+// "a follower may already have some of the writes ... these can be
+// detected and ignored").
+func (q *commitQueue) add(p *pendingWrite) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, ok := q.byLSN[p.lsn]; ok {
+		return false
+	}
+	q.byLSN[p.lsn] = p
+	// Writes are added in increasing LSN order in steady state; tolerate
+	// out-of-order insertion during recovery by keeping order sorted.
+	if n := len(q.order); n == 0 || q.order[n-1] < p.lsn {
+		q.order = append(q.order, p.lsn)
+	} else {
+		i := sort.Search(n, func(i int) bool { return q.order[i] > p.lsn })
+		q.order = append(q.order, 0)
+		copy(q.order[i+1:], q.order[i:])
+		q.order[i] = p.lsn
+	}
+	for _, c := range p.op.Cols {
+		k := kv.Key{Row: p.op.Row, Col: c.Col}
+		if p.lsn > q.byKey[k] {
+			q.byKey[k] = p.lsn
+		}
+		q.keyLSNs[k] = append(q.keyLSNs[k], p.lsn)
+	}
+	return true
+}
+
+// markForced records that the local log force for lsn completed.
+func (q *commitQueue) markForced(lsn wal.LSN) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if p, ok := q.byLSN[lsn]; ok {
+		p.selfForced = true
+	}
+}
+
+// markAck counts a follower ack for lsn.
+func (q *commitQueue) markAck(lsn wal.LSN) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if p, ok := q.byLSN[lsn]; ok {
+		p.acks++
+	}
+}
+
+// popCommittable removes and returns, in LSN order, the maximal prefix of
+// the queue where every write has been locally forced and acknowledged by
+// at least quorum-1 followers (the leader's own log force is its vote, §8.1:
+// a write commits once it is on 2 of 3 logs).
+func (q *commitQueue) popCommittable(quorum int) []*pendingWrite {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var out []*pendingWrite
+	for len(q.order) > 0 {
+		p := q.byLSN[q.order[0]]
+		if !p.selfForced || 1+p.acks < quorum {
+			break
+		}
+		out = append(out, p)
+		q.removeHeadLocked()
+	}
+	return out
+}
+
+// popThrough removes and returns, in LSN order, all pending writes with
+// LSN ≤ through. Followers use it when a commit message (or piggybacked
+// commit LSN) arrives: "apply all pending writes up to a certain LSN" (§5).
+func (q *commitQueue) popThrough(through wal.LSN) []*pendingWrite {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var out []*pendingWrite
+	for len(q.order) > 0 && q.order[0] <= through {
+		out = append(out, q.byLSN[q.order[0]])
+		q.removeHeadLocked()
+	}
+	return out
+}
+
+// removeHeadLocked unlinks q.order[0]; callers hold q.mu.
+func (q *commitQueue) removeHeadLocked() {
+	lsn := q.order[0]
+	p := q.byLSN[lsn]
+	delete(q.byLSN, lsn)
+	q.order = q.order[1:]
+	for _, c := range p.op.Cols {
+		k := kv.Key{Row: p.op.Row, Col: c.Col}
+		ls := q.keyLSNs[k]
+		for i, l := range ls {
+			if l == lsn {
+				ls = append(ls[:i], ls[i+1:]...)
+				break
+			}
+		}
+		if len(ls) == 0 {
+			delete(q.keyLSNs, k)
+			delete(q.byKey, k)
+		} else {
+			q.keyLSNs[k] = ls
+			max := ls[0]
+			for _, l := range ls[1:] {
+				if l > max {
+					max = l
+				}
+			}
+			q.byKey[k] = max
+		}
+	}
+}
+
+// remove unlinks a single pending write (logical truncation of a dead
+// branch, or a failed append). It reports whether the LSN was pending.
+func (q *commitQueue) remove(lsn wal.LSN) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, ok := q.byLSN[lsn]; !ok {
+		return false
+	}
+	// Rotate the target to the head, then reuse the head-removal logic.
+	for i, l := range q.order {
+		if l == lsn {
+			q.order = append(q.order[:i], q.order[i+1:]...)
+			q.order = append([]wal.LSN{lsn}, q.order...)
+			break
+		}
+	}
+	q.removeHeadLocked()
+	return true
+}
+
+// drain removes and returns everything, for discarding on role changes.
+func (q *commitQueue) drain() []*pendingWrite {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]*pendingWrite, 0, len(q.order))
+	for _, lsn := range q.order {
+		out = append(out, q.byLSN[lsn])
+	}
+	q.byLSN = make(map[wal.LSN]*pendingWrite)
+	q.order = nil
+	q.byKey = make(map[kv.Key]wal.LSN)
+	q.keyLSNs = make(map[kv.Key][]wal.LSN)
+	return out
+}
+
+// latestPending returns the newest pending write for key, if any. The
+// leader consults it so version checks and version assignment see writes
+// that are sequenced but not yet committed (writes execute in LSN order, so
+// a conditional put behind a pending put must observe its effect, §5.1).
+func (q *commitQueue) latestPending(key kv.Key) (*pendingWrite, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	lsn, ok := q.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	return q.byLSN[lsn], true
+}
+
+// len returns the number of pending writes.
+func (q *commitQueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.order)
+}
+
+// head returns the smallest pending LSN, if any.
+func (q *commitQueue) head() (wal.LSN, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.order) == 0 {
+		return 0, false
+	}
+	return q.order[0], true
+}
+
+// has reports whether lsn is pending.
+func (q *commitQueue) has(lsn wal.LSN) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	_, ok := q.byLSN[lsn]
+	return ok
+}
+
+// get returns the pending write for lsn.
+func (q *commitQueue) get(lsn wal.LSN) (*pendingWrite, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	p, ok := q.byLSN[lsn]
+	return p, ok
+}
+
+// snapshotOrder returns the pending LSNs in ascending order.
+func (q *commitQueue) snapshotOrder() []wal.LSN {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return append([]wal.LSN(nil), q.order...)
+}
+
+// stalePending returns re-proposal payload snapshots for locally-forced
+// pending writes whose last propose is older than age, marking them as
+// re-proposed now. Snapshots (LSN + op) are taken under the lock so callers
+// never touch pendingWrite fields concurrently with the ack path.
+func (q *commitQueue) stalePending(age time.Duration) []proposePayload {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := time.Now()
+	var out []proposePayload
+	for _, lsn := range q.order {
+		p := q.byLSN[lsn]
+		if !p.selfForced {
+			continue
+		}
+		if p.lastPropose.IsZero() || now.Sub(p.lastPropose) >= age {
+			p.lastPropose = now
+			out = append(out, proposePayload{LSN: p.lsn, Op: p.op})
+		}
+	}
+	return out
+}
+
+// touchPropose stamps the propose time for lsn.
+func (q *commitQueue) touchPropose(lsn wal.LSN) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if p, ok := q.byLSN[lsn]; ok {
+		p.lastPropose = time.Now()
+	}
+}

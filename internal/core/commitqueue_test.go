@@ -1,0 +1,218 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"spinnaker/internal/kv"
+	"spinnaker/internal/wal"
+)
+
+func pw(seq uint64, row, col string) *pendingWrite {
+	return &pendingWrite{
+		lsn: wal.MakeLSN(1, seq),
+		op:  WriteOp{Row: row, Cols: []ColWrite{{Col: col, Version: seq}}},
+	}
+}
+
+func TestCommitQueueAddDedupes(t *testing.T) {
+	q := newCommitQueue()
+	if !q.add(pw(1, "r", "c")) {
+		t.Fatal("first add rejected")
+	}
+	if q.add(pw(1, "r", "c")) {
+		t.Fatal("duplicate LSN accepted (re-proposals must be ignored)")
+	}
+	if q.len() != 1 {
+		t.Errorf("len = %d", q.len())
+	}
+}
+
+func TestCommitQueuePopCommittableInOrder(t *testing.T) {
+	q := newCommitQueue()
+	for seq := uint64(1); seq <= 3; seq++ {
+		q.add(pw(seq, "r", "c"))
+	}
+	// Nothing is committable before forces/acks.
+	if got := q.popCommittable(2); len(got) != 0 {
+		t.Fatalf("popped %d writes with no acks", len(got))
+	}
+	// LSN 2 satisfied first: commits must still wait for LSN 1 (writes
+	// execute in LSN order within a cohort, §5.1).
+	q.markForced(wal.MakeLSN(1, 2))
+	q.markAck(wal.MakeLSN(1, 2))
+	if got := q.popCommittable(2); len(got) != 0 {
+		t.Fatalf("LSN 2 committed ahead of LSN 1")
+	}
+	q.markForced(wal.MakeLSN(1, 1))
+	q.markAck(wal.MakeLSN(1, 1))
+	got := q.popCommittable(2)
+	if len(got) != 2 || got[0].lsn != wal.MakeLSN(1, 1) || got[1].lsn != wal.MakeLSN(1, 2) {
+		t.Fatalf("popped %d writes, want [1.1 1.2]", len(got))
+	}
+	// LSN 3 still pending.
+	if q.len() != 1 {
+		t.Errorf("len = %d after pop", q.len())
+	}
+}
+
+func TestCommitQueueQuorumRule(t *testing.T) {
+	q := newCommitQueue()
+	q.add(pw(1, "r", "c"))
+	// An ack without the local force is not enough (the commit rule is
+	// 2-of-3 logs *including* the leader's, §8.1).
+	q.markAck(wal.MakeLSN(1, 1))
+	if got := q.popCommittable(2); len(got) != 0 {
+		t.Fatal("committed without local force")
+	}
+	q.markForced(wal.MakeLSN(1, 1))
+	if got := q.popCommittable(2); len(got) != 1 {
+		t.Fatal("not committed with force + 1 ack")
+	}
+}
+
+func TestCommitQueuePopThrough(t *testing.T) {
+	q := newCommitQueue()
+	for seq := uint64(1); seq <= 5; seq++ {
+		q.add(pw(seq, "r", "c"))
+	}
+	got := q.popThrough(wal.MakeLSN(1, 3))
+	if len(got) != 3 {
+		t.Fatalf("popThrough(1.3) = %d writes", len(got))
+	}
+	if q.len() != 2 {
+		t.Errorf("len = %d", q.len())
+	}
+	if head, ok := q.head(); !ok || head != wal.MakeLSN(1, 4) {
+		t.Errorf("head = %v,%v", head, ok)
+	}
+}
+
+func TestCommitQueueLatestPendingPerKey(t *testing.T) {
+	q := newCommitQueue()
+	q.add(pw(1, "r", "a"))
+	q.add(pw(2, "r", "a"))
+	q.add(pw(3, "r", "b"))
+	p, ok := q.latestPending(kv.Key{Row: "r", Col: "a"})
+	if !ok || p.lsn != wal.MakeLSN(1, 2) {
+		t.Fatalf("latestPending(a) = %v,%v", p, ok)
+	}
+	// Popping the newer write reveals... nothing for "a" if both popped;
+	// popThrough(1.2) removes 1 and 2.
+	q.popThrough(wal.MakeLSN(1, 2))
+	if _, ok := q.latestPending(kv.Key{Row: "r", Col: "a"}); ok {
+		t.Error("latestPending(a) found after pop")
+	}
+	if p, ok := q.latestPending(kv.Key{Row: "r", Col: "b"}); !ok || p.lsn != wal.MakeLSN(1, 3) {
+		t.Errorf("latestPending(b) = %v,%v", p, ok)
+	}
+}
+
+func TestCommitQueueLatestPendingRollsBack(t *testing.T) {
+	// Removing the newest pending for a key must re-expose the older one.
+	q := newCommitQueue()
+	q.add(pw(1, "r", "a"))
+	q.add(pw(2, "r", "a"))
+	if !q.remove(wal.MakeLSN(1, 2)) {
+		t.Fatal("remove failed")
+	}
+	p, ok := q.latestPending(kv.Key{Row: "r", Col: "a"})
+	if !ok || p.lsn != wal.MakeLSN(1, 1) {
+		t.Fatalf("latestPending after remove = %v,%v", p, ok)
+	}
+}
+
+func TestCommitQueueRemove(t *testing.T) {
+	q := newCommitQueue()
+	for seq := uint64(1); seq <= 3; seq++ {
+		q.add(pw(seq, "r", "c"))
+	}
+	if !q.remove(wal.MakeLSN(1, 2)) {
+		t.Fatal("remove existing failed")
+	}
+	if q.remove(wal.MakeLSN(1, 2)) {
+		t.Fatal("remove absent succeeded")
+	}
+	order := q.snapshotOrder()
+	if len(order) != 2 || order[0] != wal.MakeLSN(1, 1) || order[1] != wal.MakeLSN(1, 3) {
+		t.Errorf("order after remove = %v", order)
+	}
+	if q.has(wal.MakeLSN(1, 2)) {
+		t.Error("removed LSN still present")
+	}
+}
+
+func TestCommitQueueOutOfOrderInsertSorted(t *testing.T) {
+	// Recovery can insert pendings out of order; the queue keeps them
+	// sorted so commits stay in LSN order.
+	q := newCommitQueue()
+	for _, seq := range []uint64{5, 2, 9, 1} {
+		q.add(pw(seq, "r", "c"))
+	}
+	order := q.snapshotOrder()
+	want := []uint64{1, 2, 5, 9}
+	for i, lsn := range order {
+		if lsn.Seq() != want[i] {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestCommitQueueDrain(t *testing.T) {
+	q := newCommitQueue()
+	q.add(pw(1, "r", "c"))
+	q.add(pw(2, "r", "c"))
+	got := q.drain()
+	if len(got) != 2 || q.len() != 0 {
+		t.Fatalf("drain = %d entries, len %d", len(got), q.len())
+	}
+	if _, ok := q.latestPending(kv.Key{Row: "r", Col: "c"}); ok {
+		t.Error("key index survived drain")
+	}
+}
+
+func TestCommitQueueStalePending(t *testing.T) {
+	q := newCommitQueue()
+	q.add(pw(1, "r", "c"))
+	q.add(pw(2, "r", "c"))
+	// Unforced writes are never retransmitted (their own force path will
+	// propose them).
+	if stale := q.stalePending(0); len(stale) != 0 {
+		t.Fatalf("unforced writes retransmitted: %d", len(stale))
+	}
+	q.markForced(wal.MakeLSN(1, 1))
+	q.markForced(wal.MakeLSN(1, 2))
+	// Everything forced is stale initially (never proposed).
+	stale := q.stalePending(time.Hour)
+	if len(stale) != 2 {
+		t.Fatalf("stale = %d, want 2", len(stale))
+	}
+	if stale[0].LSN != wal.MakeLSN(1, 1) || len(stale[0].Op.Cols) != 1 {
+		t.Errorf("snapshot = %+v", stale[0])
+	}
+	// Just marked: nothing stale at a long threshold.
+	if again := q.stalePending(time.Hour); len(again) != 0 {
+		t.Fatalf("stale after touch = %d", len(again))
+	}
+	// With a zero threshold everything is always stale.
+	if again := q.stalePending(0); len(again) != 2 {
+		t.Fatalf("stale at zero age = %d", len(again))
+	}
+}
+
+func TestPendingWriteFinishOnce(t *testing.T) {
+	p := &pendingWrite{done: make(chan writeOutcome, 1)}
+	p.finish(writeOutcome{status: StatusOK})
+	p.finish(writeOutcome{status: StatusUnavailable}) // must not double-send
+	out := <-p.done
+	if out.status != StatusOK {
+		t.Errorf("outcome = %d", out.status)
+	}
+	select {
+	case <-p.done:
+		t.Error("second outcome delivered")
+	default:
+	}
+	// Follower-side pendings have no channel; finish must not panic.
+	(&pendingWrite{}).finish(writeOutcome{})
+}

@@ -1,0 +1,384 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"spinnaker/internal/coord"
+	"spinnaker/internal/transport"
+	"spinnaker/internal/wal"
+)
+
+// Coordination-service paths for a key range (paper §7.2: information
+// needed for leader election is stored under /r).
+func rangePath(r uint32) string      { return fmt.Sprintf("/ranges/%d", r) }
+func candidatesPath(r uint32) string { return rangePath(r) + "/candidates" }
+func leaderPath(r uint32) string     { return rangePath(r) + "/leader" }
+func epochPath(r uint32) string      { return rangePath(r) + "/epoch" }
+
+// candidatePrefix names this node's candidate znodes so it can clean up its
+// own stale entries (Fig 7 line 1) and recognize its own candidacy.
+func (r *replica) candidatePrefix() string {
+	return fmt.Sprintf("%s/c:%s:", candidatesPath(r.rangeID), r.n.cfg.ID)
+}
+
+// electionLoop drives a replica's leadership state for the life of the
+// node: follow the current leader if one exists, run the election protocol
+// of Figure 7 when there is none, and watch for the ephemeral leader znode
+// to disappear (the coordination service deletes it when the leader's
+// session dies, triggering a new election).
+func (r *replica) electionLoop() {
+	sess := r.n.coordSess
+	if err := sess.EnsurePath(candidatesPath(r.rangeID)); err != nil {
+		return
+	}
+	_, _ = sess.Create(epochPath(r.rangeID), encodeEpoch(0), 0)
+
+	for !r.n.stopped() {
+		leaderWatch, err := sess.Watch(leaderPath(r.rangeID))
+		if err != nil {
+			return // session gone; node is shutting down
+		}
+		data, err := sess.Get(leaderPath(r.rangeID))
+		switch {
+		case err == nil:
+			leader := string(data)
+			if leader == r.n.cfg.ID {
+				// We hold the leader znode (re-found after a
+				// watch fired for an unrelated reason).
+				r.mu.Lock()
+				isLeader := r.role == RoleLeader
+				r.mu.Unlock()
+				if !isLeader {
+					// A previous incarnation's znode; it is
+					// ephemeral and our session is new, so
+					// this cannot be ours. Wait it out.
+					r.waitEvent(leaderWatch)
+					continue
+				}
+			} else {
+				r.becomeFollower(leader)
+			}
+			// Block until the leader znode changes (deleted on
+			// leader death), then loop.
+			r.waitEvent(leaderWatch)
+		case errors.Is(err, coord.ErrNoNode):
+			// No leader: run the election protocol (Fig 7). The
+			// watch from above is spent by our own candidate
+			// traffic at worst; elect() manages its own waits.
+			r.runElection()
+		default:
+			return // session closed
+		}
+	}
+}
+
+// waitEvent blocks on a watch channel until it fires or the node stops.
+func (r *replica) waitEvent(ch <-chan coord.Event) {
+	select {
+	case <-ch:
+	case <-r.n.stopCh:
+	case <-r.electionNudge:
+	}
+}
+
+// becomeFollower records the leadership and, if this replica is behind,
+// starts catch-up.
+func (r *replica) becomeFollower(leader string) {
+	r.mu.Lock()
+	wasLeader := r.role == RoleLeader
+	prev := r.leaderID
+	if wasLeader && leader != r.n.cfg.ID {
+		r.demoteLocked(leader)
+	}
+	r.leaderID = leader
+	if r.role == RoleRecovering {
+		r.mu.Unlock()
+		// Recovering nodes must complete the catch-up phase before
+		// serving (§6.1); the loop flips the role to follower.
+		r.runCatchupLoop()
+		return
+	}
+	r.mu.Unlock()
+	if prev != leader {
+		// New leader after a takeover: our pending writes may need
+		// resolution; catch-up is idempotent and cheap when current.
+		go r.runCatchupLoop()
+	}
+}
+
+// runElection is Figure 7. Leader election is triggered whenever a cohort's
+// leader has failed or after local recovery on a restart.
+func (r *replica) runElection() {
+	sess := r.n.coordSess
+
+	// Line 1: clean up our stale state from previous rounds.
+	kids, err := sess.Children(candidatesPath(r.rangeID))
+	if err != nil {
+		return
+	}
+	for _, kid := range kids {
+		if strings.HasPrefix(kid.Name, "c:"+r.n.cfg.ID+":") {
+			_ = sess.Delete(candidatesPath(r.rangeID) + "/" + kid.Name)
+		}
+	}
+
+	r.mu.Lock()
+	r.role = RoleCandidate
+	nLst := r.lastLSN
+	r.mu.Unlock()
+
+	// Lines 3-4: announce our candidacy in a sequential ephemeral znode
+	// carrying our last LSN.
+	myPath, err := sess.Create(r.candidatePrefix(), encodeCandidateLSN(nLst),
+		coord.FlagEphemeral|coord.FlagSequential)
+	if err != nil {
+		return
+	}
+	myName := myPath[strings.LastIndex(myPath, "/")+1:]
+
+	for !r.n.stopped() {
+		// Line 5: set a watch and wait for a majority.
+		watch, err := sess.WatchChildren(candidatesPath(r.rangeID))
+		if err != nil {
+			return
+		}
+		kids, err := sess.Children(candidatesPath(r.rangeID))
+		if err != nil {
+			return
+		}
+		if len(kids) < r.quorum {
+			select {
+			case <-watch:
+				continue
+			case <-r.n.stopCh:
+				return
+			case <-time.After(r.n.cfg.ElectionTimeout):
+				continue
+			}
+		}
+
+		// Line 6: the new leader is the candidate with the max n.lst,
+		// with znode sequence numbers breaking ties.
+		winner := kids[0]
+		winnerLSN := decodeCandidateLSN(kids[0].Data)
+		for _, kid := range kids[1:] {
+			lsn := decodeCandidateLSN(kid.Data)
+			if lsn > winnerLSN || (lsn == winnerLSN && kid.Seq < winner.Seq) {
+				winner, winnerLSN = kid, lsn
+			}
+		}
+
+		if winner.Name == myName {
+			// Lines 7-9: claim leadership and run takeover.
+			_, err := sess.Create(leaderPath(r.rangeID), []byte(r.n.cfg.ID), coord.FlagEphemeral)
+			if err != nil && !errors.Is(err, coord.ErrNodeExists) {
+				return
+			}
+			if err == nil {
+				if r.takeover() {
+					return // leading; electionLoop watches our znode
+				}
+				// Takeover failed (lost quorum); release the
+				// claim and retry.
+				_ = sess.Delete(leaderPath(r.rangeID))
+				continue
+			}
+			// Someone else holds /leader; fall through to learn it.
+		}
+
+		// Line 11: read /r/leader to learn the new leader.
+		leaderWatch, err := sess.Watch(leaderPath(r.rangeID))
+		if err != nil {
+			return
+		}
+		if data, err := sess.Get(leaderPath(r.rangeID)); err == nil {
+			if string(data) != r.n.cfg.ID {
+				r.becomeFollower(string(data))
+			}
+			return
+		}
+		// Leader znode still absent: wait for it, a candidate change,
+		// or a timeout (the winner may have died mid-takeover).
+		select {
+		case <-leaderWatch:
+		case <-watch:
+		case <-time.After(r.n.cfg.ElectionTimeout):
+		case <-r.n.stopCh:
+			return
+		}
+	}
+}
+
+// takeover is Figure 6: bring at least one follower up to our last
+// committed LSN, re-propose the unresolved writes in (l.cmt, l.lst], and
+// open the cohort for writes under a fresh epoch. Returns false if quorum
+// could not be assembled (the claim should be released).
+func (r *replica) takeover() bool {
+	// Allocate the next epoch through the coordination service (App. B:
+	// "a new epoch number is stored in Zookeeper before the leader
+	// accepts any new writes").
+	newEpoch, err := r.n.bumpEpoch(r.rangeID)
+	if err != nil {
+		return false
+	}
+
+	r.mu.Lock()
+	r.role = RoleLeader
+	r.open = false
+	r.leaderID = r.n.cfg.ID
+	lCmt := r.lastCommitted
+	lLst := r.lastLSN
+	r.mu.Unlock()
+
+	// Lines 3-7: catch up each follower to l.cmt, in parallel; line 8:
+	// wait until at least one is caught up. (With 3-way replication one
+	// success gives the quorum of 2, counting ourselves.)
+	results := make(chan bool, len(r.peers))
+	for _, peer := range r.peers {
+		go func(peer string) { results <- r.syncFollower(peer, lCmt, lLst) }(peer)
+	}
+	deadline := time.After(r.n.cfg.TakeoverTimeout)
+	caughtUp := 0
+	for i := 0; i < len(r.peers) && caughtUp == 0; i++ {
+		select {
+		case ok := <-results:
+			if ok {
+				caughtUp++
+			}
+		case <-deadline:
+			i = len(r.peers)
+		case <-r.n.stopCh:
+			return false
+		}
+	}
+	if caughtUp == 0 {
+		r.mu.Lock()
+		r.role = RoleCandidate
+		r.mu.Unlock()
+		return false
+	}
+
+	// Line 9: re-propose the unresolved writes in (l.cmt, l.lst] and
+	// commit them through the normal replication protocol. They are
+	// exactly our pending queue (populated by local recovery or by our
+	// time as a follower); they are already in our durable log.
+	for _, lsn := range r.queue.snapshotOrder() {
+		p, ok := r.queue.get(lsn)
+		if !ok || lsn <= lCmt {
+			continue
+		}
+		r.queue.markForced(lsn) // it is in our durable log
+		payload := encodePropose(proposePayload{LSN: lsn, Op: p.op})
+		for _, peer := range r.peers {
+			r.n.send(peer, transport.Message{Kind: MsgPropose, Cohort: r.rangeID, Payload: payload})
+		}
+	}
+	// Wait for the re-proposals to commit.
+	reproposeDeadline := time.Now().Add(r.n.cfg.TakeoverTimeout)
+	for {
+		r.tryCommit()
+		r.mu.Lock()
+		done := r.lastCommitted >= lLst || r.queue.len() == 0
+		r.mu.Unlock()
+		if done {
+			break
+		}
+		if time.Now().After(reproposeDeadline) {
+			r.mu.Lock()
+			r.role = RoleCandidate
+			r.mu.Unlock()
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Line 10: open the cohort for writes, with LSNs above anything
+	// previously used (epoch bump + continuing sequence numbers, App. B).
+	r.mu.Lock()
+	r.epoch = newEpoch
+	if s := r.lastLSN.Seq(); s >= r.nextSeq {
+		r.nextSeq = s + 1
+	}
+	r.open = true
+	r.mu.Unlock()
+	return true
+}
+
+// syncFollower runs lines 4-6 of Figure 6 against one follower: learn its
+// f.cmt, send the committed writes in (f.cmt, l.cmt] plus a commit message.
+// Reports whether the follower confirmed catching up to l.cmt.
+func (r *replica) syncFollower(peer string, lCmt, lLst wal.LSN) bool {
+	resp, err := r.n.call(peer, transport.Message{Kind: MsgStateReq, Cohort: r.rangeID})
+	if err != nil {
+		return false
+	}
+	fCmt, err := decodeLSN(resp.Payload)
+	if err != nil {
+		return false
+	}
+
+	r.mu.Lock()
+	// Present covers the follower's whole possible ambiguous range so it
+	// can logically truncate its dead branches in one step.
+	present := r.logLSNsInRangeLocked(fCmt, lLst)
+	entries := r.engine.EntriesSince(fCmt)
+	r.mu.Unlock()
+
+	sync := catchupResp{Status: StatusOK, Cmt: lCmt, Present: present, Entries: entries}
+	resp, err = r.n.call(peer, transport.Message{
+		Kind: MsgTakeover, Cohort: r.rangeID, Payload: encodeCatchupResp(sync),
+	})
+	if err != nil {
+		return false
+	}
+	theirCmt, err := decodeLSN(resp.Payload)
+	if err != nil {
+		return false
+	}
+	return theirCmt >= lCmt
+}
+
+// logLSNsInRangeLocked lists our durable write LSNs in (after, through];
+// callers hold r.mu.
+func (r *replica) logLSNsInRangeLocked(after, through wal.LSN) []wal.LSN {
+	var out []wal.LSN
+	_ = r.n.log.ScanCohort(r.rangeID, func(rec wal.Record) error {
+		if rec.Type == wal.RecWrite && rec.LSN > after && rec.LSN <= through &&
+			!r.skipped.Contains(rec.LSN) {
+			out = append(out, rec.LSN)
+		}
+		return nil
+	})
+	return out
+}
+
+// encodeCandidateLSN serializes n.lst for the candidate znode (Fig 7 line 4).
+func encodeCandidateLSN(l wal.LSN) []byte {
+	return []byte(strconv.FormatUint(uint64(l), 10))
+}
+
+func decodeCandidateLSN(b []byte) wal.LSN {
+	v, err := strconv.ParseUint(string(b), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return wal.LSN(v)
+}
+
+func encodeEpoch(e uint32) []byte {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], e)
+	return buf[:]
+}
+
+func decodeEpoch(b []byte) uint32 {
+	if len(b) < 4 {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}

@@ -1,0 +1,471 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"spinnaker/internal/transport"
+	"spinnaker/internal/wal"
+)
+
+// row0 keys land in range 0 (cohort n0-n1-n2 in a 3-node cluster).
+func row0(i int) string { return fmt.Sprintf("%06d", i) }
+
+func TestLeaderFailover(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+	tc.waitAllLeaders()
+	c := tc.client()
+
+	for i := 0; i < 20; i++ {
+		if _, err := c.Put(row0(i), "c", []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+
+	leader := tc.leaderOf(0)
+	oldLeader := leader.ID()
+	tc.crashNode(oldLeader)
+
+	// A new leader must take over and the cohort must become available
+	// for reads and writes again (§8.1: available as long as a majority
+	// of the cohort is up).
+	newLeader := tc.leaderOf(0)
+	if newLeader.ID() == oldLeader {
+		t.Fatalf("old leader still registered")
+	}
+
+	// No committed write may be lost (§7: the new leader is chosen so
+	// its log contains every committed write).
+	deadline := time.Now().Add(5 * time.Second)
+	for i := 0; i < 20; i++ {
+		for {
+			got, _, err := c.Get(row0(i), "c", true)
+			if err == nil {
+				if string(got) != fmt.Sprintf("v%d", i) {
+					t.Fatalf("key %d = %q after failover", i, got)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("key %d unreadable after failover: %v", i, err)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Writes proceed with the new leader.
+	for i := 20; i < 30; i++ {
+		if _, err := c.Put(row0(i), "c", []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("post-failover Put %d: %v", i, err)
+		}
+	}
+}
+
+func TestEpochIncrementsOnTakeover(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+	tc.waitAllLeaders()
+	c := tc.client()
+
+	v1, err := c.Put(row0(1), "c", []byte("epoch1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wal.LSN(v1).Epoch() != 1 {
+		t.Fatalf("first epoch = %d, want 1", wal.LSN(v1).Epoch())
+	}
+
+	tc.crashNode(tc.leaderOf(0).ID())
+	tc.leaderOf(0) // wait for the new leader
+
+	var v2 uint64
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		v2, err = c.Put(row0(2), "c", []byte("epoch2"))
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("write after failover: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// App. B: the epoch number is incremented on takeover, and new LSNs
+	// dominate all previous ones.
+	if wal.LSN(v2).Epoch() != 2 {
+		t.Errorf("post-takeover epoch = %d, want 2", wal.LSN(v2).Epoch())
+	}
+	if v2 <= v1 {
+		t.Errorf("post-takeover version %d not above %d", v2, v1)
+	}
+}
+
+func TestFollowerCrashRecovery(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+	tc.waitAllLeaders()
+	c := tc.client()
+
+	leader := tc.leaderOf(0).ID()
+	var follower string
+	for _, name := range tc.layout.Cohort(0) {
+		if name != leader {
+			follower = name
+			break
+		}
+	}
+
+	for i := 0; i < 10; i++ {
+		if _, err := c.Put(row0(i), "c", []byte("before")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tc.crashNode(follower)
+
+	// Writes continue with a majority (§8.1).
+	for i := 10; i < 25; i++ {
+		if _, err := c.Put(row0(i), "c", []byte("during")); err != nil {
+			t.Fatalf("Put with follower down: %v", err)
+		}
+	}
+
+	n := tc.restartNode(follower)
+	// Follower recovery: local recovery, then catch-up (§6.1). Wait for
+	// it to become a current follower.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, ok := n.ReplicaStats(0)
+		if ok && st.Role == RoleFollower && st.LastCommitted >= wal.MakeLSN(1, 25) {
+			break
+		}
+		if time.Now().After(deadline) {
+			st, _ := n.ReplicaStats(0)
+			t.Fatalf("follower never caught up: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The recovered follower serves every committed write on timeline
+	// reads directly.
+	ep := tc.net.Join("probe-recovered")
+	for i := 0; i < 25; i++ {
+		resp, err := ep.Call(transportMsgGet(follower, 0, row0(i), "c"))
+		if err != nil {
+			t.Fatalf("probe get: %v", err)
+		}
+		res, err := decodeGetResp(resp.Payload)
+		if err != nil || res.Status != StatusOK {
+			t.Fatalf("key %d at recovered follower: status %d err %v", i, res.Status, err)
+		}
+	}
+}
+
+func TestFigure1ScenarioResolved(t *testing.T) {
+	// The master-slave failure sequence of Figure 1, replayed against
+	// Spinnaker: follower goes down; leader keeps committing (majority);
+	// leader then fails permanently; the stale follower comes back.
+	// Master-slave would either lose writes or be unavailable; Spinnaker
+	// elects the *other* follower (max n.lst) and loses nothing.
+	tc := newTestCluster(t, 3, nil)
+	tc.waitAllLeaders()
+	c := tc.client()
+
+	leader := tc.leaderOf(0).ID()
+	cohort := tc.layout.Cohort(0)
+	staleFollower := ""
+	for _, name := range cohort {
+		if name != leader {
+			staleFollower = name
+			break
+		}
+	}
+
+	// LSN=10 state: writes while everyone is up.
+	for i := 0; i < 10; i++ {
+		if _, err := c.Put(row0(i), "c", []byte("old")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Slave goes down.
+	tc.crashNode(staleFollower)
+	// Master continues to LSN=20.
+	for i := 10; i < 20; i++ {
+		if _, err := c.Put(row0(i), "c", []byte("new")); err != nil {
+			t.Fatalf("write with one follower down: %v", err)
+		}
+	}
+	// Master suffers a permanent failure.
+	tc.crashNode(leader)
+	tc.stores[leader].Fail()
+	// The stale slave comes back up. In master-slave this state loses
+	// writes 11..20 or blocks; here the remaining current follower wins
+	// the election (it has the max n.lst) and every committed write
+	// survives.
+	tc.restartNode(staleFollower)
+
+	newLeader := tc.leaderOf(0)
+	if newLeader.ID() == leader {
+		t.Fatal("permanently failed node claims leadership")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for i := 0; i < 20; i++ {
+		want := "old"
+		if i >= 10 {
+			want = "new"
+		}
+		for {
+			got, _, err := c.Get(row0(i), "c", true)
+			if err == nil {
+				if string(got) != want {
+					t.Fatalf("key %d = %q, want %q", i, got, want)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("key %d unreadable: %v", i, err)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
+func TestDiskFailureRecovery(t *testing.T) {
+	// §6.1: "If the follower has lost all its data because of a disk
+	// failure, then it moves directly to the catch up phase."
+	tc := newTestCluster(t, 3, nil)
+	tc.waitAllLeaders()
+	c := tc.client()
+
+	for i := 0; i < 15; i++ {
+		if _, err := c.Put(row0(i), "c", []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	leader := tc.leaderOf(0).ID()
+	var follower string
+	for _, name := range tc.layout.Cohort(0) {
+		if name != leader {
+			follower = name
+			break
+		}
+	}
+	tc.crashNode(follower)
+	tc.stores[follower].Fail() // total data loss
+
+	n := tc.restartNode(follower)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, ok := n.ReplicaStats(0)
+		if ok && st.Role == RoleFollower && st.LastCommitted >= wal.MakeLSN(1, 15) {
+			break
+		}
+		if time.Now().After(deadline) {
+			st, _ := n.ReplicaStats(0)
+			t.Fatalf("disk-failed follower never caught up: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ep := tc.net.Join("probe-disk")
+	for i := 0; i < 15; i++ {
+		resp, err := ep.Call(transportMsgGet(follower, 0, row0(i), "c"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, _ := decodeGetResp(resp.Payload)
+		if res.Status != StatusOK || string(res.Value) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("key %d after disk recovery: %q status %d", i, res.Value, res.Status)
+		}
+	}
+}
+
+func TestAppendixBScenario(t *testing.T) {
+	// The detailed recovery example of Appendix B: the whole cohort goes
+	// down; one node holds a never-committed write (LSN 1.22) that the
+	// others never saw. A majority recovers without it, moves to epoch 2,
+	// and when the straggler returns, its orphan write is logically
+	// truncated while everything committed survives.
+	tc := newTestCluster(t, 3, nil)
+	tc.waitAllLeaders()
+	c := tc.client()
+
+	const committed = 21
+	for i := 1; i <= committed; i++ {
+		if _, err := c.Put(row0(i), "c", []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All nodes go down (state S1).
+	names := tc.layout.Cohort(0)
+	for _, name := range names {
+		tc.crashNode(name)
+	}
+
+	// Plant the uncommitted write 1.22 in node C's log only: a propose
+	// that was forced at one follower but never acked anywhere else.
+	straggler := names[2]
+	log, err := wal.Open(wal.Config{Store: tc.stores[straggler].Segments, GroupCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orphanLSN := wal.MakeLSN(1, committed+1)
+	orphanOp := WriteOp{Row: row0(999), Cols: []ColWrite{{Col: "c", Value: []byte("orphan"), Version: uint64(orphanLSN)}}}
+	if err := log.AppendForce(wal.Record{
+		Cohort: 0, Type: wal.RecWrite, LSN: orphanLSN, Payload: EncodeWriteOp(nil, orphanOp),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// S2: two nodes come back, elect a leader, and re-propose the
+	// unresolved committed writes; 1.22 is not seen.
+	tc.restartNode(names[0])
+	tc.restartNode(names[1])
+	tc.leaderOf(0)
+
+	// S3: new writes land in epoch 2.
+	deadline := time.Now().Add(5 * time.Second)
+	var v2 uint64
+	for {
+		v2, err = c.Put(row0(500), "c", []byte("epoch2"))
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("post-restart write: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// At least one takeover separates the two writes (sequentially
+	// crashing the cohort can let the survivors start an intermediate
+	// election, so the epoch may advance more than once).
+	if wal.LSN(v2).Epoch() < 2 {
+		t.Errorf("epoch after full-cohort restart = %d, want ≥ 2", wal.LSN(v2).Epoch())
+	}
+
+	// S4: the straggler comes back; 1.22 must be logically truncated.
+	n := tc.restartNode(straggler)
+	for {
+		st, ok := n.ReplicaStats(0)
+		if ok && st.Role == RoleFollower && st.LastCommitted >= wal.LSN(v2) {
+			break
+		}
+		if time.Now().After(deadline.Add(5 * time.Second)) {
+			st, _ := n.ReplicaStats(0)
+			t.Fatalf("straggler never caught up: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The orphan write never becomes visible anywhere.
+	if _, _, err := c.Get(row0(999), "c", true); !errors.Is(err, ErrNotFound) {
+		t.Errorf("orphan write visible after recovery: %v", err)
+	}
+	ep := tc.net.Join("probe-appb")
+	resp, err := ep.Call(transportMsgGet(straggler, 0, row0(999), "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := decodeGetResp(resp.Payload)
+	if res.Status == StatusOK {
+		t.Errorf("orphan write visible at straggler: %q", res.Value)
+	}
+	// The skipped-LSN list records the logical truncation (§6.1.1).
+	skipped, err := wal.LoadSkippedLSNs(tc.stores[straggler].Meta, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !skipped.Contains(orphanLSN) {
+		t.Errorf("LSN %s not on the skipped list after recovery", orphanLSN)
+	}
+	// Every committed write survives at the straggler.
+	for i := 1; i <= committed; i++ {
+		resp, err := ep.Call(transportMsgGet(straggler, 0, row0(i), "c"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, _ := decodeGetResp(resp.Payload)
+		if res.Status != StatusOK || string(res.Value) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("committed key %d at straggler: %q status %d", i, res.Value, res.Status)
+		}
+	}
+}
+
+func TestWriteUnavailableWithoutQuorum(t *testing.T) {
+	tc := newTestCluster(t, 3, func(cfg *Config) {
+		cfg.WriteTimeout = 150 * time.Millisecond
+	})
+	tc.waitAllLeaders()
+	c := tc.client()
+
+	if _, err := c.Put(row0(1), "c", []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	// Cut the leader off from both followers: no quorum, no commits
+	// (§8.1: available only while a majority of the cohort is up).
+	leader := tc.leaderOf(0).ID()
+	for _, name := range tc.layout.Cohort(0) {
+		if name != leader {
+			tc.net.Partition(leader, name)
+		}
+	}
+	_, err := c.Put(row0(2), "c", []byte("stuck"))
+	if err == nil {
+		t.Fatal("write committed without a quorum")
+	}
+
+	// Heal: the cohort must become available again.
+	tc.net.HealAll()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := c.Put(row0(3), "c", []byte("healed")); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cohort never recovered after heal")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestCommittedDataSurvivesFullClusterRestart(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+	tc.waitAllLeaders()
+	c := tc.client()
+
+	for i := 0; i < 25; i++ {
+		if _, err := c.Put(row0(i), "c", []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := tc.layout.Cohort(0)
+	for _, name := range names {
+		tc.crashNode(name)
+	}
+	for _, name := range names {
+		tc.restartNode(name)
+	}
+	tc.waitAllLeaders()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for i := 0; i < 25; i++ {
+		for {
+			got, _, err := c.Get(row0(i), "c", true)
+			if err == nil {
+				if string(got) != fmt.Sprintf("v%d", i) {
+					t.Fatalf("key %d = %q after restart", i, got)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("key %d lost in full restart: %v", i, err)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
+// transportMsgGet builds a timeline get aimed at a specific node.
+func transportMsgGet(to string, cohort uint32, row, col string) transport.Message {
+	return transport.Message{
+		To: to, Kind: MsgGet, Cohort: cohort,
+		Payload: encodeGetReq(getReq{Row: row, Col: col, Consistent: false}),
+	}
+}

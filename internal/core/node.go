@@ -1,0 +1,560 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"spinnaker/internal/cluster"
+	"spinnaker/internal/coord"
+	"spinnaker/internal/simtime"
+	"spinnaker/internal/sstable"
+	"spinnaker/internal/storage"
+	"spinnaker/internal/transport"
+	"spinnaker/internal/wal"
+)
+
+// Stores bundles a node's stable storage: the shared log's segments, the
+// metadata store (skipped-LSN lists, storage manifests), and per-cohort
+// SSTable stores. It outlives Node instances — a restarted node is a new
+// Node over the same Stores, which is how crash/recovery is exercised.
+type Stores struct {
+	Segments wal.SegmentStore
+	Meta     wal.MetaStore
+
+	mu        sync.Mutex
+	tables    map[uint32]sstable.TableStore
+	newTables func(cohort uint32) (sstable.TableStore, error)
+}
+
+// NewMemStores returns in-memory stores whose logging device uses the given
+// latency profile; the stores survive Node crashes like real disks.
+func NewMemStores(profile wal.DeviceProfile) *Stores {
+	return &Stores{
+		Segments: wal.NewMemSegmentStore(profile),
+		Meta:     wal.NewMemMetaStore(),
+		tables:   make(map[uint32]sstable.TableStore),
+		newTables: func(uint32) (sstable.TableStore, error) {
+			return sstable.NewMemTableStore(), nil
+		},
+	}
+}
+
+// NewFileStores returns file-backed stores rooted at dir.
+func NewFileStores(dir string) (*Stores, error) {
+	segs, err := wal.NewFileSegmentStore(filepath.Join(dir, "log"))
+	if err != nil {
+		return nil, err
+	}
+	meta, err := wal.NewFileMetaStore(filepath.Join(dir, "meta"))
+	if err != nil {
+		return nil, err
+	}
+	return &Stores{
+		Segments: segs,
+		Meta:     meta,
+		tables:   make(map[uint32]sstable.TableStore),
+		newTables: func(cohort uint32) (sstable.TableStore, error) {
+			return sstable.NewFileTableStore(filepath.Join(dir, fmt.Sprintf("sst-%d", cohort)))
+		},
+	}, nil
+}
+
+// Tables returns the SSTable store for a cohort, creating it on first use.
+func (s *Stores) Tables(cohort uint32) (sstable.TableStore, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ts, ok := s.tables[cohort]; ok {
+		return ts, nil
+	}
+	ts, err := s.newTables(cohort)
+	if err != nil {
+		return nil, err
+	}
+	s.tables[cohort] = ts
+	return ts, nil
+}
+
+// Crash applies crash semantics to in-memory stores: the log loses its
+// unforced tail. SSTables and metadata survive (they are written
+// atomically and durably).
+func (s *Stores) Crash() {
+	if ms, ok := s.Segments.(*wal.MemSegmentStore); ok {
+		ms.Crash()
+	}
+}
+
+// Fail simulates a permanent disk failure (§6.1): log, metadata, and
+// SSTables are all destroyed.
+func (s *Stores) Fail() {
+	if ms, ok := s.Segments.(*wal.MemSegmentStore); ok {
+		ms.Fail()
+	}
+	if mm, ok := s.Meta.(*wal.MemMetaStore); ok {
+		mm.Fail()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, ts := range s.tables {
+		if mt, ok := ts.(*sstable.MemTableStore); ok {
+			mt.Fail()
+		}
+	}
+}
+
+// Config controls a Node.
+type Config struct {
+	// ID is the node's identity in the cluster layout and on the network.
+	ID string
+	// Layout is the cluster's static partitioning.
+	Layout *cluster.Layout
+	// CommitPeriod is the interval between the leader's asynchronous
+	// commit messages (§5). The paper uses 1s in production settings and
+	// evaluates 1–15s (Table 1); the in-process default is 25ms, playing
+	// the role of the paper's 1s at the harness's reduced time scale.
+	CommitPeriod time.Duration
+	// DisableGroupCommit turns off group commit (ablation only).
+	DisableGroupCommit bool
+	// PiggybackCommits carries the commit LSN on propose messages
+	// (App. D.1: "the commit period can be made substantially smaller
+	// without much overhead by piggy-backing the commit message on
+	// propose messages").
+	PiggybackCommits bool
+	// WriteTimeout bounds how long a client write waits for quorum.
+	WriteTimeout time.Duration
+	// ElectionTimeout is the retry interval while waiting for election
+	// majorities or a winner's takeover.
+	ElectionTimeout time.Duration
+	// TakeoverTimeout bounds follower syncs during takeover.
+	TakeoverTimeout time.Duration
+	// RetryInterval is the back-off between catch-up attempts.
+	RetryInterval time.Duration
+	// HeartbeatInterval paces session heartbeats to the coordination
+	// service (§4.2: normally the only traffic to it).
+	HeartbeatInterval time.Duration
+	// FlushInterval paces the background memtable flush / compaction /
+	// log truncation daemon.
+	FlushInterval time.Duration
+	// FlushBytes and MaxTables tune the per-cohort storage engines.
+	FlushBytes int64
+	MaxTables  int
+	// SegmentBytes is the shared log's roll threshold.
+	SegmentBytes int64
+	// ReadServiceTime simulates per-read CPU cost, bounded by
+	// ReadConcurrency simulated cores (benchmarks only; zero disables).
+	// It reproduces the CPU bottleneck behind Figure 8's latency knee.
+	ReadServiceTime time.Duration
+	ReadConcurrency int
+	// SequentialPropose makes the leader force its log *before* sending
+	// propose messages instead of in parallel (Fig 4). Ablation only.
+	SequentialPropose bool
+}
+
+func (c *Config) fillDefaults() {
+	if c.CommitPeriod <= 0 {
+		c.CommitPeriod = 25 * time.Millisecond
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.ElectionTimeout <= 0 {
+		c.ElectionTimeout = 250 * time.Millisecond
+	}
+	if c.TakeoverTimeout <= 0 {
+		c.TakeoverTimeout = 5 * time.Second
+	}
+	if c.RetryInterval <= 0 {
+		c.RetryInterval = 20 * time.Millisecond
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 100 * time.Millisecond
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 200 * time.Millisecond
+	}
+	if c.ReadConcurrency <= 0 {
+		c.ReadConcurrency = 4
+	}
+}
+
+// Node is one Spinnaker server: up to N cohort replicas sharing one
+// write-ahead log, one coordination-service session, and one network
+// endpoint (paper Figure 3: replication and remote recovery; logging and
+// local recovery; commit queue; memtables and SSTables; failure detection,
+// group membership, and leader election via the coordination service).
+type Node struct {
+	cfg       Config
+	stores    *Stores
+	ep        transport.Endpoint
+	coordSess *coord.Session
+	log       *wal.Log
+	meta      wal.MetaStore
+	replicas  map[uint32]*replica
+
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+	readSem  chan struct{}
+
+	catchupMu  sync.Mutex
+	catchupSet map[uint32]bool
+	catchupCh  chan *replica
+}
+
+// readGate charges the simulated per-read CPU cost (see Config).
+func (n *Node) readGate() {
+	if n.cfg.ReadServiceTime <= 0 {
+		return
+	}
+	n.readSem <- struct{}{}
+	simtime.Sleep(n.cfg.ReadServiceTime)
+	<-n.readSem
+}
+
+// NewNode builds a node over its stable stores. Call Start to run local
+// recovery and join the cluster.
+func NewNode(cfg Config, stores *Stores, ep transport.Endpoint, coordSvc *coord.Service) (*Node, error) {
+	cfg.fillDefaults()
+	if cfg.Layout == nil {
+		return nil, errors.New("core: Config.Layout is required")
+	}
+	log, err := wal.Open(wal.Config{
+		Store:        stores.Segments,
+		SegmentBytes: cfg.SegmentBytes,
+		GroupCommit:  !cfg.DisableGroupCommit,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: open log: %w", err)
+	}
+	n := &Node{
+		cfg:        cfg,
+		stores:     stores,
+		ep:         ep,
+		coordSess:  coordSvc.Connect(),
+		log:        log,
+		meta:       stores.Meta,
+		replicas:   make(map[uint32]*replica),
+		stopCh:     make(chan struct{}),
+		readSem:    make(chan struct{}, cfg.ReadConcurrency),
+		catchupSet: make(map[uint32]bool),
+		catchupCh:  make(chan *replica, 64),
+	}
+	for _, rangeID := range cfg.Layout.RangesOf(cfg.ID) {
+		tables, err := stores.Tables(rangeID)
+		if err != nil {
+			return nil, err
+		}
+		engine, err := storage.Open(storage.Config{
+			Tables:     tables,
+			Meta:       stores.Meta,
+			Cohort:     rangeID,
+			FlushBytes: cfg.FlushBytes,
+			MaxTables:  cfg.MaxTables,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: open engine for range %d: %w", rangeID, err)
+		}
+		var peers []string
+		for _, member := range cfg.Layout.Cohort(rangeID) {
+			if member != cfg.ID {
+				peers = append(peers, member)
+			}
+		}
+		n.replicas[rangeID] = &replica{
+			n:             n,
+			rangeID:       rangeID,
+			peers:         peers,
+			quorum:        cfg.Layout.Replication()/2 + 1,
+			skipped:       wal.NewSkippedLSNs(),
+			queue:         newCommitQueue(),
+			engine:        engine,
+			electionNudge: make(chan struct{}, 1),
+		}
+	}
+	return n, nil
+}
+
+// Start runs local recovery (one shared scan of the log feeding all
+// replicas, §6) and then joins the cluster: message handling, election
+// loops, the commit timer, flush daemon, and heartbeats.
+func (n *Node) Start() error {
+	perCohort := make(map[uint32][]wal.Record)
+	if err := n.log.Scan(func(rec wal.Record) error {
+		if _, ok := n.replicas[rec.Cohort]; ok {
+			perCohort[rec.Cohort] = append(perCohort[rec.Cohort], rec)
+		}
+		return nil
+	}); err != nil {
+		return fmt.Errorf("core: recovery scan: %w", err)
+	}
+	for rangeID, r := range n.replicas {
+		if err := r.localRecover(perCohort[rangeID]); err != nil {
+			return err
+		}
+	}
+
+	n.ep.SetHandler(n.handle)
+	for _, r := range n.replicas {
+		r := r
+		n.goLoop(func() { r.electionLoop() })
+	}
+	n.goLoop(n.commitTimer)
+	n.goLoop(n.flushLoop)
+	n.goLoop(n.heartbeatLoop)
+	n.goLoop(n.catchupWorker)
+	return nil
+}
+
+func (n *Node) goLoop(fn func()) {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		fn()
+	}()
+}
+
+// handle dispatches inbound messages. It runs on per-sender link
+// goroutines, so messages from one peer are processed in order.
+func (n *Node) handle(m transport.Message) {
+	r, ok := n.replicas[m.Cohort]
+	if !ok {
+		switch m.Kind {
+		case MsgGet:
+			n.reply(m, transport.Message{Payload: encodeGetResp(getResp{Status: StatusBadRequest})})
+		case MsgGetRow:
+			n.reply(m, transport.Message{Payload: encodeRowResp(rowResp{Status: StatusBadRequest})})
+		case MsgWrite:
+			n.reply(m, transport.Message{Payload: encodeWriteResult(writeResult{
+				Status: StatusBadRequest, Detail: "node does not serve this range"})})
+		}
+		return
+	}
+	switch m.Kind {
+	case MsgGet:
+		req, err := decodeGetReq(m.Payload)
+		if err != nil {
+			return
+		}
+		n.reply(m, transport.Message{Cohort: m.Cohort, Payload: encodeGetResp(r.get(req))})
+	case MsgGetRow:
+		req, err := decodeGetReq(m.Payload)
+		if err != nil {
+			return
+		}
+		n.reply(m, transport.Message{Cohort: m.Cohort, Payload: encodeRowResp(r.getRow(req))})
+	case MsgWrite:
+		op, _, err := DecodeWriteOp(m.Payload)
+		if err != nil {
+			return
+		}
+		out := r.submitWrite(op)
+		n.reply(m, transport.Message{Cohort: m.Cohort, Payload: encodeWriteResult(writeResult{
+			Status: out.status, Detail: out.detail, Versions: out.versions})})
+	case MsgPropose:
+		r.onPropose(m)
+	case MsgAck:
+		r.onAck(m)
+	case MsgCommit:
+		r.onCommitMsg(m)
+	case MsgStateReq:
+		r.onStateReq(m)
+	case MsgTakeover:
+		r.onTakeover(m)
+	case MsgCatchupReq:
+		r.onCatchupReq(m)
+	}
+}
+
+// commitTimer drives the leader's periodic asynchronous commit messages
+// (§5: "the interval for commit messages is called the commit period").
+func (n *Node) commitTimer() {
+	t := time.NewTicker(n.cfg.CommitPeriod)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case <-t.C:
+			for _, r := range n.replicas {
+				r.sendCommitMessages()
+			}
+		}
+	}
+}
+
+// flushLoop runs background storage maintenance: memtable flushes, SSTable
+// compaction, shared-log truncation once every cohort's writes are captured
+// (§6.1), and skipped-LSN list garbage collection (§6.1.1).
+func (n *Node) flushLoop() {
+	t := time.NewTicker(n.cfg.FlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case <-t.C:
+			captured := make(map[uint32]wal.LSN, len(n.replicas))
+			for rangeID, r := range n.replicas {
+				if _, err := r.engine.MaybeFlush(); err != nil {
+					continue
+				}
+				cp := r.engine.Checkpoint()
+				captured[rangeID] = cp
+				r.mu.Lock()
+				r.skipped.GC(cp)
+				r.mu.Unlock()
+			}
+			_, _ = n.log.DropCapturedSegments(captured)
+		}
+	}
+}
+
+// heartbeatLoop keeps the coordination-service session alive; a crashed
+// node stops heartbeating and the service expires its ephemerals, which is
+// what triggers elections (§4.2).
+func (n *Node) heartbeatLoop() {
+	t := time.NewTicker(n.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case <-t.C:
+			if err := n.coordSess.Heartbeat(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// nudgeCatchup schedules an asynchronous catch-up for a replica that
+// detected it is behind; duplicates coalesce.
+func (n *Node) nudgeCatchup(r *replica) {
+	n.catchupMu.Lock()
+	if n.catchupSet[r.rangeID] {
+		n.catchupMu.Unlock()
+		return
+	}
+	n.catchupSet[r.rangeID] = true
+	n.catchupMu.Unlock()
+	select {
+	case n.catchupCh <- r:
+	default:
+		n.catchupMu.Lock()
+		delete(n.catchupSet, r.rangeID)
+		n.catchupMu.Unlock()
+	}
+}
+
+func (n *Node) catchupWorker() {
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case r := <-n.catchupCh:
+			r.runCatchupLoop()
+			n.catchupMu.Lock()
+			delete(n.catchupSet, r.rangeID)
+			n.catchupMu.Unlock()
+		}
+	}
+}
+
+// bumpEpoch atomically increments a range's epoch in the coordination
+// service and returns the new value (App. B: stored in Zookeeper before
+// the new leader accepts writes).
+func (n *Node) bumpEpoch(rangeID uint32) (uint32, error) {
+	for {
+		data, ver, err := n.coordSess.GetVersion(epochPath(rangeID))
+		if err != nil {
+			return 0, err
+		}
+		next := decodeEpoch(data) + 1
+		if _, err := n.coordSess.CompareAndSet(epochPath(rangeID), encodeEpoch(next), ver); err == nil {
+			return next, nil
+		} else if !errors.Is(err, coord.ErrBadVersion) {
+			return 0, err
+		}
+	}
+}
+
+// readLeader returns the current leader of a range per the coordination
+// service, or "".
+func (n *Node) readLeader(rangeID uint32) string {
+	data, err := n.coordSess.Get(leaderPath(rangeID))
+	if err != nil {
+		return ""
+	}
+	return string(data)
+}
+
+func (n *Node) send(to string, m transport.Message) {
+	m.To = to
+	_ = n.ep.Send(m)
+}
+
+func (n *Node) call(to string, m transport.Message) (transport.Message, error) {
+	m.To = to
+	return n.ep.Call(m)
+}
+
+func (n *Node) reply(req transport.Message, m transport.Message) {
+	_ = n.ep.Reply(req, m)
+}
+
+func (n *Node) stopped() bool {
+	select {
+	case <-n.stopCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() string { return n.cfg.ID }
+
+// Ranges returns the ids of the ranges this node replicates.
+func (n *Node) Ranges() []uint32 {
+	out := make([]uint32, 0, len(n.replicas))
+	for r := range n.replicas {
+		out = append(out, r)
+	}
+	return out
+}
+
+// ReplicaStats reports a replica's protocol state (tests and tooling).
+func (n *Node) ReplicaStats(rangeID uint32) (ReplicaStats, bool) {
+	r, ok := n.replicas[rangeID]
+	if !ok {
+		return ReplicaStats{}, false
+	}
+	return r.stats(), true
+}
+
+// LogStats exposes the shared log's append/force counters.
+func (n *Node) LogStats() (appends, forces int64) { return n.log.Stats() }
+
+// Stop shuts the node down gracefully: loops stop, the session closes
+// (deleting its ephemerals), and the log is forced.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() { close(n.stopCh) })
+	n.ep.Close()
+	n.coordSess.Close()
+	n.wg.Wait()
+	_ = n.log.Force()
+}
+
+// Crash simulates a process crash: loops die, the endpoint drops off the
+// network, and the coordination session expires as the service would
+// detect via missed heartbeats. Volatile state (memtables, commit queues)
+// is simply abandoned with the Node object; the unforced log tail is
+// discarded by Stores.Crash, which the simulation harness invokes next.
+func (n *Node) Crash() {
+	n.stopOnce.Do(func() { close(n.stopCh) })
+	n.ep.Close()
+	n.coordSess.Expire()
+	n.wg.Wait()
+}

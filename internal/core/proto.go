@@ -1,0 +1,522 @@
+// Package core implements the Spinnaker node: the paper's primary
+// contribution. It ties the shared write-ahead log, the per-range LSM
+// storage engines, the coordination service, and the messaging layer into
+// the Paxos-derived replication protocol of §5, the recovery procedures of
+// §6, and the leader election protocol of §7.
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"spinnaker/internal/kv"
+	"spinnaker/internal/wal"
+)
+
+// Message kinds exchanged between nodes and clients.
+const (
+	// Client operations (§3). Each executes as a single-operation
+	// transaction.
+	MsgGet uint8 = 1 + iota
+	MsgGetRow
+	MsgWrite // put / delete / conditional put / conditional delete / multi-column
+	// Replication protocol (§5, Figure 4).
+	MsgPropose
+	MsgAck
+	MsgCommit
+	// Recovery (§6).
+	MsgStateReq    // new leader asks follower for its f.cmt (Fig 6 line 4)
+	MsgTakeover    // leader → follower: catch up to l.cmt (Fig 6 lines 5-6)
+	MsgCatchupReq  // recovering follower → leader: advertise f.cmt (§6.1)
+	MsgCatchupResp // leader → follower: committed writes after f.cmt
+)
+
+// Status codes carried in responses.
+const (
+	StatusOK uint8 = iota
+	StatusNotFound
+	StatusNotLeader
+	StatusVersionMismatch
+	StatusUnavailable
+	StatusBadRequest
+)
+
+// StatusError converts a non-OK status into an error.
+func StatusError(status uint8, detail string) error {
+	switch status {
+	case StatusOK:
+		return nil
+	case StatusNotFound:
+		return ErrNotFound
+	case StatusNotLeader:
+		return fmt.Errorf("%w: %s", ErrNotLeader, detail)
+	case StatusVersionMismatch:
+		return ErrVersionMismatch
+	case StatusUnavailable:
+		return fmt.Errorf("%w: %s", ErrUnavailable, detail)
+	default:
+		return fmt.Errorf("core: %s", detail)
+	}
+}
+
+// Errors surfaced through the client API.
+var (
+	// ErrNotFound reports a missing row/column.
+	ErrNotFound = fmt.Errorf("core: not found")
+	// ErrNotLeader reports that the contacted node does not lead the
+	// cohort; the client should re-resolve the leader.
+	ErrNotLeader = fmt.Errorf("core: not the cohort leader")
+	// ErrVersionMismatch is the conditional put/delete failure (§3): the
+	// column's current version differs from the one supplied.
+	ErrVersionMismatch = fmt.Errorf("core: version mismatch")
+	// ErrUnavailable reports a cohort closed for writes (no leader, or
+	// leader takeover in progress).
+	ErrUnavailable = fmt.Errorf("core: cohort unavailable")
+)
+
+// ColWrite is one column mutation within a WriteOp.
+type ColWrite struct {
+	Col    string
+	Value  []byte
+	Delete bool
+	// CondVersion is the version the column must currently have for a
+	// conditional put/delete (checked by the leader, §5.1); ignored
+	// unless Cond is set.
+	Cond        bool
+	CondVersion uint64
+	// Version is assigned by the leader when the write is sequenced and
+	// is therefore identical on every replica.
+	Version uint64
+}
+
+// WriteOp is a single-operation transaction mutating one or more columns of
+// one row (§3: multi-column variants mutate several columns of the same row
+// in one call). It is the payload of both log records and propose messages.
+type WriteOp struct {
+	Row  string
+	Cols []ColWrite
+}
+
+// EncodeWriteOp serializes op, appending to dst.
+func EncodeWriteOp(dst []byte, op WriteOp) []byte {
+	var s [8]byte
+	put16 := func(v int) {
+		binary.LittleEndian.PutUint16(s[:2], uint16(v))
+		dst = append(dst, s[:2]...)
+	}
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(s[:8], v)
+		dst = append(dst, s[:8]...)
+	}
+	put16(len(op.Row))
+	dst = append(dst, op.Row...)
+	put16(len(op.Cols))
+	for _, c := range op.Cols {
+		put16(len(c.Col))
+		dst = append(dst, c.Col...)
+		var flags byte
+		if c.Delete {
+			flags |= 1
+		}
+		if c.Cond {
+			flags |= 2
+		}
+		dst = append(dst, flags)
+		put64(c.CondVersion)
+		put64(c.Version)
+		binary.LittleEndian.PutUint32(s[:4], uint32(len(c.Value)))
+		dst = append(dst, s[:4]...)
+		dst = append(dst, c.Value...)
+	}
+	return dst
+}
+
+// DecodeWriteOp parses a WriteOp, returning it and the bytes consumed.
+func DecodeWriteOp(b []byte) (WriteOp, int, error) {
+	var op WriteOp
+	off := 0
+	need := func(n int) error {
+		if len(b)-off < n {
+			return fmt.Errorf("core: write op truncated at %d", off)
+		}
+		return nil
+	}
+	if err := need(2); err != nil {
+		return op, 0, err
+	}
+	rl := int(binary.LittleEndian.Uint16(b[off:]))
+	off += 2
+	if err := need(rl); err != nil {
+		return op, 0, err
+	}
+	op.Row = string(b[off : off+rl])
+	off += rl
+	if err := need(2); err != nil {
+		return op, 0, err
+	}
+	nCols := int(binary.LittleEndian.Uint16(b[off:]))
+	off += 2
+	for i := 0; i < nCols; i++ {
+		var c ColWrite
+		if err := need(2); err != nil {
+			return op, 0, err
+		}
+		cl := int(binary.LittleEndian.Uint16(b[off:]))
+		off += 2
+		if err := need(cl + 1 + 8 + 8 + 4); err != nil {
+			return op, 0, err
+		}
+		c.Col = string(b[off : off+cl])
+		off += cl
+		flags := b[off]
+		off++
+		c.Delete = flags&1 != 0
+		c.Cond = flags&2 != 0
+		c.CondVersion = binary.LittleEndian.Uint64(b[off:])
+		off += 8
+		c.Version = binary.LittleEndian.Uint64(b[off:])
+		off += 8
+		vl := int(binary.LittleEndian.Uint32(b[off:]))
+		off += 4
+		if err := need(vl); err != nil {
+			return op, 0, err
+		}
+		if vl > 0 {
+			c.Value = append([]byte(nil), b[off:off+vl]...)
+		}
+		off += vl
+		op.Cols = append(op.Cols, c)
+	}
+	return op, off, nil
+}
+
+// Entries converts a sequenced WriteOp into storage entries at lsn.
+func (op WriteOp) Entries(lsn wal.LSN) []kv.Entry {
+	out := make([]kv.Entry, 0, len(op.Cols))
+	for _, c := range op.Cols {
+		out = append(out, kv.Entry{
+			Key: kv.Key{Row: op.Row, Col: c.Col},
+			Cell: kv.Cell{
+				Value:   c.Value,
+				Version: c.Version,
+				LSN:     lsn,
+				Deleted: c.Delete,
+			},
+		})
+	}
+	return out
+}
+
+// proposePayload is the body of MsgPropose: the LSN plus the op. The commit
+// piggyback (App. D.1) rides along: committedThrough tells the follower it
+// may apply everything at or below that LSN.
+type proposePayload struct {
+	LSN              wal.LSN
+	CommittedThrough wal.LSN
+	Op               WriteOp
+}
+
+func encodePropose(p proposePayload) []byte {
+	buf := make([]byte, 16)
+	binary.LittleEndian.PutUint64(buf[0:8], uint64(p.LSN))
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(p.CommittedThrough))
+	return EncodeWriteOp(buf, p.Op)
+}
+
+func decodePropose(b []byte) (proposePayload, error) {
+	var p proposePayload
+	if len(b) < 16 {
+		return p, fmt.Errorf("core: propose truncated")
+	}
+	p.LSN = wal.LSN(binary.LittleEndian.Uint64(b[0:8]))
+	p.CommittedThrough = wal.LSN(binary.LittleEndian.Uint64(b[8:16]))
+	op, _, err := DecodeWriteOp(b[16:])
+	if err != nil {
+		return p, err
+	}
+	p.Op = op
+	return p, nil
+}
+
+func encodeLSN(l wal.LSN) []byte {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(l))
+	return buf[:]
+}
+
+func decodeLSN(b []byte) (wal.LSN, error) {
+	if len(b) < 8 {
+		return 0, fmt.Errorf("core: LSN payload truncated")
+	}
+	return wal.LSN(binary.LittleEndian.Uint64(b)), nil
+}
+
+func encodeLSNs(ls []wal.LSN) []byte {
+	buf := make([]byte, 4+8*len(ls))
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(ls)))
+	for i, l := range ls {
+		binary.LittleEndian.PutUint64(buf[4+8*i:], uint64(l))
+	}
+	return buf
+}
+
+func decodeLSNs(b []byte) ([]wal.LSN, int, error) {
+	if len(b) < 4 {
+		return nil, 0, fmt.Errorf("core: LSN list truncated")
+	}
+	n := int(binary.LittleEndian.Uint32(b[:4]))
+	if len(b) < 4+8*n {
+		return nil, 0, fmt.Errorf("core: LSN list truncated: want %d", n)
+	}
+	out := make([]wal.LSN, n)
+	for i := range out {
+		out[i] = wal.LSN(binary.LittleEndian.Uint64(b[4+8*i:]))
+	}
+	return out, 4 + 8*n, nil
+}
+
+// catchupReq is the recovering follower's advertisement (§6.1): its last
+// committed LSN plus the LSNs of its ambiguous log suffix (f.cmt, f.lst],
+// which the leader intersects with its own log so the follower can
+// logically truncate the rest (§6.1.1).
+type catchupReq struct {
+	Cmt       wal.LSN
+	Ambiguous []wal.LSN
+}
+
+func encodeCatchupReq(r catchupReq) []byte {
+	return append(encodeLSN(r.Cmt), encodeLSNs(r.Ambiguous)...)
+}
+
+func decodeCatchupReq(b []byte) (catchupReq, error) {
+	var r catchupReq
+	var err error
+	if r.Cmt, err = decodeLSN(b); err != nil {
+		return r, err
+	}
+	r.Ambiguous, _, err = decodeLSNs(b[8:])
+	return r, err
+}
+
+// catchupResp carries the committed state the follower is missing. Entries
+// may come from the leader's log or, when the log has rolled over, from
+// SSTables located by their LSN tags (§6.1). Present lists which of the
+// follower's ambiguous LSNs exist in the leader's history; the others are
+// logically truncated.
+type catchupResp struct {
+	Status  uint8
+	Cmt     wal.LSN
+	Present []wal.LSN
+	Entries []kv.Entry
+}
+
+func encodeCatchupResp(r catchupResp) []byte {
+	buf := []byte{r.Status}
+	buf = append(buf, encodeLSN(r.Cmt)...)
+	buf = append(buf, encodeLSNs(r.Present)...)
+	var s [4]byte
+	binary.LittleEndian.PutUint32(s[:], uint32(len(r.Entries)))
+	buf = append(buf, s[:]...)
+	for _, e := range r.Entries {
+		buf = kv.EncodeEntry(buf, e)
+	}
+	return buf
+}
+
+func decodeCatchupResp(b []byte) (catchupResp, error) {
+	var r catchupResp
+	if len(b) < 1+8 {
+		return r, fmt.Errorf("core: catchup resp truncated")
+	}
+	r.Status = b[0]
+	var err error
+	if r.Cmt, err = decodeLSN(b[1:]); err != nil {
+		return r, err
+	}
+	off := 9
+	present, n, err := decodeLSNs(b[off:])
+	if err != nil {
+		return r, err
+	}
+	r.Present = present
+	off += n
+	if len(b)-off < 4 {
+		return r, fmt.Errorf("core: catchup resp entry count truncated")
+	}
+	count := int(binary.LittleEndian.Uint32(b[off:]))
+	off += 4
+	for i := 0; i < count; i++ {
+		e, n, err := kv.DecodeEntry(b[off:])
+		if err != nil {
+			return r, err
+		}
+		r.Entries = append(r.Entries, e)
+		off += n
+	}
+	return r, nil
+}
+
+// writeResult is the reply to MsgWrite: status + the versions assigned to
+// each column (returned so read-modify-write loops can chain).
+type writeResult struct {
+	Status   uint8
+	Detail   string
+	Versions []uint64
+}
+
+func encodeWriteResult(r writeResult) []byte {
+	buf := []byte{r.Status}
+	var s [8]byte
+	binary.LittleEndian.PutUint16(s[:2], uint16(len(r.Detail)))
+	buf = append(buf, s[:2]...)
+	buf = append(buf, r.Detail...)
+	binary.LittleEndian.PutUint16(s[:2], uint16(len(r.Versions)))
+	buf = append(buf, s[:2]...)
+	for _, v := range r.Versions {
+		binary.LittleEndian.PutUint64(s[:8], v)
+		buf = append(buf, s[:8]...)
+	}
+	return buf
+}
+
+func decodeWriteResult(b []byte) (writeResult, error) {
+	var r writeResult
+	if len(b) < 3 {
+		return r, fmt.Errorf("core: write result truncated")
+	}
+	r.Status = b[0]
+	dl := int(binary.LittleEndian.Uint16(b[1:3]))
+	off := 3
+	if len(b) < off+dl+2 {
+		return r, fmt.Errorf("core: write result detail truncated")
+	}
+	r.Detail = string(b[off : off+dl])
+	off += dl
+	nv := int(binary.LittleEndian.Uint16(b[off:]))
+	off += 2
+	if len(b) < off+8*nv {
+		return r, fmt.Errorf("core: write result versions truncated")
+	}
+	for i := 0; i < nv; i++ {
+		r.Versions = append(r.Versions, binary.LittleEndian.Uint64(b[off+8*i:]))
+	}
+	return r, nil
+}
+
+// getReq asks for one column. Consistent selects strong consistency (route
+// to leader, latest value) vs timeline (any replica, possibly stale) — §3.
+type getReq struct {
+	Row, Col   string
+	Consistent bool
+}
+
+func encodeGetReq(r getReq) []byte {
+	var s [2]byte
+	buf := []byte{}
+	if r.Consistent {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	binary.LittleEndian.PutUint16(s[:], uint16(len(r.Row)))
+	buf = append(buf, s[:]...)
+	buf = append(buf, r.Row...)
+	binary.LittleEndian.PutUint16(s[:], uint16(len(r.Col)))
+	buf = append(buf, s[:]...)
+	buf = append(buf, r.Col...)
+	return buf
+}
+
+func decodeGetReq(b []byte) (getReq, error) {
+	var r getReq
+	if len(b) < 3 {
+		return r, fmt.Errorf("core: get req truncated")
+	}
+	r.Consistent = b[0] == 1
+	off := 1
+	rl := int(binary.LittleEndian.Uint16(b[off:]))
+	off += 2
+	if len(b) < off+rl+2 {
+		return r, fmt.Errorf("core: get req row truncated")
+	}
+	r.Row = string(b[off : off+rl])
+	off += rl
+	cl := int(binary.LittleEndian.Uint16(b[off:]))
+	off += 2
+	if len(b) < off+cl {
+		return r, fmt.Errorf("core: get req col truncated")
+	}
+	r.Col = string(b[off : off+cl])
+	return r, nil
+}
+
+// getResp returns a column value and its version (§3: versions are exposed
+// through the get API for use in conditional writes).
+type getResp struct {
+	Status  uint8
+	Value   []byte
+	Version uint64
+}
+
+func encodeGetResp(r getResp) []byte {
+	buf := []byte{r.Status}
+	var s [8]byte
+	binary.LittleEndian.PutUint64(s[:], r.Version)
+	buf = append(buf, s[:]...)
+	binary.LittleEndian.PutUint32(s[:4], uint32(len(r.Value)))
+	buf = append(buf, s[:4]...)
+	return append(buf, r.Value...)
+}
+
+func decodeGetResp(b []byte) (getResp, error) {
+	var r getResp
+	if len(b) < 13 {
+		return r, fmt.Errorf("core: get resp truncated")
+	}
+	r.Status = b[0]
+	r.Version = binary.LittleEndian.Uint64(b[1:9])
+	n := int(binary.LittleEndian.Uint32(b[9:13]))
+	if len(b) < 13+n {
+		return r, fmt.Errorf("core: get resp value truncated")
+	}
+	if n > 0 {
+		r.Value = append([]byte(nil), b[13:13+n]...)
+	}
+	return r, nil
+}
+
+// rowResp returns all live columns of a row.
+type rowResp struct {
+	Status  uint8
+	Entries []kv.Entry
+}
+
+func encodeRowResp(r rowResp) []byte {
+	buf := []byte{r.Status}
+	var s [4]byte
+	binary.LittleEndian.PutUint32(s[:], uint32(len(r.Entries)))
+	buf = append(buf, s[:]...)
+	for _, e := range r.Entries {
+		buf = kv.EncodeEntry(buf, e)
+	}
+	return buf
+}
+
+func decodeRowResp(b []byte) (rowResp, error) {
+	var r rowResp
+	if len(b) < 5 {
+		return r, fmt.Errorf("core: row resp truncated")
+	}
+	r.Status = b[0]
+	count := int(binary.LittleEndian.Uint32(b[1:5]))
+	off := 5
+	for i := 0; i < count; i++ {
+		e, n, err := kv.DecodeEntry(b[off:])
+		if err != nil {
+			return r, err
+		}
+		r.Entries = append(r.Entries, e)
+		off += n
+	}
+	return r, nil
+}

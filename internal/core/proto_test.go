@@ -1,0 +1,209 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"spinnaker/internal/kv"
+	"spinnaker/internal/wal"
+)
+
+func TestWriteOpRoundTrip(t *testing.T) {
+	op := WriteOp{
+		Row: "user:42",
+		Cols: []ColWrite{
+			{Col: "email", Value: []byte("x@example.com"), Version: 7},
+			{Col: "old", Delete: true, Cond: true, CondVersion: 3, Version: 8},
+		},
+	}
+	got, n, err := DecodeWriteOp(EncodeWriteOp(nil, op))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || got.Row != op.Row || len(got.Cols) != 2 {
+		t.Fatalf("decoded %+v", got)
+	}
+	c0, c1 := got.Cols[0], got.Cols[1]
+	if c0.Col != "email" || !bytes.Equal(c0.Value, op.Cols[0].Value) || c0.Version != 7 || c0.Cond || c0.Delete {
+		t.Errorf("col 0 = %+v", c0)
+	}
+	if c1.Col != "old" || !c1.Delete || !c1.Cond || c1.CondVersion != 3 || c1.Version != 8 {
+		t.Errorf("col 1 = %+v", c1)
+	}
+}
+
+func TestWriteOpTruncation(t *testing.T) {
+	op := WriteOp{Row: "r", Cols: []ColWrite{{Col: "c", Value: []byte("v")}}}
+	buf := EncodeWriteOp(nil, op)
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := DecodeWriteOp(buf[:cut]); err == nil {
+			t.Fatalf("cut %d decoded", cut)
+		}
+	}
+}
+
+func TestWriteOpProperty(t *testing.T) {
+	f := func(row, col string, value []byte, del, cond bool, cv, v uint64) bool {
+		if len(row) > 1<<15 || len(col) > 1<<15 {
+			return true
+		}
+		op := WriteOp{Row: row, Cols: []ColWrite{{
+			Col: col, Value: value, Delete: del, Cond: cond, CondVersion: cv, Version: v,
+		}}}
+		got, _, err := DecodeWriteOp(EncodeWriteOp(nil, op))
+		if err != nil || got.Row != row || len(got.Cols) != 1 {
+			return false
+		}
+		c := got.Cols[0]
+		return c.Col == col && bytes.Equal(c.Value, value) && c.Delete == del &&
+			c.Cond == cond && c.CondVersion == cv && c.Version == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteOpEntries(t *testing.T) {
+	op := WriteOp{Row: "r", Cols: []ColWrite{
+		{Col: "a", Value: []byte("1"), Version: 9},
+		{Col: "b", Delete: true, Version: 9},
+	}}
+	lsn := wal.MakeLSN(2, 5)
+	entries := op.Entries(lsn)
+	if len(entries) != 2 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	if entries[0].Key != (kv.Key{Row: "r", Col: "a"}) || entries[0].Cell.LSN != lsn {
+		t.Errorf("entry 0 = %+v", entries[0])
+	}
+	if !entries[1].Cell.Deleted {
+		t.Error("tombstone lost")
+	}
+}
+
+func TestProposeRoundTrip(t *testing.T) {
+	p := proposePayload{
+		LSN:              wal.MakeLSN(3, 14),
+		CommittedThrough: wal.MakeLSN(3, 10),
+		Op:               WriteOp{Row: "r", Cols: []ColWrite{{Col: "c", Value: []byte("v")}}},
+	}
+	got, err := decodePropose(encodePropose(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LSN != p.LSN || got.CommittedThrough != p.CommittedThrough || got.Op.Row != "r" {
+		t.Errorf("decoded %+v", got)
+	}
+	if _, err := decodePropose([]byte{1, 2, 3}); err == nil {
+		t.Error("short propose decoded")
+	}
+}
+
+func TestCatchupCodecs(t *testing.T) {
+	req := catchupReq{
+		Cmt:       wal.MakeLSN(1, 10),
+		Ambiguous: []wal.LSN{wal.MakeLSN(1, 11), wal.MakeLSN(1, 22)},
+	}
+	gotReq, err := decodeCatchupReq(encodeCatchupReq(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotReq.Cmt != req.Cmt || len(gotReq.Ambiguous) != 2 || gotReq.Ambiguous[1] != wal.MakeLSN(1, 22) {
+		t.Fatalf("req = %+v", gotReq)
+	}
+
+	resp := catchupResp{
+		Status:  StatusOK,
+		Cmt:     wal.MakeLSN(2, 30),
+		Present: []wal.LSN{wal.MakeLSN(1, 11)},
+		Entries: []kv.Entry{
+			{Key: kv.Key{Row: "r", Col: "c"},
+				Cell: kv.Cell{Value: []byte("v"), Version: 5, LSN: wal.MakeLSN(1, 11)}},
+		},
+	}
+	gotResp, err := decodeCatchupResp(encodeCatchupResp(resp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotResp.Cmt != resp.Cmt || len(gotResp.Present) != 1 || len(gotResp.Entries) != 1 {
+		t.Fatalf("resp = %+v", gotResp)
+	}
+	if string(gotResp.Entries[0].Cell.Value) != "v" {
+		t.Errorf("entry value = %q", gotResp.Entries[0].Cell.Value)
+	}
+}
+
+func TestResultCodecs(t *testing.T) {
+	wr := writeResult{Status: StatusVersionMismatch, Detail: "column c at 5", Versions: []uint64{1, 2}}
+	gotWR, err := decodeWriteResult(encodeWriteResult(wr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotWR.Status != wr.Status || gotWR.Detail != wr.Detail || len(gotWR.Versions) != 2 {
+		t.Fatalf("writeResult = %+v", gotWR)
+	}
+
+	gr := getResp{Status: StatusOK, Value: []byte("value"), Version: 42}
+	gotGR, err := decodeGetResp(encodeGetResp(gr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotGR.Version != 42 || string(gotGR.Value) != "value" {
+		t.Fatalf("getResp = %+v", gotGR)
+	}
+
+	req := getReq{Row: "row", Col: "col", Consistent: true}
+	gotReq, err := decodeGetReq(encodeGetReq(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotReq != req {
+		t.Fatalf("getReq = %+v", gotReq)
+	}
+
+	rr := rowResp{Status: StatusOK, Entries: []kv.Entry{
+		{Key: kv.Key{Row: "r", Col: "a"}, Cell: kv.Cell{Value: []byte("1")}},
+		{Key: kv.Key{Row: "r", Col: "b"}, Cell: kv.Cell{Value: []byte("2")}},
+	}}
+	gotRR, err := decodeRowResp(encodeRowResp(rr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotRR.Entries) != 2 || gotRR.Entries[1].Key.Col != "b" {
+		t.Fatalf("rowResp = %+v", gotRR)
+	}
+}
+
+func TestStatusError(t *testing.T) {
+	if StatusError(StatusOK, "") != nil {
+		t.Error("OK produced an error")
+	}
+	if !errors.Is(StatusError(StatusNotFound, ""), ErrNotFound) {
+		t.Error("NotFound mapping")
+	}
+	if !errors.Is(StatusError(StatusNotLeader, "n2"), ErrNotLeader) {
+		t.Error("NotLeader mapping")
+	}
+	if !errors.Is(StatusError(StatusVersionMismatch, ""), ErrVersionMismatch) {
+		t.Error("VersionMismatch mapping")
+	}
+	if !errors.Is(StatusError(StatusUnavailable, "x"), ErrUnavailable) {
+		t.Error("Unavailable mapping")
+	}
+	if StatusError(StatusBadRequest, "bad") == nil {
+		t.Error("BadRequest produced nil")
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	for role, want := range map[Role]string{
+		RoleRecovering: "recovering", RoleFollower: "follower",
+		RoleCandidate: "candidate", RoleLeader: "leader", Role(9): "Role(9)",
+	} {
+		if got := role.String(); got != want {
+			t.Errorf("%d.String() = %q want %q", role, got, want)
+		}
+	}
+}

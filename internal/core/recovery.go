@@ -1,0 +1,358 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"spinnaker/internal/transport"
+	"spinnaker/internal/wal"
+)
+
+// localRecover rebuilds the replica's volatile state from its share of the
+// node's log (paper §6.1, local recovery phase). recs is the cohort's slice
+// of the shared log scan, in append order (the 3 cohorts of a node are
+// recovered in parallel from one shared scan, §6).
+//
+// Records from the most recent checkpoint through f.cmt are re-applied
+// idempotently to the memtable. Records after f.cmt are ambiguous — they
+// may or may not have been committed by the leader — and are parked in the
+// commit queue for the catch-up phase to resolve. LSNs on the skipped-LSN
+// list (logically truncated, §6.1.1) are never re-applied.
+func (r *replica) localRecover(recs []wal.Record) error {
+	skipped, err := wal.LoadSkippedLSNs(r.n.meta, r.rangeID)
+	if err != nil {
+		return fmt.Errorf("core: load skipped LSNs: %w", err)
+	}
+
+	var cmt, lst wal.LSN
+	writes := make(map[wal.LSN]WriteOp)
+	for _, rec := range recs {
+		switch rec.Type {
+		case wal.RecWrite:
+			if skipped.Contains(rec.LSN) {
+				continue
+			}
+			op, _, err := DecodeWriteOp(rec.Payload)
+			if err != nil {
+				return fmt.Errorf("core: corrupt write at %s: %w", rec.LSN, err)
+			}
+			writes[rec.LSN] = op
+			if rec.LSN > lst {
+				lst = rec.LSN
+			}
+		case wal.RecLastCommitted:
+			if rec.LSN > cmt {
+				cmt = rec.LSN
+			}
+		}
+	}
+	if cmt > lst {
+		// A commit marker can reference writes served entirely from
+		// catch-up entries that were themselves logged; treat the
+		// marker as authoritative for f.cmt but never above what we
+		// can prove.
+		lst = cmt
+	}
+
+	// Re-apply committed writes above the storage checkpoint.
+	checkpoint := r.engine.Checkpoint()
+	lsns := make([]wal.LSN, 0, len(writes))
+	for l := range writes {
+		lsns = append(lsns, l)
+	}
+	sort.Slice(lsns, func(i, j int) bool { return lsns[i] < lsns[j] })
+	for _, l := range lsns {
+		if l <= checkpoint {
+			continue
+		}
+		if l <= cmt {
+			for _, e := range writes[l].Entries(l) {
+				r.engine.Apply(e)
+			}
+			continue
+		}
+		// Ambiguous suffix (f.cmt, f.lst]: pending until catch-up.
+		r.queue.add(&pendingWrite{lsn: l, op: writes[l], selfForced: true})
+	}
+
+	r.mu.Lock()
+	r.skipped = skipped
+	r.lastCommitted = cmt
+	r.lastLSN = lst
+	if e := lst.Epoch(); e > r.epoch {
+		r.epoch = e
+	}
+	r.nextSeq = lst.Seq() + 1
+	r.role = RoleRecovering
+	r.mu.Unlock()
+	return nil
+}
+
+// ambiguousLSNs returns the replica's pending LSNs in (f.cmt, f.lst] —
+// the writes whose fate the catch-up phase must resolve.
+func (r *replica) ambiguousLSNs() []wal.LSN {
+	r.mu.Lock()
+	cmt := r.lastCommitted
+	r.mu.Unlock()
+	var out []wal.LSN
+	r.queue.mu.Lock()
+	for _, l := range r.queue.order {
+		if l > cmt {
+			out = append(out, l)
+		}
+	}
+	r.queue.mu.Unlock()
+	return out
+}
+
+// catchUp runs the follower's catch-up phase (§6.1): advertise f.cmt to the
+// leader, receive every committed write after it, resolve the ambiguous
+// suffix by logical truncation, and leave the replica a current follower.
+func (r *replica) catchUp(leader string) error {
+	r.mu.Lock()
+	req := catchupReq{Cmt: r.lastCommitted}
+	r.mu.Unlock()
+	req.Ambiguous = r.ambiguousLSNs()
+
+	resp, err := r.n.call(leader, transport.Message{
+		Kind: MsgCatchupReq, Cohort: r.rangeID, Payload: encodeCatchupReq(req),
+	})
+	if err != nil {
+		return fmt.Errorf("core: catch-up call: %w", err)
+	}
+	cr, err := decodeCatchupResp(resp.Payload)
+	if err != nil {
+		return err
+	}
+	if cr.Status == StatusNotLeader {
+		return fmt.Errorf("%w: %s no longer leads range %d", ErrNotLeader, leader, r.rangeID)
+	}
+	if cr.Status != StatusOK {
+		return fmt.Errorf("core: catch-up refused: status %d", cr.Status)
+	}
+	return r.absorbCatchup(cr, req.Ambiguous)
+}
+
+// absorbCatchup applies a catch-up (or takeover) response: logically
+// truncate dead-branch LSNs, durably log the received committed writes,
+// apply them, and advance f.cmt.
+func (r *replica) absorbCatchup(cr catchupResp, ambiguous []wal.LSN) error {
+	present := make(map[wal.LSN]bool, len(cr.Present))
+	for _, l := range cr.Present {
+		present[l] = true
+	}
+
+	r.mu.Lock()
+	// Logical truncation (§6.1.1): ambiguous LSNs absent from the
+	// leader's history were discarded by a leader change and must never
+	// be re-applied by future local recoveries.
+	truncated := false
+	for _, l := range ambiguous {
+		if !present[l] {
+			r.skipped.Add(l)
+			r.queue.remove(l)
+			truncated = true
+		}
+	}
+	if truncated {
+		if err := wal.SaveSkippedLSNs(r.n.meta, r.rangeID, r.skipped); err != nil {
+			r.mu.Unlock()
+			return fmt.Errorf("core: persist skipped LSNs: %w", err)
+		}
+	}
+
+	// Durably log the received committed state so a crash right after
+	// catch-up does not lose it, then apply.
+	var end int64
+	for _, e := range cr.Entries {
+		op := WriteOp{Row: e.Key.Row, Cols: []ColWrite{{
+			Col: e.Key.Col, Value: e.Cell.Value,
+			Delete: e.Cell.Deleted, Version: e.Cell.Version,
+		}}}
+		var err error
+		end, err = r.n.log.Append(wal.Record{
+			Cohort: r.rangeID, Type: wal.RecWrite, LSN: e.Cell.LSN,
+			Payload: EncodeWriteOp(nil, op),
+		})
+		if err != nil {
+			r.mu.Unlock()
+			return fmt.Errorf("core: log catch-up entry: %w", err)
+		}
+		if e.Cell.LSN > r.lastLSN {
+			r.lastLSN = e.Cell.LSN
+		}
+	}
+	r.mu.Unlock()
+	if end > 0 {
+		if err := r.n.log.ForceTo(end); err != nil {
+			return fmt.Errorf("core: force catch-up entries: %w", err)
+		}
+	}
+	for _, e := range cr.Entries {
+		r.engine.Apply(e)
+	}
+	r.applyCommitted(cr.Cmt, true)
+	r.mu.Lock()
+	if cr.Cmt > r.lastLSN {
+		r.lastLSN = cr.Cmt
+	}
+	if e := r.lastLSN.Epoch(); e > r.epoch {
+		r.epoch = e
+	}
+	r.nextSeq = r.lastLSN.Seq() + 1
+	r.mu.Unlock()
+	return nil
+}
+
+// onCatchupReq is the leader's side of catch-up (§6.1): send every
+// committed write after the follower's f.cmt, plus the subset of the
+// follower's ambiguous LSNs that exist in our history. New writes are
+// blocked momentarily (we hold r.mu) so the follower is fully caught up as
+// of the response (§6.1: "the leader momentarily blocks new writes to
+// ensure that the follower is fully caught up").
+//
+// If part of (f.cmt, l.cmt] has been truncated from our log, the entries
+// are served from the storage engine, whose SSTables are tagged with
+// min/max LSNs — the SSTable-based catch-up of §6.1.
+func (r *replica) onCatchupReq(m transport.Message) {
+	req, err := decodeCatchupReq(m.Payload)
+	if err != nil {
+		return
+	}
+	r.mu.Lock()
+	if r.role != RoleLeader {
+		r.mu.Unlock()
+		r.n.reply(m, transport.Message{Cohort: r.rangeID,
+			Payload: encodeCatchupResp(catchupResp{Status: StatusNotLeader})})
+		return
+	}
+	resp := catchupResp{
+		Status:  StatusOK,
+		Cmt:     r.lastCommitted,
+		Present: r.presentLSNsLocked(req.Ambiguous),
+		Entries: r.engine.EntriesSince(req.Cmt),
+	}
+	r.mu.Unlock()
+	r.n.reply(m, transport.Message{Cohort: r.rangeID, Payload: encodeCatchupResp(resp)})
+}
+
+// presentLSNsLocked returns the subset of the asked LSNs that appear in our
+// durable history (log or pending queue); callers hold r.mu.
+func (r *replica) presentLSNsLocked(asked []wal.LSN) []wal.LSN {
+	if len(asked) == 0 {
+		return nil
+	}
+	want := make(map[wal.LSN]bool, len(asked))
+	for _, l := range asked {
+		want[l] = true
+	}
+	present := make(map[wal.LSN]bool)
+	// The log is authoritative; the scan is bounded by log size, and
+	// catch-up is off the critical path.
+	_ = r.n.log.ScanCohort(r.rangeID, func(rec wal.Record) error {
+		if rec.Type == wal.RecWrite && want[rec.LSN] && !r.skipped.Contains(rec.LSN) {
+			present[rec.LSN] = true
+		}
+		return nil
+	})
+	out := make([]wal.LSN, 0, len(present))
+	for _, l := range asked {
+		if present[l] {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// onTakeover is the follower's side of leader takeover (Fig 6 lines 5-6):
+// the new leader catches us up to its l.cmt and sends a commit message.
+// The payload reuses the catch-up response format; Present covers our whole
+// ambiguous range so dead branches are truncated immediately.
+func (r *replica) onTakeover(m transport.Message) {
+	cr, err := decodeCatchupResp(m.Payload)
+	if err != nil {
+		return
+	}
+	r.mu.Lock()
+	if r.role == RoleLeader {
+		// We believed we led; a takeover from a higher epoch demotes us.
+		r.demoteLocked(m.From)
+	}
+	r.leaderID = m.From
+	if r.role == RoleRecovering {
+		r.role = RoleFollower
+	}
+	r.mu.Unlock()
+
+	ambiguous := r.ambiguousLSNs()
+	if err := r.absorbCatchup(cr, ambiguous); err != nil {
+		return
+	}
+	r.mu.Lock()
+	cmt := r.lastCommitted
+	r.mu.Unlock()
+	r.n.reply(m, transport.Message{Cohort: r.rangeID, Payload: encodeLSN(cmt)})
+}
+
+// demoteLocked turns a (stale) leader back into a follower, failing any
+// writes still waiting for quorum; callers hold r.mu.
+func (r *replica) demoteLocked(newLeader string) {
+	r.role = RoleFollower
+	r.open = false
+	r.leaderID = newLeader
+	// Pending writes keep their places in the queue — they are in our
+	// durable log and may yet be committed by the new leader's
+	// re-proposals. Their waiting clients, however, must not hang.
+	for _, lsn := range r.queue.snapshotOrder() {
+		if p, ok := r.queue.get(lsn); ok {
+			p.finish(writeOutcome{status: StatusUnavailable, detail: "leadership lost"})
+		}
+	}
+}
+
+// runCatchupLoop retries catch-up until it succeeds; used when a follower
+// detects it is behind (gap in proposes, commit message beyond its log, or
+// restart with an existing leader).
+func (r *replica) runCatchupLoop() {
+	for attempt := 0; ; attempt++ {
+		if r.n.stopped() {
+			return
+		}
+		r.mu.Lock()
+		leader := r.leaderID
+		role := r.role
+		r.mu.Unlock()
+		if role == RoleLeader {
+			return
+		}
+		if leader == "" || leader == r.n.cfg.ID {
+			leader = r.n.readLeader(r.rangeID)
+			if leader == "" || leader == r.n.cfg.ID {
+				return // no leader: the election loop owns recovery now
+			}
+			r.mu.Lock()
+			r.leaderID = leader
+			r.mu.Unlock()
+		}
+		err := r.catchUp(leader)
+		if err == nil {
+			r.mu.Lock()
+			if r.role == RoleRecovering {
+				r.role = RoleFollower
+			}
+			r.mu.Unlock()
+			return
+		}
+		if errors.Is(err, ErrNotLeader) {
+			r.mu.Lock()
+			r.leaderID = ""
+			r.mu.Unlock()
+		}
+		if attempt > 50 {
+			return
+		}
+		time.Sleep(r.n.cfg.RetryInterval)
+	}
+}

@@ -1,0 +1,488 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"spinnaker/internal/kv"
+	"spinnaker/internal/storage"
+	"spinnaker/internal/transport"
+	"spinnaker/internal/wal"
+)
+
+// Role is a replica's position within its cohort.
+type Role int32
+
+// Replica roles. A node is recovering until local recovery and catch-up
+// complete, then either follows the cohort leader or (after winning an
+// election and finishing takeover) leads.
+const (
+	RoleRecovering Role = iota
+	RoleFollower
+	RoleCandidate
+	RoleLeader
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleRecovering:
+		return "recovering"
+	case RoleFollower:
+		return "follower"
+	case RoleCandidate:
+		return "candidate"
+	case RoleLeader:
+		return "leader"
+	default:
+		return fmt.Sprintf("Role(%d)", int32(r))
+	}
+}
+
+// replica is one node's participation in one cohort (key range). A node in
+// a 3-way replicated cluster runs 3 replicas over a shared log (§4.1).
+type replica struct {
+	n       *Node
+	rangeID uint32
+	peers   []string // the other cohort members
+	quorum  int      // majority of the cohort, counting ourselves
+
+	mu            sync.Mutex
+	role          Role
+	open          bool // leader only: cohort open for writes (Fig 6 line 10)
+	epoch         uint32
+	nextSeq       uint64
+	lastLSN       wal.LSN // f.lst / l.lst
+	lastCommitted wal.LSN // f.cmt / l.cmt
+	leaderID      string
+	skipped       *wal.SkippedLSNs
+
+	// gapped is set when a propose arrives with a sequence gap (lost
+	// messages); until catch-up repairs the gap, commit messages must
+	// not advance lastCommitted past state we might not hold.
+	gapped bool
+
+	queue  *commitQueue
+	engine *storage.Engine
+
+	// election bookkeeping
+	electionNudge chan struct{}
+}
+
+func (r *replica) loggerPrefix() string {
+	return fmt.Sprintf("%s/r%d", r.n.cfg.ID, r.rangeID)
+}
+
+// snapshotState returns the replica's LSN state under lock.
+func (r *replica) snapshotState() (role Role, cmt, lst wal.LSN, leader string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.role, r.lastCommitted, r.lastLSN, r.leaderID
+}
+
+// --- Write path (paper §5, Figure 4) ---------------------------------------
+
+// submitWrite runs the leader's side of the replication protocol for one
+// client write and blocks until the write commits (or fails). The flow is
+// Figure 4: force a log record for W; in parallel append W to the commit
+// queue and send propose messages; after the local force and at least one
+// ack, apply W to the memtable and return to the client.
+func (r *replica) submitWrite(op WriteOp) writeOutcome {
+	r.mu.Lock()
+	if r.role != RoleLeader || !r.open {
+		leader := r.leaderID
+		r.mu.Unlock()
+		if leader != "" && leader != r.n.cfg.ID {
+			return writeOutcome{status: StatusNotLeader, detail: leader}
+		}
+		return writeOutcome{status: StatusUnavailable, detail: "no leader for range"}
+	}
+
+	// Conditional checks run before sequencing (§5.1), against the
+	// effective state: the newest pending write for the column if one is
+	// queued (writes execute in LSN order), else the committed cell.
+	for _, c := range op.Cols {
+		if !c.Cond {
+			continue
+		}
+		cur := r.effectiveVersionLocked(kv.Key{Row: op.Row, Col: c.Col})
+		if cur != c.CondVersion {
+			r.mu.Unlock()
+			return writeOutcome{status: StatusVersionMismatch,
+				detail: fmt.Sprintf("column %s at version %d, want %d", c.Col, cur, c.CondVersion)}
+		}
+	}
+
+	lsn := wal.MakeLSN(r.epoch, r.nextSeq)
+	r.nextSeq++
+	versions := make([]uint64, len(op.Cols))
+	for i := range op.Cols {
+		op.Cols[i].Version = uint64(lsn)
+		versions[i] = uint64(lsn)
+	}
+	p := &pendingWrite{lsn: lsn, op: op, done: make(chan writeOutcome, 1)}
+	r.queue.add(p)
+	rec := wal.Record{Cohort: r.rangeID, Type: wal.RecWrite, LSN: lsn,
+		Payload: EncodeWriteOp(nil, op)}
+	// Appending under the lock keeps the cohort's records in LSN order in
+	// the shared log; the force (the slow part) happens outside.
+	end, err := r.n.log.Append(rec)
+	if err != nil {
+		r.queue.remove(lsn)
+		r.mu.Unlock()
+		return writeOutcome{status: StatusUnavailable, detail: err.Error()}
+	}
+	r.lastLSN = lsn
+	committedThrough := wal.LSN(0)
+	if r.n.cfg.PiggybackCommits {
+		committedThrough = r.lastCommitted
+	}
+	// Propose to the followers in parallel with the local log force
+	// (Fig 4); the SequentialPropose ablation forces first, then sends.
+	// Sends happen under r.mu (they only enqueue on the in-order links)
+	// so proposes leave in LSN order and followers never see spurious
+	// sequence gaps.
+	payload := encodePropose(proposePayload{LSN: lsn, CommittedThrough: committedThrough, Op: op})
+	r.queue.touchPropose(lsn)
+	propose := func() {
+		for _, peer := range r.peers {
+			r.n.send(peer, transport.Message{Kind: MsgPropose, Cohort: r.rangeID, Payload: payload})
+		}
+	}
+	if !r.n.cfg.SequentialPropose {
+		propose()
+	}
+	r.mu.Unlock()
+
+	if err := r.n.log.ForceTo(end); err != nil {
+		return writeOutcome{status: StatusUnavailable, detail: err.Error()}
+	}
+	if r.n.cfg.SequentialPropose {
+		propose()
+	}
+	r.queue.markForced(lsn)
+	r.tryCommit()
+
+	select {
+	case out := <-p.done:
+		out.versions = versions
+		return out
+	case <-time.After(r.n.cfg.WriteTimeout):
+		return writeOutcome{status: StatusUnavailable, detail: "write timed out awaiting quorum"}
+	}
+}
+
+// effectiveVersionLocked returns the version a read-your-own-sequenced-
+// writes observer would see for key; callers hold r.mu.
+func (r *replica) effectiveVersionLocked(key kv.Key) uint64 {
+	if p, ok := r.queue.latestPending(key); ok {
+		for _, c := range p.op.Cols {
+			if c.Col == key.Col {
+				return c.Version
+			}
+		}
+	}
+	if cell, ok := r.engine.Get(key); ok {
+		return cell.Version
+	}
+	return 0
+}
+
+// tryCommit commits the maximal committable prefix of the queue: each write
+// is applied to the memtable and its waiting client released (Fig 4:
+// "after log force and at least 1 ack: apply W to memtable; return to
+// client"). Safe to call from any goroutine.
+//
+// The pop and the memtable applies happen under r.mu so that version
+// checks (which consult the pending queue and then the engine) never
+// observe a write in neither place.
+func (r *replica) tryCommit() {
+	r.mu.Lock()
+	committed := r.queue.popCommittable(r.quorum)
+	if len(committed) == 0 {
+		r.mu.Unlock()
+		return
+	}
+	for _, p := range committed {
+		for _, e := range p.op.Entries(p.lsn) {
+			r.engine.Apply(e)
+		}
+		if p.lsn > r.lastCommitted {
+			r.lastCommitted = p.lsn
+		}
+	}
+	r.mu.Unlock()
+	for _, p := range committed {
+		p.finish(writeOutcome{status: StatusOK})
+	}
+}
+
+// --- Follower message handlers ----------------------------------------------
+
+// onPropose handles a propose message (Fig 4, follower column): force a log
+// record for W, append W to the commit queue, send an ack. The force and
+// ack run off the link goroutine so concurrent proposes across cohorts
+// share group-commit forces.
+func (r *replica) onPropose(m transport.Message) {
+	p, err := decodePropose(m.Payload)
+	if err != nil {
+		return
+	}
+	r.mu.Lock()
+	if r.role == RoleRecovering {
+		r.mu.Unlock()
+		return // catch-up will deliver this write's effect
+	}
+	if m.From != r.leaderID && r.leaderID != "" {
+		// A propose from a node we do not believe leads the cohort.
+		// Accept only if it carries a higher epoch (we are behind on
+		// leadership news; the election loop will refresh leaderID).
+		if p.LSN.Epoch() < r.epoch {
+			r.mu.Unlock()
+			return
+		}
+	}
+	if p.LSN.Epoch() > r.epoch {
+		r.epoch = p.LSN.Epoch()
+	}
+
+	switch {
+	case p.LSN <= r.lastCommitted:
+		// Already committed here (a re-proposal after leader change,
+		// Fig 6 line 5: "these can be detected and ignored").
+		r.mu.Unlock()
+		r.n.send(m.From, transport.Message{Kind: MsgAck, Cohort: r.rangeID, Payload: encodeLSN(p.LSN)})
+	case r.queue.has(p.LSN):
+		// Already logged and pending; ensure durability, then ack.
+		r.mu.Unlock()
+		go func() {
+			if err := r.n.log.Force(); err != nil {
+				return
+			}
+			r.n.send(m.From, transport.Message{Kind: MsgAck, Cohort: r.rangeID, Payload: encodeLSN(p.LSN)})
+		}()
+	default:
+		gap := !r.lastLSN.IsZero() && p.LSN.Seq() > r.lastLSN.Seq()+1
+		if gap {
+			r.gapped = true
+		}
+		rec := wal.Record{Cohort: r.rangeID, Type: wal.RecWrite, LSN: p.LSN,
+			Payload: EncodeWriteOp(nil, p.Op)}
+		end, err := r.n.log.Append(rec)
+		if err != nil {
+			r.mu.Unlock()
+			return
+		}
+		if p.LSN > r.lastLSN {
+			r.lastLSN = p.LSN
+		}
+		r.queue.add(&pendingWrite{lsn: p.LSN, op: p.Op})
+		r.mu.Unlock()
+
+		go func() {
+			if err := r.n.log.ForceTo(end); err != nil {
+				return
+			}
+			r.queue.markForced(p.LSN)
+			r.n.send(m.From, transport.Message{Kind: MsgAck, Cohort: r.rangeID, Payload: encodeLSN(p.LSN)})
+			if p.CommittedThrough > 0 {
+				r.applyCommitted(p.CommittedThrough, false)
+			}
+		}()
+		if gap {
+			// We missed proposes (e.g. across a healed partition);
+			// ask the leader for the committed writes in between.
+			r.n.nudgeCatchup(r)
+		}
+		return
+	}
+	if p.CommittedThrough > 0 {
+		r.applyCommitted(p.CommittedThrough, false)
+	}
+}
+
+// onAck counts a follower's ack (leader side) and commits what it can.
+func (r *replica) onAck(m transport.Message) {
+	lsn, err := decodeLSN(m.Payload)
+	if err != nil {
+		return
+	}
+	r.queue.markAck(lsn)
+	r.tryCommit()
+}
+
+// onCommitMsg handles the leader's periodic asynchronous commit message
+// (§5): apply all pending writes up to the LSN to the memtable and record
+// the last committed LSN with a non-forced log write.
+func (r *replica) onCommitMsg(m transport.Message) {
+	lsn, err := decodeLSN(m.Payload)
+	if err != nil {
+		return
+	}
+	r.applyCommitted(lsn, false)
+}
+
+// applyCommitted advances the follower's committed state through lsn.
+//
+// A commit LSN from the steady-state protocol (viaCatchup=false) may only
+// advance past writes this replica actually holds: a recovering replica, or
+// one that detected a sequence gap, must not mark state committed that only
+// the catch-up phase can deliver — otherwise its later catch-up request
+// would advertise an f.cmt above its real state and the leader would skip
+// the missing writes. Catch-up responses (viaCatchup=true) carry the state
+// itself, so they advance unconditionally.
+func (r *replica) applyCommitted(lsn wal.LSN, viaCatchup bool) {
+	r.mu.Lock()
+	if lsn <= r.lastCommitted {
+		r.mu.Unlock()
+		return
+	}
+	behind := false
+	if !viaCatchup {
+		if r.role == RoleRecovering || r.gapped {
+			r.mu.Unlock()
+			r.n.nudgeCatchup(r)
+			return
+		}
+		if lsn > r.lastLSN {
+			behind = true
+			lsn = r.lastLSN // commit only what we provably hold
+		}
+		if lsn <= r.lastCommitted {
+			r.mu.Unlock()
+			r.n.nudgeCatchup(r)
+			return
+		}
+	}
+	popped := r.queue.popThrough(lsn)
+	for _, p := range popped {
+		for _, e := range p.op.Entries(p.lsn) {
+			r.engine.Apply(e)
+		}
+	}
+	r.lastCommitted = lsn
+	if viaCatchup {
+		r.gapped = false
+	}
+	r.mu.Unlock()
+
+	// Non-forced log write of the last committed LSN (§5).
+	_, _ = r.n.log.Append(wal.Record{
+		Cohort: r.rangeID, Type: wal.RecLastCommitted, LSN: lsn,
+	})
+	for _, p := range popped {
+		p.finish(writeOutcome{status: StatusOK})
+	}
+	if behind {
+		// The leader has committed writes we never saw.
+		r.n.nudgeCatchup(r)
+	}
+}
+
+// sendCommitMessages is invoked by the node's commit timer on leader
+// replicas: followers are told to apply everything up to the last committed
+// LSN, and the leader records the same LSN locally, non-forced (§5). The
+// same tick retransmits proposes that have gone unacknowledged for more
+// than two commit periods — TCP's retransmission made explicit, needed for
+// liveness when a propose is lost across a broken connection.
+func (r *replica) sendCommitMessages() {
+	r.mu.Lock()
+	if r.role != RoleLeader {
+		r.mu.Unlock()
+		return
+	}
+	lsn := r.lastCommitted
+	r.mu.Unlock()
+	if !lsn.IsZero() {
+		payload := encodeLSN(lsn)
+		for _, peer := range r.peers {
+			r.n.send(peer, transport.Message{Kind: MsgCommit, Cohort: r.rangeID, Payload: payload})
+		}
+		_, _ = r.n.log.Append(wal.Record{Cohort: r.rangeID, Type: wal.RecLastCommitted, LSN: lsn})
+	}
+
+	for _, pp := range r.queue.stalePending(2 * r.n.cfg.CommitPeriod) {
+		payload := encodePropose(pp)
+		for _, peer := range r.peers {
+			r.n.send(peer, transport.Message{Kind: MsgPropose, Cohort: r.rangeID, Payload: payload})
+		}
+	}
+	r.tryCommit()
+}
+
+// --- Read path (§3, §5) -----------------------------------------------------
+
+// get serves a read. Strongly consistent reads are only legal at the
+// leader (the client routes them there; we enforce it). Timeline reads are
+// served by any replica and may be stale by up to one commit period.
+func (r *replica) get(req getReq) getResp {
+	if req.Consistent {
+		r.mu.Lock()
+		ok := r.role == RoleLeader
+		leader := r.leaderID
+		r.mu.Unlock()
+		if !ok {
+			return getResp{Status: StatusNotLeader, Value: []byte(leader)}
+		}
+	}
+	r.n.readGate()
+	cell, ok := r.engine.Get(kv.Key{Row: req.Row, Col: req.Col})
+	if !ok || cell.Deleted {
+		return getResp{Status: StatusNotFound, Version: cell.Version}
+	}
+	return getResp{Status: StatusOK, Value: cell.Value, Version: cell.Version}
+}
+
+// getRow serves a whole-row read with the same consistency rules.
+func (r *replica) getRow(req getReq) rowResp {
+	if req.Consistent {
+		r.mu.Lock()
+		ok := r.role == RoleLeader
+		r.mu.Unlock()
+		if !ok {
+			return rowResp{Status: StatusNotLeader}
+		}
+	}
+	entries := r.engine.GetRow(req.Row)
+	if len(entries) == 0 {
+		return rowResp{Status: StatusNotFound}
+	}
+	return rowResp{Status: StatusOK, Entries: entries}
+}
+
+// --- State requests (takeover, Fig 6 line 4) -------------------------------
+
+func (r *replica) onStateReq(m transport.Message) {
+	r.mu.Lock()
+	cmt := r.lastCommitted
+	r.mu.Unlock()
+	r.n.reply(m, transport.Message{Cohort: r.rangeID, Payload: encodeLSN(cmt)})
+}
+
+// Stats reporting for tests and tooling.
+type ReplicaStats struct {
+	Range         uint32
+	Role          Role
+	Epoch         uint32
+	LastLSN       wal.LSN
+	LastCommitted wal.LSN
+	Pending       int
+	Leader        string
+	Open          bool
+}
+
+func (r *replica) stats() ReplicaStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return ReplicaStats{
+		Range:         r.rangeID,
+		Role:          r.role,
+		Epoch:         r.epoch,
+		LastLSN:       r.lastLSN,
+		LastCommitted: r.lastCommitted,
+		Pending:       r.queue.len(),
+		Leader:        r.leaderID,
+		Open:          r.open,
+	}
+}

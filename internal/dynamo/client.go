@@ -1,0 +1,103 @@
+package dynamo
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"spinnaker/internal/cluster"
+	"spinnaker/internal/kv"
+	"spinnaker/internal/transport"
+)
+
+// Client talks to the baseline store. Requests go to a randomly chosen
+// member of the key's cohort, which coordinates the operation — there is
+// no leader (§9: "there is no notion of a cohort leader to serialize
+// writes, so conflicts can still occur").
+type Client struct {
+	layout *cluster.Layout
+	ep     transport.Endpoint
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewClient builds a client over its own endpoint.
+func NewClient(layout *cluster.Layout, ep transport.Endpoint, seed int64) *Client {
+	return &Client{layout: layout, ep: ep, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Close releases the client's endpoint.
+func (c *Client) Close() { c.ep.Close() }
+
+func (c *Client) coordinator(rangeID uint32) string {
+	cohort := c.layout.Cohort(rangeID)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cohort[c.rng.Intn(len(cohort))]
+}
+
+// Put writes a column value at the given consistency level and returns the
+// assigned timestamp-version.
+func (c *Client) Put(row, col string, value []byte, level ConsistencyLevel) (uint64, error) {
+	return c.put(writeReq{Row: row, Col: col, Value: value, Level: level})
+}
+
+// Delete writes a tombstone at the given consistency level.
+func (c *Client) Delete(row, col string, level ConsistencyLevel) error {
+	_, err := c.put(writeReq{Row: row, Col: col, Delete: true, Level: level})
+	return err
+}
+
+func (c *Client) put(req writeReq) (uint64, error) {
+	rangeID := c.layout.RangeOf(req.Row)
+	resp, err := c.ep.Call(transport.Message{
+		To:      c.coordinator(rangeID),
+		Kind:    MsgCoordWrite,
+		Cohort:  rangeID,
+		Payload: encodeWriteReq(req),
+	})
+	if err != nil {
+		return 0, fmt.Errorf("dynamo: write: %w", err)
+	}
+	if len(resp.Payload) < 9 || resp.Payload[0] != 1 {
+		return 0, ErrUnavailable
+	}
+	return binary.LittleEndian.Uint64(resp.Payload[1:9]), nil
+}
+
+// Get reads a column at the given consistency level, returning the value
+// and its timestamp-version. Weak reads consult one replica and may be
+// stale or reflect lost writes; quorum reads consult two and resolve
+// conflicts by timestamp — but, unlike Spinnaker's strong reads, still do
+// not guarantee strong consistency (§9).
+func (c *Client) Get(row, col string, level ConsistencyLevel) ([]byte, uint64, error) {
+	rangeID := c.layout.RangeOf(row)
+	resp, err := c.ep.Call(transport.Message{
+		To:      c.coordinator(rangeID),
+		Kind:    MsgCoordRead,
+		Cohort:  rangeID,
+		Payload: encodeReadReq(readReq{Row: row, Col: col, Level: level}),
+	})
+	if err != nil {
+		return nil, 0, fmt.Errorf("dynamo: read: %w", err)
+	}
+	if len(resp.Payload) < 1 {
+		return nil, 0, ErrUnavailable
+	}
+	switch resp.Payload[0] {
+	case 0:
+		return nil, 0, ErrUnavailable
+	case 2:
+		return nil, 0, ErrNotFound
+	}
+	e, _, err := kv.DecodeEntry(resp.Payload[1:])
+	if err != nil {
+		return nil, 0, err
+	}
+	if e.Cell.Deleted {
+		return nil, 0, ErrNotFound
+	}
+	return e.Cell.Value, e.Cell.Version, nil
+}

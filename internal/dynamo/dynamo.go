@@ -1,0 +1,540 @@
+// Package dynamo implements the eventually consistent baseline datastore
+// the paper evaluates Spinnaker against (§2.3, §9): a Cassandra-style,
+// Dynamo-derived store. It shares Spinnaker's substrates — the same
+// write-ahead log, memtables, SSTables, range partitioning, and messaging —
+// mirroring the paper's setup ("Spinnaker is actually derived from the
+// Cassandra codebase, making for a fair comparison"), and differs exactly
+// where Cassandra does:
+//
+//   - No cohort leader: any replica of a key range coordinates a request.
+//   - Writes are sent to all N replicas; a weak write waits for 1 ack, a
+//     quorum write for 2 (§9: "Both are sent to all 3 replicas, but a weak
+//     write waits for an ack from just 1 replica, whereas a quorum write
+//     waits for acks from 2").
+//   - A weak read accesses 1 replica; a quorum read accesses 2 and checks
+//     for conflicts, resolved using timestamps; read repair pushes the
+//     newest version to stale replicas in the background.
+//   - There is no quorum-based recovery: a restarted replica replays its
+//     local log and rejoins immediately, relying on read repair to
+//     converge (the paper: "the lack of a quorum-based recovery algorithm
+//     also means there is no guarantee that a replica will be brought up
+//     to a consistent state after a node failure").
+package dynamo
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spinnaker/internal/cluster"
+	"spinnaker/internal/core"
+	"spinnaker/internal/kv"
+	"spinnaker/internal/simtime"
+	"spinnaker/internal/storage"
+	"spinnaker/internal/transport"
+	"spinnaker/internal/wal"
+)
+
+// Message kinds (distinct space from core's so mixed tooling cannot
+// confuse them).
+const (
+	// MsgCoordWrite is a client write to a coordinating replica.
+	MsgCoordWrite uint8 = 100 + iota
+	// MsgCoordRead is a client read to a coordinating replica.
+	MsgCoordRead
+	// MsgReplWrite is a coordinator's write to one replica.
+	MsgReplWrite
+	// MsgReplRead is a coordinator's read of one replica.
+	MsgReplRead
+	// MsgRepair is an asynchronous read-repair push.
+	MsgRepair
+)
+
+// ConsistencyLevel selects how many replicas must respond.
+type ConsistencyLevel uint8
+
+// Consistency levels (§9).
+const (
+	// Weak waits for 1 replica (weak reads/writes).
+	Weak ConsistencyLevel = 1
+	// Quorum waits for 2 of 3 replicas.
+	Quorum ConsistencyLevel = 2
+)
+
+// ErrUnavailable reports that too few replicas responded in time.
+var ErrUnavailable = errors.New("dynamo: not enough replicas responded")
+
+// ErrNotFound reports a missing row/column.
+var ErrNotFound = errors.New("dynamo: not found")
+
+// Config controls a Node.
+type Config struct {
+	ID     string
+	Layout *cluster.Layout
+	// DisableGroupCommit turns off group commit (kept symmetric with
+	// Spinnaker for fair benches).
+	DisableGroupCommit bool
+	// ReplicaTimeout bounds how long a coordinator waits for acks.
+	ReplicaTimeout time.Duration
+	// ReadServiceTime simulates per-read CPU cost; ReadConcurrency is
+	// the simulated core count (benchmarks only; zero disables).
+	ReadServiceTime time.Duration
+	ReadConcurrency int
+	// FlushBytes / MaxTables / SegmentBytes tune storage, as in core.
+	FlushBytes    int64
+	MaxTables     int
+	SegmentBytes  int64
+	FlushInterval time.Duration
+}
+
+func (c *Config) fillDefaults() {
+	if c.ReplicaTimeout <= 0 {
+		c.ReplicaTimeout = 2 * time.Second
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 200 * time.Millisecond
+	}
+	if c.ReadConcurrency <= 0 {
+		c.ReadConcurrency = 4
+	}
+}
+
+// Node is one baseline server: per-range storage engines over a shared
+// log, with coordinator logic for client requests.
+type Node struct {
+	cfg     Config
+	ep      transport.Endpoint
+	log     *wal.Log
+	engines map[uint32]*storage.Engine
+	seq     atomic.Uint64 // local LSN sequence for log records
+	readRot atomic.Uint64 // rotates replica choice for reads
+	clock   func() int64  // timestamp source (exposed for skew tests)
+	readSem chan struct{}
+
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// readGate charges the simulated per-read CPU cost, bounded by the node's
+// simulated core count; the benchmark harness uses it to reproduce the
+// latency knee of Figure 8 ("the CPU and network [were] the bottleneck").
+func (n *Node) readGate() { n.readGateFor(n.cfg.ReadServiceTime) }
+
+func (n *Node) readGateFor(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	n.readSem <- struct{}{}
+	simtime.Sleep(d)
+	<-n.readSem
+}
+
+// NewNode builds a baseline node over its stores. Stores are reused from
+// core so the two systems share identical storage behaviour.
+func NewNode(cfg Config, stores *core.Stores, ep transport.Endpoint) (*Node, error) {
+	cfg.fillDefaults()
+	if cfg.Layout == nil {
+		return nil, errors.New("dynamo: Config.Layout is required")
+	}
+	log, err := wal.Open(wal.Config{
+		Store:        stores.Segments,
+		SegmentBytes: cfg.SegmentBytes,
+		GroupCommit:  !cfg.DisableGroupCommit,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dynamo: open log: %w", err)
+	}
+	n := &Node{
+		cfg:     cfg,
+		ep:      ep,
+		log:     log,
+		engines: make(map[uint32]*storage.Engine),
+		clock:   func() int64 { return time.Now().UnixNano() },
+		readSem: make(chan struct{}, cfg.ReadConcurrency),
+		stopCh:  make(chan struct{}),
+	}
+	for _, rangeID := range cfg.Layout.RangesOf(cfg.ID) {
+		tables, err := stores.Tables(rangeID)
+		if err != nil {
+			return nil, err
+		}
+		engine, err := storage.Open(storage.Config{
+			Tables: tables, Meta: stores.Meta, Cohort: rangeID,
+			FlushBytes: cfg.FlushBytes, MaxTables: cfg.MaxTables,
+		})
+		if err != nil {
+			return nil, err
+		}
+		n.engines[rangeID] = engine
+	}
+	return n, nil
+}
+
+// Start replays the local log (local recovery only — no catch-up phase,
+// faithful to the baseline) and begins serving.
+func (n *Node) Start() error {
+	var maxSeq uint64
+	if err := n.log.Scan(func(rec wal.Record) error {
+		if rec.LSN.Seq() > maxSeq {
+			maxSeq = rec.LSN.Seq()
+		}
+		engine, ok := n.engines[rec.Cohort]
+		if !ok || rec.Type != wal.RecWrite {
+			return nil
+		}
+		e, _, err := kv.DecodeEntry(rec.Payload)
+		if err != nil {
+			return nil // skip corrupt entries; anti-entropy will repair
+		}
+		e.Cell.LSN = rec.LSN // the local stamp assigned at write time
+		if e.Cell.LSN <= engine.Checkpoint() {
+			return nil
+		}
+		engine.Apply(e)
+		return nil
+	}); err != nil {
+		return fmt.Errorf("dynamo: recovery scan: %w", err)
+	}
+	n.seq.Store(maxSeq)
+	n.ep.SetHandler(n.handle)
+	n.wg.Add(1)
+	go n.flushLoop()
+	return nil
+}
+
+func (n *Node) flushLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.FlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case <-t.C:
+			captured := make(map[uint32]wal.LSN, len(n.engines))
+			for rangeID, e := range n.engines {
+				if _, err := e.MaybeFlush(); err != nil {
+					continue
+				}
+				captured[rangeID] = e.Checkpoint()
+			}
+			_, _ = n.log.DropCapturedSegments(captured)
+		}
+	}
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() string { return n.cfg.ID }
+
+// Stop shuts the node down.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() { close(n.stopCh) })
+	n.ep.Close()
+	n.wg.Wait()
+	_ = n.log.Force()
+}
+
+// Crash simulates a process crash (volatile state abandoned).
+func (n *Node) Crash() {
+	n.stopOnce.Do(func() { close(n.stopCh) })
+	n.ep.Close()
+	n.wg.Wait()
+}
+
+// handle dispatches inbound messages.
+func (n *Node) handle(m transport.Message) {
+	switch m.Kind {
+	case MsgCoordWrite:
+		n.coordWrite(m)
+	case MsgCoordRead:
+		n.coordRead(m)
+	case MsgReplWrite:
+		n.replWrite(m)
+	case MsgReplRead:
+		n.replRead(m)
+	case MsgRepair:
+		n.applyEntryPayload(m.Cohort, m.Payload, false)
+	}
+}
+
+// appendEntry decodes, stamps, and appends an encoded entry to the shared
+// log without forcing it, returning the logical end offset to force through
+// and the stamped entry. The cell is stamped with this replica's local
+// record LSN so the storage engine's checkpointing, replay guard, and log
+// truncation work; conflict resolution remains timestamp-based
+// (kv.Cell.Newer).
+func (n *Node) appendEntry(rangeID uint32, payload []byte) (end int64, e kv.Entry, ok bool) {
+	if _, exists := n.engines[rangeID]; !exists {
+		return 0, kv.Entry{}, false
+	}
+	e, _, err := kv.DecodeEntry(payload)
+	if err != nil {
+		return 0, kv.Entry{}, false
+	}
+	lsn := wal.MakeLSN(0, n.seq.Add(1))
+	e.Cell.LSN = lsn
+	end, err = n.log.Append(wal.Record{Cohort: rangeID, Type: wal.RecWrite, LSN: lsn, Payload: payload})
+	if err != nil {
+		return 0, kv.Entry{}, false
+	}
+	return end, e, true
+}
+
+// applyEntryPayload durably applies an encoded entry to the range's
+// engine; the write path forces the log (writes "logged to disk" per §9.2),
+// read repair does not (it is a background hint).
+func (n *Node) applyEntryPayload(rangeID uint32, payload []byte, force bool) bool {
+	end, e, ok := n.appendEntry(rangeID, payload)
+	if !ok {
+		return false
+	}
+	if force {
+		if err := n.log.ForceTo(end); err != nil {
+			return false
+		}
+	}
+	n.engines[rangeID].Apply(e)
+	return true
+}
+
+// replWrite handles a coordinator's write to this replica: log, force,
+// apply to memtable, ack. The force and ack run off the link goroutine so
+// concurrent writes share group-commit forces, exactly as Spinnaker's
+// followers do (both stores reuse the same log manager, App. C).
+func (n *Node) replWrite(m transport.Message) {
+	end, e, ok := n.appendEntry(m.Cohort, m.Payload)
+	if !ok {
+		n.ep.Reply(m, transport.Message{Cohort: m.Cohort, Payload: []byte{0}})
+		return
+	}
+	go func() {
+		if err := n.log.ForceTo(end); err != nil {
+			n.ep.Reply(m, transport.Message{Cohort: m.Cohort, Payload: []byte{0}})
+			return
+		}
+		n.engines[m.Cohort].Apply(e)
+		n.ep.Reply(m, transport.Message{Cohort: m.Cohort, Payload: []byte{1}})
+	}()
+}
+
+// replRead returns this replica's newest cell for the key.
+func (n *Node) replRead(m transport.Message) {
+	row, col, err := decodeKey(m.Payload)
+	if err != nil {
+		return
+	}
+	engine, ok := n.engines[m.Cohort]
+	if !ok {
+		return
+	}
+	n.readGate()
+	cell, found := engine.Get(kv.Key{Row: row, Col: col})
+	e := kv.Entry{Key: kv.Key{Row: row, Col: col}, Cell: cell}
+	payload := []byte{0}
+	if found {
+		payload = []byte{1}
+	}
+	n.ep.Reply(m, transport.Message{Cohort: m.Cohort, Payload: kv.EncodeEntry(payload, e)})
+}
+
+// coordWrite coordinates a client write: stamp it with the local clock,
+// send to all N replicas, wait for W acks.
+func (n *Node) coordWrite(m transport.Message) {
+	req, err := decodeWriteReq(m.Payload)
+	if err != nil {
+		return
+	}
+	ts := n.clock()
+	entry := kv.Entry{
+		Key: kv.Key{Row: req.Row, Col: req.Col},
+		Cell: kv.Cell{
+			Value: req.Value, Version: uint64(ts), Timestamp: ts, Deleted: req.Delete,
+		},
+	}
+	payload := kv.EncodeEntry(nil, entry)
+	cohort := n.cfg.Layout.Cohort(m.Cohort)
+
+	acks := make(chan bool, len(cohort))
+	for _, member := range cohort {
+		if member == n.cfg.ID {
+			go func() { acks <- n.applyEntryPayload(m.Cohort, payload, true) }()
+			continue
+		}
+		go func(member string) {
+			resp, err := n.ep.Call(transport.Message{
+				To: member, Kind: MsgReplWrite, Cohort: m.Cohort, Payload: payload,
+			})
+			acks <- err == nil && len(resp.Payload) > 0 && resp.Payload[0] == 1
+		}(member)
+	}
+	need := int(req.Level)
+	got := 0
+	deadline := time.After(n.cfg.ReplicaTimeout)
+	for i := 0; i < len(cohort) && got < need; i++ {
+		select {
+		case ok := <-acks:
+			if ok {
+				got++
+			}
+		case <-deadline:
+			i = len(cohort)
+		}
+	}
+	status := byte(0)
+	if got >= need {
+		status = 1
+	}
+	var ver [9]byte
+	ver[0] = status
+	binary.LittleEndian.PutUint64(ver[1:], uint64(ts))
+	n.ep.Reply(m, transport.Message{Cohort: m.Cohort, Payload: ver[:]})
+}
+
+// coordRead coordinates a client read. A weak read accesses just one
+// replica; a quorum read accesses two and checks for conflicts caused by
+// eventual consistency (§9.1) — resolved by timestamp, with read repair
+// pushing the newest version to stale replicas asynchronously.
+func (n *Node) coordRead(m transport.Message) {
+	req, err := decodeReadReq(m.Payload)
+	if err != nil {
+		return
+	}
+	cohort := n.cfg.Layout.Cohort(m.Cohort)
+	keyPayload := encodeKey(req.Row, req.Col)
+	need := int(req.Level)
+	if need > len(cohort) {
+		need = len(cohort)
+	}
+
+	// Choose exactly R replicas to read: the local copy first (the
+	// coordinator is a cohort member), then rotate through the others.
+	targets := make([]string, 0, need)
+	for _, member := range cohort {
+		if member == n.cfg.ID {
+			targets = append(targets, member)
+			break
+		}
+	}
+	rot := n.readRot.Add(1)
+	for i := 0; len(targets) < need && i < len(cohort); i++ {
+		member := cohort[(int(rot)+i)%len(cohort)]
+		already := false
+		for _, t := range targets {
+			if t == member {
+				already = true
+			}
+		}
+		if !already {
+			targets = append(targets, member)
+		}
+	}
+
+	type replicaResult struct {
+		member string
+		found  bool
+		entry  kv.Entry
+		ok     bool
+	}
+	results := make(chan replicaResult, len(targets))
+	for _, member := range targets {
+		if member == n.cfg.ID {
+			go func() {
+				engine := n.engines[m.Cohort]
+				if engine == nil {
+					results <- replicaResult{member: n.cfg.ID}
+					return
+				}
+				n.readGate()
+				cell, found := engine.Get(kv.Key{Row: req.Row, Col: req.Col})
+				results <- replicaResult{
+					member: n.cfg.ID, found: found, ok: true,
+					entry: kv.Entry{Key: kv.Key{Row: req.Row, Col: req.Col}, Cell: cell},
+				}
+			}()
+			continue
+		}
+		go func(member string) {
+			resp, err := n.ep.Call(transport.Message{
+				To: member, Kind: MsgReplRead, Cohort: m.Cohort, Payload: keyPayload,
+			})
+			if err != nil || len(resp.Payload) < 1 {
+				results <- replicaResult{member: member}
+				return
+			}
+			found := resp.Payload[0] == 1
+			e, _, err := kv.DecodeEntry(resp.Payload[1:])
+			if err != nil {
+				results <- replicaResult{member: member}
+				return
+			}
+			results <- replicaResult{member: member, found: found, entry: e, ok: true}
+		}(member)
+	}
+
+	// A quorum read must hear from both replicas before resolving.
+	var got []replicaResult
+	deadline := time.After(n.cfg.ReplicaTimeout)
+	for i := 0; i < len(targets) && len(got) < need; i++ {
+		select {
+		case res := <-results:
+			if res.ok {
+				got = append(got, res)
+			}
+		case <-deadline:
+			i = len(targets)
+		}
+	}
+	if len(got) < need {
+		n.ep.Reply(m, transport.Message{Cohort: m.Cohort, Payload: []byte{0}})
+		return
+	}
+
+	// Processing the extra replica's response and checking it for
+	// conflicts costs coordinator CPU (Cassandra compares digests);
+	// charge half a service time per additional response.
+	if len(got) > 1 {
+		n.readGateFor(n.cfg.ReadServiceTime / 2 * time.Duration(len(got)-1))
+	}
+
+	// Conflict resolution: newest timestamp wins (§9: "conflicts are
+	// resolved using timestamps").
+	var newest kv.Entry
+	var newestFound bool
+	for _, res := range got {
+		if !res.found {
+			continue
+		}
+		if !newestFound || res.entry.Cell.Newer(newest.Cell) {
+			newest = res.entry
+			newestFound = true
+		}
+	}
+
+	// Read repair: push the winning version to replicas that returned an
+	// older one (the "anti-entropy measures like read-repair" of §2.3).
+	if newestFound {
+		repair := kv.EncodeEntry(nil, newest)
+		for _, res := range got {
+			if res.found && res.entry.Cell.Timestamp == newest.Cell.Timestamp {
+				continue
+			}
+			if res.member == n.cfg.ID {
+				n.applyEntryPayload(m.Cohort, repair, false)
+				continue
+			}
+			n.ep.Send(transport.Message{
+				To: res.member, Kind: MsgRepair, Cohort: m.Cohort, Payload: repair,
+			})
+		}
+	}
+
+	if !newestFound || newest.Cell.Deleted {
+		n.ep.Reply(m, transport.Message{Cohort: m.Cohort, Payload: []byte{2}}) // found-nothing
+		return
+	}
+	n.ep.Reply(m, transport.Message{Cohort: m.Cohort, Payload: kv.EncodeEntry([]byte{1}, newest)})
+}

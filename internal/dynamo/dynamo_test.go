@@ -1,0 +1,328 @@
+package dynamo
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"spinnaker/internal/cluster"
+	"spinnaker/internal/core"
+	"spinnaker/internal/kv"
+	"spinnaker/internal/transport"
+	"spinnaker/internal/wal"
+)
+
+type testCluster struct {
+	t      *testing.T
+	net    *transport.Network
+	layout *cluster.Layout
+	stores map[string]*core.Stores
+	nodes  map[string]*Node
+}
+
+func newTestCluster(t *testing.T, nodeCount int) *testCluster {
+	t.Helper()
+	names := make([]string, nodeCount)
+	for i := range names {
+		names[i] = fmt.Sprintf("d%d", i)
+	}
+	repl := 3
+	if nodeCount < 3 {
+		repl = nodeCount
+	}
+	layout, err := cluster.Uniform(names, 6, repl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := &testCluster{
+		t:      t,
+		net:    transport.NewNetwork(0),
+		layout: layout,
+		stores: make(map[string]*core.Stores),
+		nodes:  make(map[string]*Node),
+	}
+	for _, name := range names {
+		tc.stores[name] = core.NewMemStores(wal.DeviceInstant)
+		tc.startNode(name)
+	}
+	t.Cleanup(func() {
+		for _, n := range tc.nodes {
+			n.Stop()
+		}
+	})
+	return tc
+}
+
+func (tc *testCluster) startNode(name string) *Node {
+	tc.t.Helper()
+	n, err := NewNode(Config{
+		ID:             name,
+		Layout:         tc.layout,
+		ReplicaTimeout: 500 * time.Millisecond,
+	}, tc.stores[name], tc.net.Join(name))
+	if err != nil {
+		tc.t.Fatal(err)
+	}
+	if err := n.Start(); err != nil {
+		tc.t.Fatal(err)
+	}
+	tc.nodes[name] = n
+	return n
+}
+
+func (tc *testCluster) crashNode(name string) {
+	tc.nodes[name].Crash()
+	tc.stores[name].Crash()
+	delete(tc.nodes, name)
+}
+
+func (tc *testCluster) client() *Client {
+	c := NewClient(tc.layout, tc.net.Join(fmt.Sprintf("dc-%d", time.Now().UnixNano())), 7)
+	tc.t.Cleanup(c.Close)
+	return c
+}
+
+func TestQuorumWriteQuorumRead(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	c := tc.client()
+	v, err := c.Put("000100", "name", []byte("alice"), Quorum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ver, err := c.Get("000100", "name", Quorum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "alice" || ver != v {
+		t.Errorf("Get = %q v%d, want alice v%d", got, ver, v)
+	}
+}
+
+func TestWeakWriteWeakRead(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	c := tc.client()
+	if _, err := c.Put("000200", "c", []byte("x"), Weak); err != nil {
+		t.Fatal(err)
+	}
+	// A weak write still goes to all replicas; once acks drain, any weak
+	// read sees it. Retry briefly to absorb asynchrony.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		got, _, err := c.Get("000200", "c", Weak)
+		if err == nil && string(got) == "x" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("weak read never observed the write: %v", err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestDeleteVisibility(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	c := tc.client()
+	if _, err := c.Put("000300", "c", []byte("x"), Quorum); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete("000300", "c", Quorum); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Get("000300", "c", Quorum); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get after delete: %v", err)
+	}
+}
+
+func TestLastWriterWinsByTimestamp(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	c := tc.client()
+	if _, err := c.Put("000400", "c", []byte("first"), Quorum); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Put("000400", "c", []byte("second"), Quorum); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := c.Get("000400", "c", Quorum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "second" {
+		t.Errorf("Get = %q, want second (newest timestamp)", got)
+	}
+}
+
+func TestWritesSurviveSingleNodeFailure(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	c := tc.client()
+	if _, err := c.Put("000500", "c", []byte("pre"), Quorum); err != nil {
+		t.Fatal(err)
+	}
+	// Kill one replica: quorum writes and reads keep working with no
+	// recovery protocol at all (the baseline's availability headline).
+	names := tc.layout.Cohort(tc.layout.RangeOf("000500"))
+	tc.crashNode(names[2])
+
+	if _, err := c.Put("000500", "c", []byte("during"), Quorum); err != nil {
+		t.Fatalf("quorum write with one node down: %v", err)
+	}
+	got, _, err := c.Get("000500", "c", Quorum)
+	if err != nil || string(got) != "during" {
+		t.Errorf("quorum read with one node down = %q,%v", got, err)
+	}
+}
+
+func TestQuorumUnavailableWithTwoNodesDown(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	rangeID := tc.layout.RangeOf("000600")
+	names := tc.layout.Cohort(rangeID)
+	// Keep only the coordinator alive.
+	tc.crashNode(names[1])
+	tc.crashNode(names[2])
+
+	// The surviving node coordinates but cannot reach a write quorum.
+	survivor := names[0]
+	ep := tc.net.Join("probe")
+	resp, err := ep.Call(transport.Message{
+		To: survivor, Kind: MsgCoordWrite, Cohort: rangeID,
+		Payload: encodeWriteReq(writeReq{Row: "000600", Col: "c", Value: []byte("x"), Level: Quorum}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Payload[0] != 0 {
+		t.Error("quorum write succeeded with 2 of 3 replicas down")
+	}
+	// Weak writes still succeed — the availability/durability trade
+	// (App. D.6.1).
+	resp, err = ep.Call(transport.Message{
+		To: survivor, Kind: MsgCoordWrite, Cohort: rangeID,
+		Payload: encodeWriteReq(writeReq{Row: "000600", Col: "c", Value: []byte("x"), Level: Weak}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Payload[0] != 1 {
+		t.Error("weak write failed with 1 of 3 replicas up")
+	}
+}
+
+func TestStaleReplicaConvergesViaReadRepair(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	c := tc.client()
+	rangeID := tc.layout.RangeOf("000700")
+	names := tc.layout.Cohort(rangeID)
+
+	if _, err := c.Put("000700", "c", []byte("v1"), Quorum); err != nil {
+		t.Fatal(err)
+	}
+	// One replica misses an update (it is down), then comes back without
+	// any catch-up protocol.
+	tc.crashNode(names[2])
+	if _, err := c.Put("000700", "c", []byte("v2"), Quorum); err != nil {
+		t.Fatal(err)
+	}
+	tc.startNode(names[2])
+
+	// Quorum reads keep returning v2 (timestamp resolution), and read
+	// repair eventually fixes the stale replica so even a direct read of
+	// it sees v2.
+	probe := tc.net.Join("probe-rr")
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		// Drive quorum reads to trigger repair.
+		if got, _, err := c.Get("000700", "c", Quorum); err != nil || string(got) != "v2" {
+			t.Fatalf("quorum read = %q,%v", got, err)
+		}
+		resp, err := probe.Call(transport.Message{
+			To: names[2], Kind: MsgReplRead, Cohort: rangeID,
+			Payload: encodeKey("000700", "c"),
+		})
+		if err == nil && len(resp.Payload) > 1 && resp.Payload[0] == 1 {
+			if val, err := decodeEntryPayload(resp.Payload[1:]); err == nil && string(val) == "v2" {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("read repair never converged the stale replica")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestRestartReplaysLocalLog(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	c := tc.client()
+	for i := 0; i < 10; i++ {
+		if _, err := c.Put(fmt.Sprintf("%06d", i), "c", []byte(fmt.Sprintf("v%d", i)), Quorum); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Restart every node; local logs rebuild the memtables.
+	var names []string
+	for name := range tc.nodes {
+		names = append(names, name)
+	}
+	for _, name := range names {
+		tc.crashNode(name)
+	}
+	for _, name := range names {
+		tc.startNode(name)
+	}
+	for i := 0; i < 10; i++ {
+		got, _, err := c.Get(fmt.Sprintf("%06d", i), "c", Quorum)
+		if err != nil || string(got) != fmt.Sprintf("v%d", i) {
+			t.Errorf("key %d after restart = %q,%v", i, got, err)
+		}
+	}
+}
+
+func TestWeakReadCanBeStale(t *testing.T) {
+	// The consistency gap the paper's comparison hinges on: with a
+	// replica partitioned during a write, a weak read served by it
+	// returns the old value, which Spinnaker's consistent read never
+	// would.
+	tc := newTestCluster(t, 3)
+	c := tc.client()
+	rangeID := tc.layout.RangeOf("000800")
+	names := tc.layout.Cohort(rangeID)
+
+	if _, err := c.Put("000800", "c", []byte("old"), Quorum); err != nil {
+		t.Fatal(err)
+	}
+	// Partition the third replica, update, heal.
+	tc.net.Isolate(names[2])
+	if _, err := c.Put("000800", "c", []byte("new"), Quorum); err != nil {
+		t.Fatal(err)
+	}
+	tc.net.HealAll()
+
+	// A direct weak read at the stale replica returns the old value.
+	probe := tc.net.Join("probe-stale")
+	resp, err := probe.Call(transport.Message{
+		To: names[2], Kind: MsgReplRead, Cohort: rangeID,
+		Payload: encodeKey("000800", "c"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Payload[0] != 1 {
+		t.Fatal("stale replica lost the original value entirely")
+	}
+	val, err := decodeEntryPayload(resp.Payload[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(val) != "old" {
+		t.Errorf("stale replica = %q — expected staleness for this test", val)
+	}
+}
+
+// decodeEntryPayload extracts the value bytes of an encoded kv.Entry.
+func decodeEntryPayload(b []byte) ([]byte, error) {
+	e, _, err := kv.DecodeEntry(b)
+	if err != nil {
+		return nil, err
+	}
+	return e.Cell.Value, nil
+}

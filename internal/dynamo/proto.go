@@ -1,0 +1,118 @@
+package dynamo
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// writeReq is a client write handed to a coordinator.
+type writeReq struct {
+	Row, Col string
+	Value    []byte
+	Delete   bool
+	Level    ConsistencyLevel
+}
+
+func encodeWriteReq(r writeReq) []byte {
+	var s [4]byte
+	buf := []byte{byte(r.Level)}
+	if r.Delete {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	binary.LittleEndian.PutUint16(s[:2], uint16(len(r.Row)))
+	buf = append(buf, s[:2]...)
+	buf = append(buf, r.Row...)
+	binary.LittleEndian.PutUint16(s[:2], uint16(len(r.Col)))
+	buf = append(buf, s[:2]...)
+	buf = append(buf, r.Col...)
+	binary.LittleEndian.PutUint32(s[:4], uint32(len(r.Value)))
+	buf = append(buf, s[:4]...)
+	return append(buf, r.Value...)
+}
+
+func decodeWriteReq(b []byte) (writeReq, error) {
+	var r writeReq
+	if len(b) < 4 {
+		return r, fmt.Errorf("dynamo: write req truncated")
+	}
+	r.Level = ConsistencyLevel(b[0])
+	r.Delete = b[1] == 1
+	off := 2
+	rl := int(binary.LittleEndian.Uint16(b[off:]))
+	off += 2
+	if len(b) < off+rl+2 {
+		return r, fmt.Errorf("dynamo: write req row truncated")
+	}
+	r.Row = string(b[off : off+rl])
+	off += rl
+	cl := int(binary.LittleEndian.Uint16(b[off:]))
+	off += 2
+	if len(b) < off+cl+4 {
+		return r, fmt.Errorf("dynamo: write req col truncated")
+	}
+	r.Col = string(b[off : off+cl])
+	off += cl
+	vl := int(binary.LittleEndian.Uint32(b[off:]))
+	off += 4
+	if len(b) < off+vl {
+		return r, fmt.Errorf("dynamo: write req value truncated")
+	}
+	if vl > 0 {
+		r.Value = append([]byte(nil), b[off:off+vl]...)
+	}
+	return r, nil
+}
+
+// readReq is a client read handed to a coordinator.
+type readReq struct {
+	Row, Col string
+	Level    ConsistencyLevel
+}
+
+func encodeReadReq(r readReq) []byte {
+	return append([]byte{byte(r.Level)}, encodeKey(r.Row, r.Col)...)
+}
+
+func decodeReadReq(b []byte) (readReq, error) {
+	var r readReq
+	if len(b) < 1 {
+		return r, fmt.Errorf("dynamo: read req truncated")
+	}
+	r.Level = ConsistencyLevel(b[0])
+	var err error
+	r.Row, r.Col, err = decodeKey(b[1:])
+	return r, err
+}
+
+func encodeKey(row, col string) []byte {
+	var s [2]byte
+	var buf []byte
+	binary.LittleEndian.PutUint16(s[:], uint16(len(row)))
+	buf = append(buf, s[:]...)
+	buf = append(buf, row...)
+	binary.LittleEndian.PutUint16(s[:], uint16(len(col)))
+	buf = append(buf, s[:]...)
+	buf = append(buf, col...)
+	return buf
+}
+
+func decodeKey(b []byte) (row, col string, err error) {
+	if len(b) < 2 {
+		return "", "", fmt.Errorf("dynamo: key truncated")
+	}
+	rl := int(binary.LittleEndian.Uint16(b))
+	off := 2
+	if len(b) < off+rl+2 {
+		return "", "", fmt.Errorf("dynamo: key row truncated")
+	}
+	row = string(b[off : off+rl])
+	off += rl
+	cl := int(binary.LittleEndian.Uint16(b[off:]))
+	off += 2
+	if len(b) < off+cl {
+		return "", "", fmt.Errorf("dynamo: key col truncated")
+	}
+	return row, string(b[off : off+cl]), nil
+}

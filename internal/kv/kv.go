@@ -1,0 +1,155 @@
+// Package kv defines the data model shared by Spinnaker's storage layers
+// (paper §3): data is organized into rows identified by a key, each row
+// holding any number of columns with values and version numbers. Column
+// names and values are opaque bytes.
+package kv
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"spinnaker/internal/wal"
+)
+
+// Key addresses one cell: a (row key, column name) pair.
+type Key struct {
+	Row string
+	Col string
+}
+
+// Compare orders keys by row, then column.
+func (k Key) Compare(o Key) int {
+	if c := bytes.Compare([]byte(k.Row), []byte(o.Row)); c != 0 {
+		return c
+	}
+	return bytes.Compare([]byte(k.Col), []byte(o.Col))
+}
+
+// Less reports whether k sorts before o.
+func (k Key) Less(o Key) bool { return k.Compare(o) < 0 }
+
+// String renders the key for diagnostics.
+func (k Key) String() string { return fmt.Sprintf("%s:%s", k.Row, k.Col) }
+
+// Cell is one versioned column value. Version numbers are monotonically
+// increasing integers managed by the datastore and exposed through its get
+// API (paper §3); they drive the optimistic concurrency control of
+// conditional put/delete. Deleted marks a tombstone. Timestamp is used only
+// by the eventually consistent baseline for conflict resolution (paper §9:
+// "conflicts are resolved using timestamps").
+type Cell struct {
+	Value     []byte
+	Version   uint64
+	LSN       wal.LSN
+	Timestamp int64
+	Deleted   bool
+}
+
+// Entry pairs a key with its cell, the unit that memtables and SSTables
+// store and iterate.
+type Entry struct {
+	Key  Key
+	Cell Cell
+}
+
+// Newer reports whether c should supersede o when both describe the same
+// key. The eventually consistent baseline resolves conflicts by wall-clock
+// timestamp (its cells carry one; Spinnaker's carry zero, making the
+// comparison a tie), then by LSN — Spinnaker's writes execute in LSN order
+// within a cohort, so the LSN decides — and finally by version number.
+func (c Cell) Newer(o Cell) bool {
+	if c.Timestamp != o.Timestamp {
+		return c.Timestamp > o.Timestamp
+	}
+	if c.LSN != o.LSN {
+		return c.LSN > o.LSN
+	}
+	return c.Version > o.Version
+}
+
+// EncodeEntry serializes an entry, appending to dst:
+//
+//	u16 rowLen | row | u16 colLen | col |
+//	u64 version | u64 lsn | i64 timestamp | u8 deleted |
+//	u32 valueLen | value
+func EncodeEntry(dst []byte, e Entry) []byte {
+	var scratch [8]byte
+	put16 := func(v int) {
+		binary.LittleEndian.PutUint16(scratch[:2], uint16(v))
+		dst = append(dst, scratch[:2]...)
+	}
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:8], v)
+		dst = append(dst, scratch[:8]...)
+	}
+	put16(len(e.Key.Row))
+	dst = append(dst, e.Key.Row...)
+	put16(len(e.Key.Col))
+	dst = append(dst, e.Key.Col...)
+	put64(e.Cell.Version)
+	put64(uint64(e.Cell.LSN))
+	put64(uint64(e.Cell.Timestamp))
+	if e.Cell.Deleted {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(e.Cell.Value)))
+	dst = append(dst, scratch[:4]...)
+	dst = append(dst, e.Cell.Value...)
+	return dst
+}
+
+// DecodeEntry parses one entry from b, returning it and the bytes consumed.
+func DecodeEntry(b []byte) (Entry, int, error) {
+	var e Entry
+	off := 0
+	need := func(n int) error {
+		if len(b)-off < n {
+			return fmt.Errorf("kv: entry truncated at offset %d (need %d of %d)", off, n, len(b))
+		}
+		return nil
+	}
+	if err := need(2); err != nil {
+		return e, 0, err
+	}
+	rl := int(binary.LittleEndian.Uint16(b[off:]))
+	off += 2
+	if err := need(rl); err != nil {
+		return e, 0, err
+	}
+	e.Key.Row = string(b[off : off+rl])
+	off += rl
+	if err := need(2); err != nil {
+		return e, 0, err
+	}
+	cl := int(binary.LittleEndian.Uint16(b[off:]))
+	off += 2
+	if err := need(cl); err != nil {
+		return e, 0, err
+	}
+	e.Key.Col = string(b[off : off+cl])
+	off += cl
+	if err := need(8 + 8 + 8 + 1 + 4); err != nil {
+		return e, 0, err
+	}
+	e.Cell.Version = binary.LittleEndian.Uint64(b[off:])
+	off += 8
+	e.Cell.LSN = wal.LSN(binary.LittleEndian.Uint64(b[off:]))
+	off += 8
+	e.Cell.Timestamp = int64(binary.LittleEndian.Uint64(b[off:]))
+	off += 8
+	e.Cell.Deleted = b[off] == 1
+	off++
+	vl := int(binary.LittleEndian.Uint32(b[off:]))
+	off += 4
+	if err := need(vl); err != nil {
+		return e, 0, err
+	}
+	if vl > 0 {
+		e.Cell.Value = append([]byte(nil), b[off:off+vl]...)
+	}
+	off += vl
+	return e, off, nil
+}

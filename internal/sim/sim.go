@@ -1,0 +1,363 @@
+// Package sim provides the in-process cluster harness, workload
+// generators, and latency measurement used by the test suite, the examples,
+// and the benchmark harness that regenerates the paper's evaluation
+// (§9, Appendices C and D). A sim cluster runs real Spinnaker (or baseline)
+// nodes over the simulated network and logging devices, reproducing the
+// paper's 10-node testbed on one box at ~10× reduced latency scale.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"spinnaker/internal/cluster"
+	"spinnaker/internal/coord"
+	"spinnaker/internal/core"
+	"spinnaker/internal/dynamo"
+	"spinnaker/internal/transport"
+	"spinnaker/internal/wal"
+)
+
+// Options configure a simulated cluster (either system).
+type Options struct {
+	// Nodes is the cluster size (default 3).
+	Nodes int
+	// Replication is N (default 3).
+	Replication int
+	// NetworkDelay is the simulated one-way message latency; the default
+	// of 50µs stands in for the paper's rack-level 1-GbE switch at ~10×
+	// scale (Appendix C).
+	NetworkDelay time.Duration
+	// Device is the logging-device latency profile (default instant, for
+	// tests; benches pass wal.DeviceHDD / DeviceSSD / DeviceMem).
+	Device wal.DeviceProfile
+	// CommitPeriod is Spinnaker's commit-message interval.
+	CommitPeriod time.Duration
+	// PiggybackCommits / DisableGroupCommit toggle protocol options
+	// (ablation benches).
+	PiggybackCommits   bool
+	DisableGroupCommit bool
+	// KeyWidth is the zero-padded decimal width of row keys (default 8).
+	KeyWidth int
+	// WriteTimeout bounds client writes.
+	WriteTimeout time.Duration
+	// ReadServiceTime / ReadConcurrency model per-read CPU cost for the
+	// latency-knee benchmarks (zero disables).
+	ReadServiceTime time.Duration
+	ReadConcurrency int
+	// SequentialPropose is the Figure 4 ablation: force before proposing.
+	SequentialPropose bool
+	// Storage knobs, passed through to the engines and the shared log;
+	// benchmarks lower them so sustained write loads stay memory-flat
+	// (flush → SSTable capture → log segment truncation).
+	FlushBytes    int64
+	SegmentBytes  int64
+	FlushInterval time.Duration
+}
+
+func (o *Options) fillDefaults() {
+	if o.Nodes <= 0 {
+		o.Nodes = 3
+	}
+	if o.Replication <= 0 {
+		o.Replication = cluster.DefaultReplication
+	}
+	if o.Replication > o.Nodes {
+		o.Replication = o.Nodes
+	}
+	if o.NetworkDelay < 0 {
+		o.NetworkDelay = 0
+	}
+	if o.Device.Name == "" {
+		o.Device = wal.DeviceInstant
+	}
+	if o.KeyWidth <= 0 {
+		o.KeyWidth = 8
+	}
+}
+
+// nodeNames generates stable node ids.
+func nodeNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("node%03d", i)
+	}
+	return names
+}
+
+// SpinnakerCluster is an in-process Spinnaker deployment.
+type SpinnakerCluster struct {
+	Net    *transport.Network
+	Coord  *coord.Service
+	Layout *cluster.Layout
+
+	opts    Options
+	cfg     core.Config
+	stores  map[string]*core.Stores
+	nodes   map[string]*core.Node
+	clients []*core.Client
+	nextCli int
+}
+
+// NewSpinnakerCluster builds and starts a cluster.
+func NewSpinnakerCluster(opts Options) (*SpinnakerCluster, error) {
+	opts.fillDefaults()
+	names := nodeNames(opts.Nodes)
+	layout, err := cluster.Uniform(names, opts.KeyWidth, opts.Replication)
+	if err != nil {
+		return nil, err
+	}
+	sc := &SpinnakerCluster{
+		Net:    transport.NewNetwork(opts.NetworkDelay),
+		Coord:  coord.NewService(0),
+		Layout: layout,
+		opts:   opts,
+		stores: make(map[string]*core.Stores),
+		nodes:  make(map[string]*core.Node),
+	}
+	sc.cfg = core.Config{
+		Layout:             layout,
+		CommitPeriod:       opts.CommitPeriod,
+		PiggybackCommits:   opts.PiggybackCommits,
+		DisableGroupCommit: opts.DisableGroupCommit,
+		WriteTimeout:       opts.WriteTimeout,
+		ElectionTimeout:    50 * time.Millisecond,
+		RetryInterval:      5 * time.Millisecond,
+		ReadServiceTime:    opts.ReadServiceTime,
+		ReadConcurrency:    opts.ReadConcurrency,
+		SequentialPropose:  opts.SequentialPropose,
+		FlushBytes:         opts.FlushBytes,
+		SegmentBytes:       opts.SegmentBytes,
+		FlushInterval:      opts.FlushInterval,
+	}
+	for _, name := range names {
+		sc.stores[name] = core.NewMemStores(opts.Device)
+		if err := sc.startNode(name); err != nil {
+			sc.Stop()
+			return nil, err
+		}
+	}
+	return sc, nil
+}
+
+func (sc *SpinnakerCluster) startNode(name string) error {
+	cfg := sc.cfg
+	cfg.ID = name
+	n, err := core.NewNode(cfg, sc.stores[name], sc.Net.Join(name), sc.Coord)
+	if err != nil {
+		return err
+	}
+	if err := n.Start(); err != nil {
+		return err
+	}
+	sc.nodes[name] = n
+	return nil
+}
+
+// WaitReady blocks until every range has an open leader.
+func (sc *SpinnakerCluster) WaitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for r := 0; r < sc.Layout.NumRanges(); r++ {
+		for {
+			if leader := sc.LeaderOf(uint32(r)); leader != "" {
+				if n, ok := sc.nodes[leader]; ok {
+					if st, ok := n.ReplicaStats(uint32(r)); ok && st.Role == core.RoleLeader && st.Open {
+						break
+					}
+				}
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("sim: range %d has no open leader after %v", r, timeout)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// LeaderOf returns the registered leader of a range, or "".
+func (sc *SpinnakerCluster) LeaderOf(rangeID uint32) string {
+	sess := sc.Coord.Connect()
+	defer sess.Close()
+	data, err := sess.Get(fmt.Sprintf("/ranges/%d/leader", rangeID))
+	if err != nil {
+		return ""
+	}
+	return string(data)
+}
+
+// clientCallTimeout makes client calls to crashed nodes fail fast so that
+// leader re-resolution, not the transport deadline, dominates measured
+// unavailability (Table 1 likewise excludes the failure-detection timeout).
+const clientCallTimeout = 250 * time.Millisecond
+
+// NewClient attaches a fresh client (its own endpoint and session).
+func (sc *SpinnakerCluster) NewClient() *core.Client {
+	sc.nextCli++
+	ep := sc.Net.Join(fmt.Sprintf("sp-client-%d", sc.nextCli))
+	ep.SetCallTimeout(clientCallTimeout)
+	c := core.NewClient(sc.Layout, ep, sc.Coord, int64(sc.nextCli))
+	sc.clients = append(sc.clients, c)
+	return c
+}
+
+// Node returns a running node by id.
+func (sc *SpinnakerCluster) Node(id string) (*core.Node, bool) {
+	n, ok := sc.nodes[id]
+	return n, ok
+}
+
+// Nodes lists running node ids.
+func (sc *SpinnakerCluster) Nodes() []string {
+	out := make([]string, 0, len(sc.nodes))
+	for name := range sc.nodes {
+		out = append(out, name)
+	}
+	return out
+}
+
+// CrashNode fails a node: process crash plus loss of the unforced log tail.
+func (sc *SpinnakerCluster) CrashNode(id string) error {
+	n, ok := sc.nodes[id]
+	if !ok {
+		return fmt.Errorf("sim: node %s is not running", id)
+	}
+	n.Crash()
+	sc.stores[id].Crash()
+	delete(sc.nodes, id)
+	return nil
+}
+
+// FailDisk destroys a crashed node's stable storage (§6.1 disk failure).
+func (sc *SpinnakerCluster) FailDisk(id string) {
+	sc.stores[id].Fail()
+}
+
+// RestartNode restarts a crashed node over its surviving stores; it will
+// run local recovery and catch up.
+func (sc *SpinnakerCluster) RestartNode(id string) error {
+	if _, ok := sc.nodes[id]; ok {
+		return fmt.Errorf("sim: node %s already running", id)
+	}
+	return sc.startNode(id)
+}
+
+// Key formats a numeric row key at the cluster's key width.
+func (sc *SpinnakerCluster) Key(i int) string {
+	return fmt.Sprintf("%0*d", sc.opts.KeyWidth, i)
+}
+
+// Stop shuts everything down.
+func (sc *SpinnakerCluster) Stop() {
+	for _, c := range sc.clients {
+		c.Close()
+	}
+	for _, n := range sc.nodes {
+		n.Stop()
+	}
+	sc.Coord.Stop()
+}
+
+// DynamoCluster is an in-process deployment of the eventually consistent
+// baseline over the same substrates.
+type DynamoCluster struct {
+	Net    *transport.Network
+	Layout *cluster.Layout
+
+	opts    Options
+	stores  map[string]*core.Stores
+	nodes   map[string]*dynamo.Node
+	clients []*dynamo.Client
+	nextCli int
+}
+
+// NewDynamoCluster builds and starts a baseline cluster.
+func NewDynamoCluster(opts Options) (*DynamoCluster, error) {
+	opts.fillDefaults()
+	names := nodeNames(opts.Nodes)
+	layout, err := cluster.Uniform(names, opts.KeyWidth, opts.Replication)
+	if err != nil {
+		return nil, err
+	}
+	dc := &DynamoCluster{
+		Net:    transport.NewNetwork(opts.NetworkDelay),
+		Layout: layout,
+		opts:   opts,
+		stores: make(map[string]*core.Stores),
+		nodes:  make(map[string]*dynamo.Node),
+	}
+	for _, name := range names {
+		dc.stores[name] = core.NewMemStores(opts.Device)
+		if err := dc.startNode(name); err != nil {
+			dc.Stop()
+			return nil, err
+		}
+	}
+	return dc, nil
+}
+
+func (dc *DynamoCluster) startNode(name string) error {
+	n, err := dynamo.NewNode(dynamo.Config{
+		ID:                 name,
+		Layout:             dc.Layout,
+		DisableGroupCommit: dc.opts.DisableGroupCommit,
+		ReadServiceTime:    dc.opts.ReadServiceTime,
+		ReadConcurrency:    dc.opts.ReadConcurrency,
+		FlushBytes:         dc.opts.FlushBytes,
+		SegmentBytes:       dc.opts.SegmentBytes,
+		FlushInterval:      dc.opts.FlushInterval,
+	}, dc.stores[name], dc.Net.Join(name))
+	if err != nil {
+		return err
+	}
+	if err := n.Start(); err != nil {
+		return err
+	}
+	dc.nodes[name] = n
+	return nil
+}
+
+// NewClient attaches a fresh baseline client.
+func (dc *DynamoCluster) NewClient() *dynamo.Client {
+	dc.nextCli++
+	ep := dc.Net.Join(fmt.Sprintf("dy-client-%d", dc.nextCli))
+	ep.SetCallTimeout(clientCallTimeout)
+	c := dynamo.NewClient(dc.Layout, ep, int64(dc.nextCli))
+	dc.clients = append(dc.clients, c)
+	return c
+}
+
+// CrashNode fails a node.
+func (dc *DynamoCluster) CrashNode(id string) error {
+	n, ok := dc.nodes[id]
+	if !ok {
+		return fmt.Errorf("sim: node %s is not running", id)
+	}
+	n.Crash()
+	dc.stores[id].Crash()
+	delete(dc.nodes, id)
+	return nil
+}
+
+// RestartNode restarts a crashed node.
+func (dc *DynamoCluster) RestartNode(id string) error {
+	if _, ok := dc.nodes[id]; ok {
+		return fmt.Errorf("sim: node %s already running", id)
+	}
+	return dc.startNode(id)
+}
+
+// Key formats a numeric row key at the cluster's key width.
+func (dc *DynamoCluster) Key(i int) string {
+	return fmt.Sprintf("%0*d", dc.opts.KeyWidth, i)
+}
+
+// Stop shuts everything down.
+func (dc *DynamoCluster) Stop() {
+	for _, c := range dc.clients {
+		c.Close()
+	}
+	for _, n := range dc.nodes {
+		n.Stop()
+	}
+}

@@ -1,0 +1,254 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LatencyRecorder accumulates operation latencies. It keeps a bounded
+// reservoir for percentiles and exact aggregates for the mean — the paper's
+// figures plot average latency (Appendix C).
+type LatencyRecorder struct {
+	mu      sync.Mutex
+	count   int64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+	samples []time.Duration
+	rng     *rand.Rand
+}
+
+const reservoirSize = 4096
+
+// NewLatencyRecorder returns an empty recorder.
+func NewLatencyRecorder() *LatencyRecorder {
+	return &LatencyRecorder{rng: rand.New(rand.NewSource(42))}
+}
+
+// Record adds one latency observation.
+func (r *LatencyRecorder) Record(d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.count++
+	r.sum += d
+	if r.min == 0 || d < r.min {
+		r.min = d
+	}
+	if d > r.max {
+		r.max = d
+	}
+	if len(r.samples) < reservoirSize {
+		r.samples = append(r.samples, d)
+	} else if i := r.rng.Int63n(r.count); i < reservoirSize {
+		r.samples[i] = d
+	}
+}
+
+// Count returns the number of observations.
+func (r *LatencyRecorder) Count() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// Avg returns the mean latency.
+func (r *LatencyRecorder) Avg() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.count == 0 {
+		return 0
+	}
+	return r.sum / time.Duration(r.count)
+}
+
+// Min and Max return the observed extremes.
+func (r *LatencyRecorder) Min() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.min
+}
+
+// Max returns the largest observation.
+func (r *LatencyRecorder) Max() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.max
+}
+
+// Percentile returns the p-th percentile (0 < p ≤ 100) from the reservoir.
+func (r *LatencyRecorder) Percentile(p float64) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), r.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p/100*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// LoadPoint is one point on a latency-vs-load curve: the paper's figures
+// increase client threads by powers of two and plot achieved requests/sec
+// against average latency (Appendix C: "load is actually a function of the
+// underlying independent variable, namely, the number of threads per
+// client node").
+type LoadPoint struct {
+	Threads    int
+	Throughput float64 // requests/sec achieved
+	AvgLatency time.Duration
+	P95        time.Duration
+	Errors     int64
+}
+
+// Op performs one operation; i is a per-thread operation counter.
+type Op func(thread, i int) error
+
+// RunClosedLoop drives `threads` closed-loop clients for `duration`, each
+// executing op back to back, and reports the achieved load point.
+func RunClosedLoop(threads int, duration time.Duration, op Op) LoadPoint {
+	rec := NewLatencyRecorder()
+	var errs int64
+	var errMu sync.Mutex
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	start := time.Now()
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				opStart := time.Now()
+				err := op(t, i)
+				if err != nil {
+					errMu.Lock()
+					errs++
+					errMu.Unlock()
+					continue
+				}
+				rec.Record(time.Since(opStart))
+			}
+		}(t)
+	}
+	time.Sleep(duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	return LoadPoint{
+		Threads:    threads,
+		Throughput: float64(rec.Count()) / elapsed.Seconds(),
+		AvgLatency: rec.Avg(),
+		P95:        rec.Percentile(95),
+		Errors:     errs,
+	}
+}
+
+// LoadCurve measures one LoadPoint per thread count.
+func LoadCurve(threadCounts []int, duration time.Duration, mkOp func(threads int) Op) []LoadPoint {
+	out := make([]LoadPoint, 0, len(threadCounts))
+	for _, threads := range threadCounts {
+		out = append(out, RunClosedLoop(threads, duration, mkOp(threads)))
+	}
+	return out
+}
+
+// ValueOfSize builds a deterministic payload of n bytes (the paper's
+// workloads use 4KB values).
+func ValueOfSize(n int) []byte {
+	v := make([]byte, n)
+	for i := range v {
+		v[i] = byte('a' + i%26)
+	}
+	return v
+}
+
+// KeyPicker yields row keys for workloads. Logical row indices are strided
+// across the full fixed-width key domain so a workload of any size spreads
+// over every key range of the cluster, as the paper's whole-cluster
+// workloads do (Appendix C).
+type KeyPicker struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	space  int
+	width  int
+	stride int
+	next   int
+}
+
+// NewKeyPicker returns a picker over a key space of `space` rows with
+// zero-padded width `width`.
+func NewKeyPicker(space, width int, seed int64) *KeyPicker {
+	return &KeyPicker{
+		rng: rand.New(rand.NewSource(seed)), space: space, width: width,
+		stride: keyStride(space, width),
+	}
+}
+
+// Random returns a uniformly random row key (the read workload of §9.1:
+// "each client read 4KB values from random rows").
+func (k *KeyPicker) Random() string {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return formatKey(k.rng.Intn(k.space)*k.stride, k.width)
+}
+
+// Sequential returns consecutive row keys (the write workload of §9.2:
+// "each client wrote 4KB values into rows with consecutive keys").
+func (k *KeyPicker) Sequential() string {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	key := formatKey(k.next%k.space*k.stride, k.width)
+	k.next++
+	return key
+}
+
+// SeekTo positions the sequential cursor (per-thread key segments).
+func (k *KeyPicker) SeekTo(i int) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.next = i
+}
+
+// StridedKey maps a logical row index onto a key spread uniformly across
+// the whole width-digit key domain.
+func StridedKey(i, space, width int) string {
+	if space <= 0 {
+		space = 1
+	}
+	return formatKey(i%space*keyStride(space, width), width)
+}
+
+func keyStride(space, width int) int {
+	domain := 1
+	for i := 0; i < width; i++ {
+		domain *= 10
+	}
+	stride := domain / space
+	if stride < 1 {
+		stride = 1
+	}
+	return stride
+}
+
+func formatKey(i, width int) string {
+	buf := make([]byte, width)
+	for p := width - 1; p >= 0; p-- {
+		buf[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf)
+}

@@ -1,0 +1,39 @@
+// Package simtime provides a precise Sleep for simulated latencies.
+//
+// The simulation models sub-millisecond hardware latencies (disk forces,
+// network hops, per-read CPU cost), but time.Sleep on coarse-timer kernels
+// overshoots by more than a millisecond, which would quantize every
+// simulated latency to the timer tick and erase the differences the
+// benchmarks exist to measure. Sleep burns the tail of the wait in a
+// yielding spin instead, keeping simulated latencies accurate to a few
+// microseconds at the cost of some CPU — an acceptable trade for a
+// measurement harness.
+package simtime
+
+import (
+	"runtime"
+	"time"
+)
+
+// spinMax bounds the CPU burned per call: waits up to this long are spun
+// (they would otherwise quantize to the timer tick); longer waits use the
+// plain timer, whose relative overshoot is small at millisecond scale.
+// Simulated latency profiles are chosen to sit in the timer-friendly ≥2ms
+// regime wherever they are on a bench's critical path, so spinning stays
+// rare and short and cannot saturate the host.
+const spinMax = 2 * time.Millisecond
+
+// Sleep waits for d, accurately for short waits.
+func Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if d > spinMax {
+		time.Sleep(d)
+		return
+	}
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}

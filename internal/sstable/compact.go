@@ -1,0 +1,99 @@
+package sstable
+
+import (
+	"container/heap"
+
+	"spinnaker/internal/kv"
+)
+
+// Merge performs a k-way merge of tables into a single sorted run. For keys
+// present in several inputs the newest cell (per kv.Cell.Newer) wins. When
+// dropTombstones is true, deletion markers are omitted from the output —
+// the garbage collection of deleted rows the paper attributes to background
+// merges of smaller SSTables into larger ones (§4.1). Tombstones may only
+// be dropped on a full merge (every table participating); otherwise an
+// older SSTable could resurrect the deleted value.
+func Merge(tables []*Table, dropTombstones bool) ([]kv.Entry, error) {
+	h := make(mergeHeap, 0, len(tables))
+	for pri, t := range tables {
+		entries, err := t.Entries()
+		if err != nil {
+			return nil, err
+		}
+		if len(entries) == 0 {
+			continue
+		}
+		h = append(h, &mergeCursor{entries: entries, pri: pri})
+	}
+	heap.Init(&h)
+
+	var out []kv.Entry
+	for h.Len() > 0 {
+		cur := h[0]
+		e := cur.entries[cur.pos]
+		cur.pos++
+		if cur.pos == len(cur.entries) {
+			heap.Pop(&h)
+		} else {
+			heap.Fix(&h, 0)
+		}
+
+		if n := len(out); n > 0 && out[n-1].Key.Compare(e.Key) == 0 {
+			if e.Cell.Newer(out[n-1].Cell) {
+				out[n-1] = e
+			}
+			continue
+		}
+		out = append(out, e)
+	}
+	if dropTombstones {
+		live := out[:0]
+		for _, e := range out {
+			if !e.Cell.Deleted {
+				live = append(live, e)
+			}
+		}
+		out = live
+	}
+	return out, nil
+}
+
+// Compact merges tables and serializes the result as a new table blob.
+func Compact(tables []*Table, dropTombstones bool) ([]byte, error) {
+	entries, err := Merge(tables, dropTombstones)
+	if err != nil {
+		return nil, err
+	}
+	b := NewBuilder()
+	for _, e := range entries {
+		b.Add(e)
+	}
+	return b.Finish(), nil
+}
+
+type mergeCursor struct {
+	entries []kv.Entry
+	pos     int
+	pri     int // lower pri = newer table, wins key ties at equal cell age
+}
+
+type mergeHeap []*mergeCursor
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	ci, cj := h[i], h[j]
+	c := ci.entries[ci.pos].Key.Compare(cj.entries[cj.pos].Key)
+	if c != 0 {
+		return c < 0
+	}
+	return ci.pri < cj.pri
+}
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(*mergeCursor)) }
+func (h *mergeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,228 @@
+// Package sstable implements the immutable on-disk tables that memtables
+// are flushed to (paper §4.1, following Bigtable's design): sorted by key
+// and column for efficient access, indexed, and tagged with the min and max
+// LSN of the writes they contain so the replication layer can serve
+// catch-up requests from SSTables when the log has been rolled over
+// (paper §6.1).
+package sstable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"spinnaker/internal/kv"
+	"spinnaker/internal/wal"
+)
+
+const (
+	magic        = 0x55AB1E00 // "SSTABLE"
+	footerSize   = 8 + 8 + 4 + 4 + 4 + 4
+	indexEvery   = 16 // sparse index: one entry per indexEvery records
+	formatErrMsg = "sstable: malformed table"
+)
+
+// ErrMalformed is returned when a table blob fails validation.
+var ErrMalformed = errors.New(formatErrMsg)
+
+// Table is an immutable sorted run of entries, fully resident as one blob.
+type Table struct {
+	id     uint64
+	data   []byte
+	index  []indexEnt
+	count  int
+	minLSN wal.LSN
+	maxLSN wal.LSN
+}
+
+type indexEnt struct {
+	key kv.Key
+	off uint32
+}
+
+// Builder accumulates sorted entries and serializes a Table.
+type Builder struct {
+	entries []kv.Entry
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Add appends an entry. Entries may be added in any order; Finish sorts
+// them. Duplicate keys keep the newest cell.
+func (b *Builder) Add(e kv.Entry) { b.entries = append(b.entries, e) }
+
+// Len returns the number of entries added so far.
+func (b *Builder) Len() int { return len(b.entries) }
+
+// Finish serializes the accumulated entries into a table blob.
+func (b *Builder) Finish() []byte {
+	sort.SliceStable(b.entries, func(i, j int) bool {
+		return b.entries[i].Key.Less(b.entries[j].Key)
+	})
+	// Collapse duplicates, newest wins.
+	dedup := b.entries[:0]
+	for _, e := range b.entries {
+		if n := len(dedup); n > 0 && dedup[n-1].Key.Compare(e.Key) == 0 {
+			if e.Cell.Newer(dedup[n-1].Cell) {
+				dedup[n-1] = e
+			}
+			continue
+		}
+		dedup = append(dedup, e)
+	}
+	b.entries = dedup
+
+	var (
+		data   []byte
+		idx    []uint32
+		minLSN wal.LSN
+		maxLSN wal.LSN
+	)
+	for i, e := range b.entries {
+		if i%indexEvery == 0 {
+			idx = append(idx, uint32(len(data)))
+		}
+		data = kv.EncodeEntry(data, e)
+		if l := e.Cell.LSN; !l.IsZero() {
+			if minLSN.IsZero() || l < minLSN {
+				minLSN = l
+			}
+			if l > maxLSN {
+				maxLSN = l
+			}
+		}
+	}
+	indexOff := uint32(len(data))
+	var scratch [4]byte
+	for _, off := range idx {
+		binary.LittleEndian.PutUint32(scratch[:], off)
+		data = append(data, scratch[:]...)
+	}
+	footer := make([]byte, footerSize)
+	binary.LittleEndian.PutUint64(footer[0:8], uint64(minLSN))
+	binary.LittleEndian.PutUint64(footer[8:16], uint64(maxLSN))
+	binary.LittleEndian.PutUint32(footer[16:20], uint32(len(b.entries)))
+	binary.LittleEndian.PutUint32(footer[20:24], indexOff)
+	binary.LittleEndian.PutUint32(footer[24:28], uint32(len(idx)))
+	binary.LittleEndian.PutUint32(footer[28:32], magic)
+	return append(data, footer...)
+}
+
+// Open parses a table blob produced by Builder.Finish.
+func Open(id uint64, blob []byte) (*Table, error) {
+	if len(blob) < footerSize {
+		return nil, fmt.Errorf("%w: too short", ErrMalformed)
+	}
+	footer := blob[len(blob)-footerSize:]
+	if binary.LittleEndian.Uint32(footer[28:32]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrMalformed)
+	}
+	t := &Table{
+		id:     id,
+		minLSN: wal.LSN(binary.LittleEndian.Uint64(footer[0:8])),
+		maxLSN: wal.LSN(binary.LittleEndian.Uint64(footer[8:16])),
+		count:  int(binary.LittleEndian.Uint32(footer[16:20])),
+	}
+	indexOff := binary.LittleEndian.Uint32(footer[20:24])
+	indexLen := int(binary.LittleEndian.Uint32(footer[24:28]))
+	if int(indexOff)+indexLen*4 > len(blob)-footerSize {
+		return nil, fmt.Errorf("%w: index out of bounds", ErrMalformed)
+	}
+	t.data = blob[:indexOff]
+	t.index = make([]indexEnt, indexLen)
+	for i := 0; i < indexLen; i++ {
+		off := binary.LittleEndian.Uint32(blob[int(indexOff)+i*4:])
+		if int(off) > len(t.data) {
+			return nil, fmt.Errorf("%w: index entry out of bounds", ErrMalformed)
+		}
+		e, _, err := kv.DecodeEntry(t.data[off:])
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+		}
+		t.index[i] = indexEnt{key: e.Key, off: off}
+	}
+	return t, nil
+}
+
+// ID returns the table's identifier.
+func (t *Table) ID() uint64 { return t.id }
+
+// Len returns the number of entries.
+func (t *Table) Len() int { return t.count }
+
+// LSNRange returns the min and max LSN tags (paper §6.1: "each SSTable is
+// tagged with the min and max LSN of the writes that it contains").
+func (t *Table) LSNRange() (min, max wal.LSN) { return t.minLSN, t.maxLSN }
+
+// Bytes returns the serialized blob size (data + index, without footer).
+func (t *Table) Bytes() int { return len(t.data) }
+
+// Get returns the cell stored for key.
+func (t *Table) Get(key kv.Key) (kv.Cell, bool) {
+	if len(t.index) == 0 {
+		return kv.Cell{}, false
+	}
+	// Find the last index entry with key ≤ target.
+	i := sort.Search(len(t.index), func(i int) bool {
+		return key.Less(t.index[i].key)
+	}) - 1
+	if i < 0 {
+		return kv.Cell{}, false
+	}
+	off := int(t.index[i].off)
+	for scanned := 0; off < len(t.data) && scanned < indexEvery; scanned++ {
+		e, n, err := kv.DecodeEntry(t.data[off:])
+		if err != nil {
+			return kv.Cell{}, false
+		}
+		switch c := e.Key.Compare(key); {
+		case c == 0:
+			return e.Cell, true
+		case c > 0:
+			return kv.Cell{}, false
+		}
+		off += n
+	}
+	return kv.Cell{}, false
+}
+
+// Ascend calls fn for each entry in key order until fn returns false.
+func (t *Table) Ascend(fn func(e kv.Entry) bool) error {
+	off := 0
+	for off < len(t.data) {
+		e, n, err := kv.DecodeEntry(t.data[off:])
+		if err != nil {
+			return fmt.Errorf("sstable: scan: %w", err)
+		}
+		if !fn(e) {
+			return nil
+		}
+		off += n
+	}
+	return nil
+}
+
+// AscendRow calls fn for each column of row in column order.
+func (t *Table) AscendRow(row string, fn func(e kv.Entry) bool) error {
+	return t.Ascend(func(e kv.Entry) bool {
+		if e.Key.Row < row {
+			return true
+		}
+		if e.Key.Row > row {
+			return false
+		}
+		return fn(e)
+	})
+}
+
+// Entries returns all entries; catch-up uses it to ship whole tables.
+func (t *Table) Entries() ([]kv.Entry, error) {
+	out := make([]kv.Entry, 0, t.count)
+	err := t.Ascend(func(e kv.Entry) bool {
+		out = append(out, e)
+		return true
+	})
+	return out, err
+}

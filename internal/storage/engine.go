@@ -1,0 +1,395 @@
+// Package storage implements the per-replica LSM storage engine of a
+// Spinnaker node (paper §4.1): committed writes are applied to a memtable,
+// which is periodically flushed to immutable SSTables; smaller SSTables are
+// merged into larger ones in the background to garbage-collect deleted rows
+// and improve read performance.
+//
+// The engine stores only *committed* state: the replication layer applies a
+// write here when it commits (leader) or when a commit message covers it
+// (follower). The memtable is volatile — a crash loses it and local
+// recovery rebuilds it by replaying the log from the last checkpoint
+// (paper §6.1). SSTables and the manifest survive crashes.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"spinnaker/internal/kv"
+	"spinnaker/internal/memtable"
+	"spinnaker/internal/sstable"
+	"spinnaker/internal/wal"
+)
+
+// Config controls an Engine.
+type Config struct {
+	// Tables is the stable store for SSTable blobs.
+	Tables sstable.TableStore
+	// Meta holds the manifest (live table ids + checkpoint LSN).
+	Meta wal.MetaStore
+	// Cohort namespaces the manifest key; a node runs one engine per
+	// cohort over shared stores.
+	Cohort uint32
+	// FlushBytes is the memtable size that triggers a flush from
+	// MaybeFlush. Zero means 4 MiB.
+	FlushBytes int64
+	// MaxTables triggers a full compaction from MaybeFlush when
+	// exceeded. Zero means 8.
+	MaxTables int
+}
+
+// Engine is a single key-range replica's storage.
+type Engine struct {
+	cfg Config
+
+	mu         sync.RWMutex
+	mem        *memtable.Memtable
+	tables     []*sstable.Table // newest first
+	nextID     uint64
+	appliedLSN wal.LSN
+	checkpoint wal.LSN
+	flushes    int64
+	compacts   int64
+}
+
+func manifestKey(cohort uint32) string { return fmt.Sprintf("manifest/%d", cohort) }
+
+// Open loads (or initializes) the engine state from its stores.
+func Open(cfg Config) (*Engine, error) {
+	if cfg.Tables == nil || cfg.Meta == nil {
+		return nil, fmt.Errorf("storage: Tables and Meta stores are required")
+	}
+	if cfg.FlushBytes <= 0 {
+		cfg.FlushBytes = 4 << 20
+	}
+	if cfg.MaxTables <= 0 {
+		cfg.MaxTables = 8
+	}
+	e := &Engine{cfg: cfg, mem: memtable.New()}
+
+	raw, ok, err := cfg.Meta.Get(manifestKey(cfg.Cohort))
+	if err != nil {
+		return nil, fmt.Errorf("storage: load manifest: %w", err)
+	}
+	if !ok {
+		return e, nil
+	}
+	man, err := decodeManifest(raw)
+	if err != nil {
+		return nil, err
+	}
+	e.nextID = man.nextID
+	e.checkpoint = man.checkpoint
+	e.appliedLSN = man.checkpoint
+	for _, id := range man.tableIDs {
+		blob, err := cfg.Tables.Get(id)
+		if err != nil {
+			return nil, fmt.Errorf("storage: open table %d: %w", id, err)
+		}
+		t, err := sstable.Open(id, blob)
+		if err != nil {
+			return nil, fmt.Errorf("storage: parse table %d: %w", id, err)
+		}
+		// manifest lists oldest→newest; keep newest first.
+		e.tables = append([]*sstable.Table{t}, e.tables...)
+	}
+	return e, nil
+}
+
+type manifest struct {
+	nextID     uint64
+	checkpoint wal.LSN
+	tableIDs   []uint64 // oldest → newest
+}
+
+func encodeManifest(m manifest) []byte {
+	buf := make([]byte, 8+8+4+8*len(m.tableIDs))
+	binary.LittleEndian.PutUint64(buf[0:8], m.nextID)
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(m.checkpoint))
+	binary.LittleEndian.PutUint32(buf[16:20], uint32(len(m.tableIDs)))
+	for i, id := range m.tableIDs {
+		binary.LittleEndian.PutUint64(buf[20+8*i:], id)
+	}
+	return buf
+}
+
+func decodeManifest(b []byte) (manifest, error) {
+	var m manifest
+	if len(b) < 20 {
+		return m, fmt.Errorf("storage: manifest too short (%d bytes)", len(b))
+	}
+	m.nextID = binary.LittleEndian.Uint64(b[0:8])
+	m.checkpoint = wal.LSN(binary.LittleEndian.Uint64(b[8:16]))
+	n := int(binary.LittleEndian.Uint32(b[16:20]))
+	if len(b) < 20+8*n {
+		return m, fmt.Errorf("storage: manifest truncated: want %d table ids", n)
+	}
+	for i := 0; i < n; i++ {
+		m.tableIDs = append(m.tableIDs, binary.LittleEndian.Uint64(b[20+8*i:]))
+	}
+	return m, nil
+}
+
+// saveManifestLocked persists the current table set and checkpoint;
+// callers hold e.mu.
+func (e *Engine) saveManifestLocked() error {
+	m := manifest{nextID: e.nextID, checkpoint: e.checkpoint}
+	for i := len(e.tables) - 1; i >= 0; i-- { // oldest → newest
+		m.tableIDs = append(m.tableIDs, e.tables[i].ID())
+	}
+	return e.cfg.Meta.Put(manifestKey(e.cfg.Cohort), encodeManifest(m))
+}
+
+// Apply records a committed write. The replication layer calls it in LSN
+// order within the cohort; applying the same entry twice is harmless
+// (idempotent redo, paper §6.1).
+func (e *Engine) Apply(entry kv.Entry) {
+	e.mu.Lock()
+	e.mem.Apply(entry.Key, entry.Cell)
+	if entry.Cell.LSN > e.appliedLSN {
+		e.appliedLSN = entry.Cell.LSN
+	}
+	e.mu.Unlock()
+}
+
+// AppliedLSN returns the highest LSN applied to the engine.
+func (e *Engine) AppliedLSN() wal.LSN {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.appliedLSN
+}
+
+// Checkpoint returns the LSN through which all writes are captured in
+// SSTables; local recovery replays the log from here (paper §6.1).
+func (e *Engine) Checkpoint() wal.LSN {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.checkpoint
+}
+
+// Get returns the newest cell for key, including tombstones (the caller
+// interprets Cell.Deleted). The memtable always holds the newest state
+// because applies go there first.
+func (e *Engine) Get(key kv.Key) (kv.Cell, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if c, ok := e.mem.Get(key); ok {
+		return c, true
+	}
+	for _, t := range e.tables {
+		if c, ok := t.Get(key); ok {
+			return c, true
+		}
+	}
+	return kv.Cell{}, false
+}
+
+// GetRow returns the newest cell of every live (non-deleted) column of row,
+// in column order.
+func (e *Engine) GetRow(row string) []kv.Entry {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	newest := make(map[string]kv.Cell)
+	var order []string
+	consider := func(ent kv.Entry) {
+		cur, ok := newest[ent.Key.Col]
+		if !ok {
+			newest[ent.Key.Col] = ent.Cell
+			order = append(order, ent.Key.Col)
+			return
+		}
+		if ent.Cell.Newer(cur) {
+			newest[ent.Key.Col] = ent.Cell
+		}
+	}
+	e.mem.AscendRow(row, func(ent kv.Entry) bool { consider(ent); return true })
+	for _, t := range e.tables {
+		_ = t.AscendRow(row, func(ent kv.Entry) bool { consider(ent); return true })
+	}
+	var out []kv.Entry
+	for _, col := range order {
+		c := newest[col]
+		if c.Deleted {
+			continue
+		}
+		out = append(out, kv.Entry{Key: kv.Key{Row: row, Col: col}, Cell: c})
+	}
+	// order was insertion order over sorted sources; normalize.
+	sortEntries(out)
+	return out
+}
+
+func sortEntries(es []kv.Entry) {
+	sort.Slice(es, func(i, j int) bool { return es[i].Key.Less(es[j].Key) })
+}
+
+// MemtableBytes returns the current memtable footprint.
+func (e *Engine) MemtableBytes() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.mem.Bytes()
+}
+
+// MaybeFlush flushes when the memtable exceeds the flush threshold and
+// compacts when the table count exceeds MaxTables. It reports whether any
+// background work ran.
+func (e *Engine) MaybeFlush() (bool, error) {
+	e.mu.RLock()
+	over := e.mem.Bytes() >= e.cfg.FlushBytes
+	tooMany := len(e.tables) > e.cfg.MaxTables
+	e.mu.RUnlock()
+	if over {
+		if err := e.Flush(); err != nil {
+			return false, err
+		}
+	}
+	if tooMany {
+		if err := e.CompactAll(); err != nil {
+			return false, err
+		}
+	}
+	return over || tooMany, nil
+}
+
+// Flush captures the memtable into a new SSTable and advances the
+// checkpoint to the memtable's max LSN. An empty memtable is a no-op.
+func (e *Engine) Flush() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.mem.Len() == 0 {
+		return nil
+	}
+	entries := e.mem.Snapshot()
+	_, maxLSN := e.mem.LSNRange()
+
+	b := sstable.NewBuilder()
+	for _, ent := range entries {
+		b.Add(ent)
+	}
+	id := e.nextID
+	e.nextID++
+	blob := b.Finish()
+	if err := e.cfg.Tables.Put(id, blob); err != nil {
+		return fmt.Errorf("storage: flush: %w", err)
+	}
+	t, err := sstable.Open(id, blob)
+	if err != nil {
+		return fmt.Errorf("storage: flush reopen: %w", err)
+	}
+	e.tables = append([]*sstable.Table{t}, e.tables...)
+	if maxLSN > e.checkpoint {
+		e.checkpoint = maxLSN
+	}
+	if err := e.saveManifestLocked(); err != nil {
+		return err
+	}
+	e.mem = memtable.New()
+	e.flushes++
+	return nil
+}
+
+// CompactAll merges every SSTable into one, dropping tombstones (full
+// merge), and atomically swaps the manifest.
+func (e *Engine) CompactAll() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.tables) <= 1 {
+		return nil
+	}
+	blob, err := sstable.Compact(e.tables, true)
+	if err != nil {
+		return fmt.Errorf("storage: compact: %w", err)
+	}
+	id := e.nextID
+	e.nextID++
+	if err := e.cfg.Tables.Put(id, blob); err != nil {
+		return fmt.Errorf("storage: compact put: %w", err)
+	}
+	t, err := sstable.Open(id, blob)
+	if err != nil {
+		return fmt.Errorf("storage: compact reopen: %w", err)
+	}
+	old := e.tables
+	e.tables = []*sstable.Table{t}
+	if err := e.saveManifestLocked(); err != nil {
+		return err
+	}
+	for _, o := range old {
+		if err := e.cfg.Tables.Remove(o.ID()); err != nil {
+			return fmt.Errorf("storage: compact remove %d: %w", o.ID(), err)
+		}
+	}
+	e.compacts++
+	return nil
+}
+
+// Tables returns the live tables, newest first.
+func (e *Engine) Tables() []*sstable.Table {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return append([]*sstable.Table(nil), e.tables...)
+}
+
+// TablesSince returns tables that may contain writes with LSN > after,
+// chosen by their max-LSN tags; catch-up ships these when the leader's log
+// has been truncated (paper §6.1).
+func (e *Engine) TablesSince(after wal.LSN) []*sstable.Table {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var out []*sstable.Table
+	for _, t := range e.tables {
+		if _, max := t.LSNRange(); max > after {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// EntriesSince returns every entry with LSN > after, from the memtable and
+// from tables tagged as overlapping, in key order (duplicates resolved to
+// newest). Catch-up uses it to stream a follower back to currency.
+func (e *Engine) EntriesSince(after wal.LSN) []kv.Entry {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	newest := make(map[kv.Key]kv.Cell)
+	consider := func(ent kv.Entry) {
+		if ent.Cell.LSN <= after {
+			return
+		}
+		if cur, ok := newest[ent.Key]; !ok || ent.Cell.Newer(cur) {
+			newest[ent.Key] = ent.Cell
+		}
+	}
+	e.mem.Ascend(func(ent kv.Entry) bool { consider(ent); return true })
+	for _, t := range e.tables {
+		if _, max := t.LSNRange(); max <= after {
+			continue
+		}
+		_ = t.Ascend(func(ent kv.Entry) bool { consider(ent); return true })
+	}
+	out := make([]kv.Entry, 0, len(newest))
+	for k, c := range newest {
+		out = append(out, kv.Entry{Key: k, Cell: c})
+	}
+	sortEntries(out)
+	return out
+}
+
+// Stats reports flush and compaction counts.
+func (e *Engine) Stats() (flushes, compacts int64, tables int) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.flushes, e.compacts, len(e.tables)
+}
+
+// DropMemtable simulates the crash of the volatile state: everything not
+// yet flushed is lost, and appliedLSN falls back to the checkpoint. Node
+// recovery then replays the log from the checkpoint (paper §6.1).
+func (e *Engine) DropMemtable() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.mem = memtable.New()
+	e.appliedLSN = e.checkpoint
+}

@@ -1,0 +1,332 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+
+	"spinnaker/internal/kv"
+	"spinnaker/internal/sstable"
+	"spinnaker/internal/wal"
+)
+
+func newTestEngine(t *testing.T) (*Engine, Config) {
+	t.Helper()
+	cfg := Config{
+		Tables:     sstable.NewMemTableStore(),
+		Meta:       wal.NewMemMetaStore(),
+		Cohort:     0,
+		FlushBytes: 1 << 20,
+		MaxTables:  4,
+	}
+	e, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return e, cfg
+}
+
+func put(e *Engine, row, col, val string, seq uint64) {
+	e.Apply(kv.Entry{
+		Key:  kv.Key{Row: row, Col: col},
+		Cell: kv.Cell{Value: []byte(val), LSN: wal.MakeLSN(1, seq), Version: seq},
+	})
+}
+
+func TestEngineGetFromMemtable(t *testing.T) {
+	e, _ := newTestEngine(t)
+	put(e, "r", "c", "v", 1)
+	c, ok := e.Get(kv.Key{Row: "r", Col: "c"})
+	if !ok || string(c.Value) != "v" {
+		t.Fatalf("Get = %q,%v", c.Value, ok)
+	}
+	if e.AppliedLSN() != wal.MakeLSN(1, 1) {
+		t.Errorf("AppliedLSN = %s", e.AppliedLSN())
+	}
+}
+
+func TestEngineGetAcrossFlush(t *testing.T) {
+	e, _ := newTestEngine(t)
+	put(e, "r1", "c", "v1", 1)
+	put(e, "r2", "c", "v2", 2)
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	put(e, "r3", "c", "v3", 3)
+
+	for i, want := range []string{"v1", "v2", "v3"} {
+		c, ok := e.Get(kv.Key{Row: fmt.Sprintf("r%d", i+1), Col: "c"})
+		if !ok || string(c.Value) != want {
+			t.Errorf("Get(r%d) = %q,%v want %q", i+1, c.Value, ok, want)
+		}
+	}
+	if e.Checkpoint() != wal.MakeLSN(1, 2) {
+		t.Errorf("Checkpoint = %s, want 1.2", e.Checkpoint())
+	}
+}
+
+func TestEngineNewestWinsAcrossLayers(t *testing.T) {
+	e, _ := newTestEngine(t)
+	put(e, "r", "c", "old", 1)
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	put(e, "r", "c", "mid", 2)
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	put(e, "r", "c", "new", 3)
+	c, _ := e.Get(kv.Key{Row: "r", Col: "c"})
+	if string(c.Value) != "new" {
+		t.Errorf("Get = %q, want new (memtable newest)", c.Value)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	c, _ = e.Get(kv.Key{Row: "r", Col: "c"})
+	if string(c.Value) != "new" {
+		t.Errorf("after flush Get = %q (newest table must win)", c.Value)
+	}
+}
+
+func TestEngineGetRowMergesLayers(t *testing.T) {
+	e, _ := newTestEngine(t)
+	put(e, "r", "a", "1", 1)
+	put(e, "r", "b", "2", 2)
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	put(e, "r", "b", "2new", 3)
+	put(e, "r", "c", "3", 4)
+	row := e.GetRow("r")
+	if len(row) != 3 {
+		t.Fatalf("GetRow = %d cols", len(row))
+	}
+	want := map[string]string{"a": "1", "b": "2new", "c": "3"}
+	for _, ent := range row {
+		if want[ent.Key.Col] != string(ent.Cell.Value) {
+			t.Errorf("col %s = %q, want %q", ent.Key.Col, ent.Cell.Value, want[ent.Key.Col])
+		}
+	}
+}
+
+func TestEngineGetRowHidesTombstones(t *testing.T) {
+	e, _ := newTestEngine(t)
+	put(e, "r", "a", "1", 1)
+	put(e, "r", "b", "2", 2)
+	e.Apply(kv.Entry{Key: kv.Key{Row: "r", Col: "a"},
+		Cell: kv.Cell{Deleted: true, LSN: wal.MakeLSN(1, 3), Version: 3}})
+	row := e.GetRow("r")
+	if len(row) != 1 || row[0].Key.Col != "b" {
+		t.Errorf("GetRow = %v, want only col b", row)
+	}
+	// Get still exposes the tombstone for version checks.
+	c, ok := e.Get(kv.Key{Row: "r", Col: "a"})
+	if !ok || !c.Deleted {
+		t.Errorf("Get tombstone = %+v,%v", c, ok)
+	}
+}
+
+func TestEngineSurvivesReopen(t *testing.T) {
+	e, cfg := newTestEngine(t)
+	put(e, "r1", "c", "v1", 1)
+	put(e, "r2", "c", "v2", 2)
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	put(e, "volatile", "c", "gone", 3) // never flushed
+
+	// Crash: memtable is lost; SSTables and manifest persist.
+	e2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e2.Get(kv.Key{Row: "volatile", Col: "c"}); ok {
+		t.Error("unflushed write survived crash without log replay")
+	}
+	c, ok := e2.Get(kv.Key{Row: "r1", Col: "c"})
+	if !ok || string(c.Value) != "v1" {
+		t.Errorf("flushed write lost: %q,%v", c.Value, ok)
+	}
+	if e2.Checkpoint() != wal.MakeLSN(1, 2) {
+		t.Errorf("Checkpoint after reopen = %s", e2.Checkpoint())
+	}
+	if e2.AppliedLSN() != wal.MakeLSN(1, 2) {
+		t.Errorf("AppliedLSN after reopen = %s", e2.AppliedLSN())
+	}
+}
+
+func TestEngineCompactAll(t *testing.T) {
+	e, cfg := newTestEngine(t)
+	for i := 0; i < 3; i++ {
+		put(e, fmt.Sprintf("r%d", i), "c", fmt.Sprintf("v%d", i), uint64(i*2+1))
+		put(e, "shared", "c", fmt.Sprintf("gen%d", i), uint64(i*2+2))
+		if err := e.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Apply(kv.Entry{Key: kv.Key{Row: "r0", Col: "c"},
+		Cell: kv.Cell{Deleted: true, LSN: wal.MakeLSN(1, 50), Version: 50}})
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := e.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, tables := e.Stats()
+	if tables != 1 {
+		t.Fatalf("tables after compact = %d", tables)
+	}
+	// Tombstoned row disappears entirely after a full compaction.
+	if _, ok := e.Get(kv.Key{Row: "r0", Col: "c"}); ok {
+		t.Error("tombstoned key still visible after full compaction")
+	}
+	c, _ := e.Get(kv.Key{Row: "shared", Col: "c"})
+	if string(c.Value) != "gen2" {
+		t.Errorf("shared = %q, want gen2", c.Value)
+	}
+	// Old table blobs were removed from the store.
+	ids, _ := cfg.Tables.List()
+	if len(ids) != 1 {
+		t.Errorf("store holds %d blobs after compaction", len(ids))
+	}
+	// State still correct across reopen.
+	e2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ = e2.Get(kv.Key{Row: "shared", Col: "c"})
+	if string(c.Value) != "gen2" {
+		t.Errorf("after reopen shared = %q", c.Value)
+	}
+}
+
+func TestEngineMaybeFlush(t *testing.T) {
+	cfg := Config{
+		Tables:     sstable.NewMemTableStore(),
+		Meta:       wal.NewMemMetaStore(),
+		FlushBytes: 64, // tiny threshold
+		MaxTables:  2,
+	}
+	e, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flushed bool
+	for i := 0; i < 20; i++ {
+		put(e, fmt.Sprintf("row%02d", i), "c", "0123456789abcdef", uint64(i+1))
+		did, err := e.MaybeFlush()
+		if err != nil {
+			t.Fatal(err)
+		}
+		flushed = flushed || did
+	}
+	if !flushed {
+		t.Error("MaybeFlush never triggered")
+	}
+	_, _, tables := e.Stats()
+	if tables > cfg.MaxTables+1 {
+		t.Errorf("compaction did not bound tables: %d", tables)
+	}
+}
+
+func TestEngineEntriesSince(t *testing.T) {
+	e, _ := newTestEngine(t)
+	put(e, "r1", "c", "v1", 1)
+	put(e, "r2", "c", "v2", 2)
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	put(e, "r3", "c", "v3", 3)
+	put(e, "r2", "c", "v2new", 4)
+
+	// LSN > 1.1 covers r2@1.2, r3@1.3, r2@1.4; duplicates collapse to the
+	// newest per key, so r2 appears once with v2new.
+	ents := e.EntriesSince(wal.MakeLSN(1, 1))
+	if len(ents) != 2 {
+		t.Fatalf("EntriesSince(1.1) = %d entries, want 2", len(ents))
+	}
+	got := map[string]string{}
+	for _, ent := range ents {
+		got[ent.Key.Row] = string(ent.Cell.Value)
+	}
+	if got["r2"] != "v2new" || got["r3"] != "v3" {
+		t.Errorf("EntriesSince = %v", got)
+	}
+	if _, ok := got["r1"]; ok {
+		t.Error("EntriesSince included LSN ≤ after")
+	}
+
+	all := e.EntriesSince(0)
+	if len(all) != 3 { // r1, r2 (newest), r3
+		t.Errorf("EntriesSince(0) = %d entries", len(all))
+	}
+}
+
+func TestEngineTablesSince(t *testing.T) {
+	e, _ := newTestEngine(t)
+	put(e, "r1", "c", "v", 1)
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	put(e, "r2", "c", "v", 5)
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(e.TablesSince(wal.MakeLSN(1, 3))); n != 1 {
+		t.Errorf("TablesSince(1.3) = %d tables, want 1", n)
+	}
+	if n := len(e.TablesSince(0)); n != 2 {
+		t.Errorf("TablesSince(0) = %d tables, want 2", n)
+	}
+	if n := len(e.TablesSince(wal.MakeLSN(1, 9))); n != 0 {
+		t.Errorf("TablesSince(1.9) = %d tables, want 0", n)
+	}
+}
+
+func TestEngineDropMemtable(t *testing.T) {
+	e, _ := newTestEngine(t)
+	put(e, "r1", "c", "flushed", 1)
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	put(e, "r2", "c", "volatile", 2)
+	e.DropMemtable()
+	if _, ok := e.Get(kv.Key{Row: "r2", Col: "c"}); ok {
+		t.Error("volatile write survived DropMemtable")
+	}
+	if _, ok := e.Get(kv.Key{Row: "r1", Col: "c"}); !ok {
+		t.Error("flushed write lost")
+	}
+	if e.AppliedLSN() != e.Checkpoint() {
+		t.Errorf("AppliedLSN %s != Checkpoint %s", e.AppliedLSN(), e.Checkpoint())
+	}
+}
+
+func TestEngineFlushEmptyIsNoop(t *testing.T) {
+	e, _ := newTestEngine(t)
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	flushes, _, tables := e.Stats()
+	if flushes != 0 || tables != 0 {
+		t.Errorf("empty flush produced work: flushes=%d tables=%d", flushes, tables)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := manifest{nextID: 42, checkpoint: wal.MakeLSN(2, 7), tableIDs: []uint64{3, 9, 12}}
+	got, err := decodeManifest(encodeManifest(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.nextID != 42 || got.checkpoint != wal.MakeLSN(2, 7) || len(got.tableIDs) != 3 || got.tableIDs[2] != 12 {
+		t.Errorf("round trip = %+v", got)
+	}
+	if _, err := decodeManifest(nil); err == nil {
+		t.Error("nil manifest accepted")
+	}
+	if _, err := decodeManifest(encodeManifest(m)[:21]); err == nil {
+		t.Error("truncated manifest accepted")
+	}
+}

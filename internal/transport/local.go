@@ -1,0 +1,262 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spinnaker/internal/simtime"
+)
+
+// Network is a simulated in-process network. Each ordered pair of endpoints
+// communicates over a dedicated link that preserves send order and applies
+// a configurable one-way propagation delay — the rack-level 1-GbE switch of
+// the paper's test cluster (Appendix C), scaled down. Links pipeline:
+// messages in flight overlap, so the delay models latency, not bandwidth.
+type Network struct {
+	delay time.Duration
+
+	mu        sync.Mutex
+	eps       map[string]*LocalEndpoint
+	links     map[[2]string]*link
+	cut       map[[2]string]bool // unordered pair → partitioned
+	msgs      atomic.Int64
+	dropped   atomic.Int64
+	callSeq   atomic.Uint64
+	closedAll bool
+}
+
+// NewNetwork returns a network whose links have the given one-way delay.
+func NewNetwork(delay time.Duration) *Network {
+	return &Network{
+		delay: delay,
+		eps:   make(map[string]*LocalEndpoint),
+		links: make(map[[2]string]*link),
+		cut:   make(map[[2]string]bool),
+	}
+}
+
+// Join attaches a node and returns its endpoint. Re-joining an id replaces
+// the previous endpoint (a restarted node).
+func (n *Network) Join(id string) *LocalEndpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ep := &LocalEndpoint{id: id, net: n, pending: make(map[uint64]chan Message)}
+	n.eps[id] = ep
+	return ep
+}
+
+// Partition cuts connectivity between a and b (both directions); messages
+// in flight or sent while cut are dropped, as they would be by a TCP
+// connection that resets during the outage.
+func (n *Network) Partition(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cut[pairKey(a, b)] = true
+}
+
+// Heal restores connectivity between a and b.
+func (n *Network) Heal(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.cut, pairKey(a, b))
+}
+
+// Isolate cuts a from every current endpoint.
+func (n *Network) Isolate(id string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for other := range n.eps {
+		if other != id {
+			n.cut[pairKey(id, other)] = true
+		}
+	}
+}
+
+// HealAll removes every partition.
+func (n *Network) HealAll() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cut = make(map[[2]string]bool)
+}
+
+// Stats returns totals of delivered and dropped messages.
+func (n *Network) Stats() (delivered, dropped int64) {
+	return n.msgs.Load(), n.dropped.Load()
+}
+
+func pairKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// link carries messages for one ordered (from, to) pair.
+type link struct {
+	ch   chan timedMsg
+	stop chan struct{}
+}
+
+type timedMsg struct {
+	m   Message
+	due time.Time
+}
+
+const linkBuffer = 4096
+
+// getLink returns (creating if needed) the link from → to.
+func (n *Network) getLink(from, to string) *link {
+	key := [2]string{from, to}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if l, ok := n.links[key]; ok {
+		return l
+	}
+	l := &link{ch: make(chan timedMsg, linkBuffer), stop: make(chan struct{})}
+	n.links[key] = l
+	go n.run(l, to)
+	return l
+}
+
+// run delivers messages for a link in order, honoring per-message due
+// times. A constant per-link delay preserves FIFO order.
+func (n *Network) run(l *link, to string) {
+	for {
+		select {
+		case <-l.stop:
+			return
+		case tm := <-l.ch:
+			simtime.Sleep(time.Until(tm.due))
+			n.mu.Lock()
+			ep, ok := n.eps[to]
+			cut := n.cut[pairKey(tm.m.From, to)]
+			n.mu.Unlock()
+			if !ok || cut || ep.closed.Load() {
+				n.dropped.Add(1)
+				continue
+			}
+			n.msgs.Add(1)
+			ep.dispatch(tm.m)
+		}
+	}
+}
+
+// LocalEndpoint is a node's attachment to a Network.
+type LocalEndpoint struct {
+	id          string
+	net         *Network
+	handler     atomic.Value // Handler
+	closed      atomic.Bool
+	callTimeout atomic.Int64 // nanoseconds; 0 = DefaultCallTimeout
+
+	mu      sync.Mutex
+	pending map[uint64]chan Message
+}
+
+// SetCallTimeout overrides the per-Call deadline; zero restores the
+// default. Clients use a short timeout so a call to a crashed node fails
+// fast and routing retries take over.
+func (e *LocalEndpoint) SetCallTimeout(d time.Duration) {
+	e.callTimeout.Store(int64(d))
+}
+
+// ID implements Endpoint.
+func (e *LocalEndpoint) ID() string { return e.id }
+
+// SetHandler implements Endpoint.
+func (e *LocalEndpoint) SetHandler(h Handler) { e.handler.Store(h) }
+
+// Send implements Endpoint.
+func (e *LocalEndpoint) Send(m Message) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	m.From = e.id
+	e.net.mu.Lock()
+	_, known := e.net.eps[m.To]
+	cut := e.net.cut[pairKey(e.id, m.To)]
+	e.net.mu.Unlock()
+	if !known {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, m.To)
+	}
+	if cut {
+		// A TCP send into a partition buffers and eventually times
+		// out; the message never arrives. Model as a silent drop.
+		e.net.dropped.Add(1)
+		return nil
+	}
+	l := e.net.getLink(e.id, m.To)
+	select {
+	case l.ch <- timedMsg{m: m, due: time.Now().Add(e.net.delay)}:
+		return nil
+	default:
+		// Link buffer overflow: shed load like a saturated socket.
+		e.net.dropped.Add(1)
+		return fmt.Errorf("transport: link %s→%s overloaded", e.id, m.To)
+	}
+}
+
+// DefaultCallTimeout bounds Call when no deadline is configured.
+const DefaultCallTimeout = 5 * time.Second
+
+// Call implements Endpoint.
+func (e *LocalEndpoint) Call(m Message) (Message, error) {
+	id := e.net.callSeq.Add(1)
+	m.ID = id
+	ch := make(chan Message, 1)
+	e.mu.Lock()
+	e.pending[id] = ch
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		delete(e.pending, id)
+		e.mu.Unlock()
+	}()
+	if err := e.Send(m); err != nil {
+		return Message{}, err
+	}
+	timeout := time.Duration(e.callTimeout.Load())
+	if timeout <= 0 {
+		timeout = DefaultCallTimeout
+	}
+	select {
+	case reply := <-ch:
+		return reply, nil
+	case <-time.After(timeout):
+		return Message{}, fmt.Errorf("%w: %s → %s kind %d", ErrTimeout, e.id, m.To, m.Kind)
+	}
+}
+
+// Reply implements Endpoint.
+func (e *LocalEndpoint) Reply(req Message, m Message) error {
+	m.To = req.From
+	m.ID = req.ID
+	m.Reply = true
+	return e.Send(m)
+}
+
+// dispatch routes an inbound message to a pending call or the handler.
+func (e *LocalEndpoint) dispatch(m Message) {
+	if m.Reply {
+		e.mu.Lock()
+		ch, ok := e.pending[m.ID]
+		e.mu.Unlock()
+		if ok {
+			ch <- m
+		}
+		return
+	}
+	if h, ok := e.handler.Load().(Handler); ok && h != nil {
+		h(m)
+	}
+}
+
+// Close implements Endpoint.
+func (e *LocalEndpoint) Close() error {
+	e.closed.Store(true)
+	return nil
+}
+
+var _ Endpoint = (*LocalEndpoint)(nil)

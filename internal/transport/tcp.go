@@ -1,0 +1,215 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TCPEndpoint is an Endpoint over real TCP sockets, used when running
+// Spinnaker nodes as separate processes (cmd/spinnaker-server). One
+// outbound connection per destination is maintained; the remote peer's
+// reader goroutine preserves in-order delivery per connection, matching the
+// paper's design choice (Appendix A.1).
+type TCPEndpoint struct {
+	id      string
+	addrs   map[string]string // node id → host:port
+	ln      net.Listener
+	handler atomic.Value // Handler
+	closed  atomic.Bool
+	callSeq atomic.Uint64
+
+	mu      sync.Mutex
+	conns   map[string]*tcpConn
+	pending map[uint64]chan Message
+}
+
+type tcpConn struct {
+	mu sync.Mutex // serializes writes
+	c  net.Conn
+}
+
+// ListenTCP starts an endpoint for node id listening on addrs[id].
+// The addrs map must name every node the endpoint will talk to.
+func ListenTCP(id string, addrs map[string]string) (*TCPEndpoint, error) {
+	addr, ok := addrs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s has no address", ErrUnknownNode, id)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	e := &TCPEndpoint{
+		id:      id,
+		addrs:   addrs,
+		ln:      ln,
+		conns:   make(map[string]*tcpConn),
+		pending: make(map[uint64]chan Message),
+	}
+	go e.acceptLoop()
+	return e, nil
+}
+
+// Addr returns the bound listen address (useful with ":0" ports).
+func (e *TCPEndpoint) Addr() string { return e.ln.Addr().String() }
+
+func (e *TCPEndpoint) acceptLoop() {
+	for {
+		c, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go e.readLoop(c)
+	}
+}
+
+func (e *TCPEndpoint) readLoop(c net.Conn) {
+	defer c.Close()
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(c, lenBuf[:]); err != nil {
+			return
+		}
+		size := binary.LittleEndian.Uint32(lenBuf[:])
+		if size > 64<<20 {
+			return // refuse absurd frames
+		}
+		body := make([]byte, size)
+		if _, err := io.ReadFull(c, body); err != nil {
+			return
+		}
+		m, err := DecodeMessage(body)
+		if err != nil {
+			return
+		}
+		e.dispatch(m)
+	}
+}
+
+func (e *TCPEndpoint) dispatch(m Message) {
+	if m.Reply {
+		e.mu.Lock()
+		ch, ok := e.pending[m.ID]
+		e.mu.Unlock()
+		if ok {
+			ch <- m
+		}
+		return
+	}
+	if h, ok := e.handler.Load().(Handler); ok && h != nil {
+		h(m)
+	}
+}
+
+// ID implements Endpoint.
+func (e *TCPEndpoint) ID() string { return e.id }
+
+// SetHandler implements Endpoint.
+func (e *TCPEndpoint) SetHandler(h Handler) { e.handler.Store(h) }
+
+// conn returns (dialing if necessary) the outbound connection to node.
+func (e *TCPEndpoint) conn(node string) (*tcpConn, error) {
+	e.mu.Lock()
+	tc, ok := e.conns[node]
+	e.mu.Unlock()
+	if ok {
+		return tc, nil
+	}
+	addr, ok := e.addrs[node]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownNode, node)
+	}
+	c, err := net.DialTimeout("tcp", addr, 3*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", node, err)
+	}
+	tc = &tcpConn{c: c}
+	e.mu.Lock()
+	if cur, ok := e.conns[node]; ok {
+		e.mu.Unlock()
+		c.Close()
+		return cur, nil
+	}
+	e.conns[node] = tc
+	e.mu.Unlock()
+	return tc, nil
+}
+
+// Send implements Endpoint.
+func (e *TCPEndpoint) Send(m Message) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	m.From = e.id
+	tc, err := e.conn(m.To)
+	if err != nil {
+		return err
+	}
+	buf := EncodeMessage(m)
+	tc.mu.Lock()
+	_, err = tc.c.Write(buf)
+	tc.mu.Unlock()
+	if err != nil {
+		// Connection broke; forget it so the next send re-dials.
+		e.mu.Lock()
+		if e.conns[m.To] == tc {
+			delete(e.conns, m.To)
+		}
+		e.mu.Unlock()
+		tc.c.Close()
+		return fmt.Errorf("transport: send to %s: %w", m.To, err)
+	}
+	return nil
+}
+
+// Call implements Endpoint.
+func (e *TCPEndpoint) Call(m Message) (Message, error) {
+	id := e.callSeq.Add(1)
+	m.ID = id
+	ch := make(chan Message, 1)
+	e.mu.Lock()
+	e.pending[id] = ch
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		delete(e.pending, id)
+		e.mu.Unlock()
+	}()
+	if err := e.Send(m); err != nil {
+		return Message{}, err
+	}
+	select {
+	case reply := <-ch:
+		return reply, nil
+	case <-time.After(DefaultCallTimeout):
+		return Message{}, fmt.Errorf("%w: %s → %s kind %d", ErrTimeout, e.id, m.To, m.Kind)
+	}
+}
+
+// Reply implements Endpoint.
+func (e *TCPEndpoint) Reply(req Message, m Message) error {
+	m.To = req.From
+	m.ID = req.ID
+	m.Reply = true
+	return e.Send(m)
+}
+
+// Close implements Endpoint.
+func (e *TCPEndpoint) Close() error {
+	e.closed.Store(true)
+	err := e.ln.Close()
+	e.mu.Lock()
+	for _, tc := range e.conns {
+		tc.c.Close()
+	}
+	e.conns = make(map[string]*tcpConn)
+	e.mu.Unlock()
+	return err
+}
+
+var _ Endpoint = (*TCPEndpoint)(nil)

@@ -1,0 +1,67 @@
+// Package wal implements the shared write-ahead log used by every Spinnaker
+// node (paper §4.1, §5, §6, Appendix B).
+//
+// A node writes the log records of all the cohorts it belongs to into one
+// physical log so that a single dedicated logging device can be used. Each
+// cohort uses its own logical stream of LSNs within the shared log. An LSN is
+// a two-part epoch.sequence value: the epoch is incremented on every leader
+// takeover (through the coordination service) which guarantees that a new
+// leader assigns LSNs greater than any LSN previously used in the cohort.
+// LSNs effectively play the role of Paxos proposal numbers.
+package wal
+
+import "fmt"
+
+// epochBits is the number of high-order bits of an LSN reserved for the
+// epoch number (paper §7, footnote 1). The remaining low-order bits hold the
+// per-epoch sequence number.
+const epochBits = 16
+
+const seqBits = 64 - epochBits
+
+// MaxEpoch is the largest representable epoch number.
+const MaxEpoch = 1<<epochBits - 1
+
+// MaxSeq is the largest representable sequence number within an epoch.
+const MaxSeq = 1<<seqBits - 1
+
+// LSN is a log sequence number with a two-part e.seq representation
+// (paper Appendix B). The zero LSN is smaller than every valid LSN and is
+// used as "nothing logged yet".
+type LSN uint64
+
+// MakeLSN builds an LSN from an epoch and a sequence number.
+// It panics if either component is out of range; epochs are small integers
+// allocated by the coordination service and sequences are bounded by the
+// number of writes in an epoch, so an overflow is a programming error.
+func MakeLSN(epoch uint32, seq uint64) LSN {
+	if epoch > MaxEpoch {
+		panic(fmt.Sprintf("wal: epoch %d overflows %d bits", epoch, epochBits))
+	}
+	if seq > MaxSeq {
+		panic(fmt.Sprintf("wal: sequence %d overflows %d bits", seq, seqBits))
+	}
+	return LSN(uint64(epoch)<<seqBits | seq)
+}
+
+// Epoch returns the epoch component of the LSN.
+func (l LSN) Epoch() uint32 { return uint32(uint64(l) >> seqBits) }
+
+// Seq returns the sequence component of the LSN.
+func (l LSN) Seq() uint64 { return uint64(l) & MaxSeq }
+
+// Next returns the LSN that follows l within the same epoch.
+func (l LSN) Next() LSN {
+	if l.Seq() == MaxSeq {
+		panic("wal: sequence overflow; epoch must be advanced")
+	}
+	return l + 1
+}
+
+// IsZero reports whether l is the zero LSN ("nothing logged").
+func (l LSN) IsZero() bool { return l == 0 }
+
+// String renders the LSN in the paper's e.seq notation, e.g. "1.21".
+func (l LSN) String() string {
+	return fmt.Sprintf("%d.%d", l.Epoch(), l.Seq())
+}

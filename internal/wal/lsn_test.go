@@ -1,0 +1,102 @@
+package wal
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeLSNRoundTrip(t *testing.T) {
+	cases := []struct {
+		epoch uint32
+		seq   uint64
+	}{
+		{0, 0}, {1, 0}, {0, 1}, {1, 21}, {2, 30}, {MaxEpoch, MaxSeq},
+	}
+	for _, c := range cases {
+		l := MakeLSN(c.epoch, c.seq)
+		if l.Epoch() != c.epoch {
+			t.Errorf("MakeLSN(%d,%d).Epoch() = %d", c.epoch, c.seq, l.Epoch())
+		}
+		if l.Seq() != c.seq {
+			t.Errorf("MakeLSN(%d,%d).Seq() = %d", c.epoch, c.seq, l.Seq())
+		}
+	}
+}
+
+func TestLSNOrderingAcrossEpochs(t *testing.T) {
+	// Paper App. B: epoch numbers guarantee LSNs in a new epoch exceed
+	// every LSN of prior epochs, regardless of sequence numbers.
+	if !(MakeLSN(2, 0) > MakeLSN(1, MaxSeq)) {
+		t.Fatal("epoch 2 LSNs must exceed all epoch 1 LSNs")
+	}
+	if !(MakeLSN(1, 21) > MakeLSN(1, 20)) {
+		t.Fatal("sequence ordering broken within an epoch")
+	}
+	if !(MakeLSN(2, 22) > MakeLSN(1, 22)) {
+		t.Fatal("epoch must dominate sequence")
+	}
+}
+
+func TestLSNString(t *testing.T) {
+	if got := MakeLSN(1, 21).String(); got != "1.21" {
+		t.Errorf("String() = %q, want 1.21", got)
+	}
+	if got := MakeLSN(2, 30).String(); got != "2.30" {
+		t.Errorf("String() = %q, want 2.30", got)
+	}
+}
+
+func TestLSNNext(t *testing.T) {
+	l := MakeLSN(3, 41)
+	n := l.Next()
+	if n.Epoch() != 3 || n.Seq() != 42 {
+		t.Errorf("Next() = %s, want 3.42", n)
+	}
+}
+
+func TestLSNZero(t *testing.T) {
+	var l LSN
+	if !l.IsZero() {
+		t.Error("zero LSN must report IsZero")
+	}
+	if MakeLSN(0, 1).IsZero() {
+		t.Error("0.1 must not report IsZero")
+	}
+	if !(MakeLSN(0, 1) > l) {
+		t.Error("zero LSN must be smaller than any valid LSN")
+	}
+}
+
+func TestMakeLSNPanicsOnOverflow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MakeLSN must panic on sequence overflow")
+		}
+	}()
+	MakeLSN(1, MaxSeq+1)
+}
+
+func TestLSNPropertyRoundTrip(t *testing.T) {
+	// Property: decomposing any (epoch, seq) pair recovers the inputs and
+	// preserves lexicographic order.
+	f := func(e uint16, s uint64) bool {
+		seq := s & MaxSeq
+		l := MakeLSN(uint32(e), seq)
+		return l.Epoch() == uint32(e) && l.Seq() == seq
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+
+	order := func(e1, e2 uint16, s1, s2 uint64) bool {
+		l1 := MakeLSN(uint32(e1), s1&MaxSeq)
+		l2 := MakeLSN(uint32(e2), s2&MaxSeq)
+		if e1 != e2 {
+			return (l1 < l2) == (e1 < e2)
+		}
+		return (l1 < l2) == (s1&MaxSeq < s2&MaxSeq)
+	}
+	if err := quick.Check(order, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,173 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// A MetaStore holds small pieces of durable node metadata outside the log
+// proper: skipped-LSN lists (paper §6.1.1: "saved to a known location on
+// disk") and storage-engine checkpoint manifests. Put must be atomic and
+// durable on return.
+type MetaStore interface {
+	Put(key string, val []byte) error
+	Get(key string) (val []byte, ok bool, err error)
+	Delete(key string) error
+	// Keys returns all keys with the given prefix, sorted.
+	Keys(prefix string) ([]string, error)
+}
+
+// MemMetaStore is an in-memory MetaStore. Puts are modeled as immediately
+// durable (they survive Crash); Fail destroys everything, simulating the
+// disk failure path of §6.1.
+type MemMetaStore struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+// NewMemMetaStore returns an empty store.
+func NewMemMetaStore() *MemMetaStore {
+	return &MemMetaStore{m: make(map[string][]byte)}
+}
+
+// Put implements MetaStore.
+func (s *MemMetaStore) Put(key string, val []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key] = append([]byte(nil), val...)
+	return nil
+}
+
+// Get implements MetaStore.
+func (s *MemMetaStore) Get(key string) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.m[key]
+	if !ok {
+		return nil, false, nil
+	}
+	return append([]byte(nil), v...), true, nil
+}
+
+// Delete implements MetaStore.
+func (s *MemMetaStore) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.m, key)
+	return nil
+}
+
+// Keys implements MetaStore.
+func (s *MemMetaStore) Keys(prefix string) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var keys []string
+	for k := range s.m {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Fail destroys all metadata (permanent disk failure).
+func (s *MemMetaStore) Fail() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m = make(map[string][]byte)
+}
+
+// FileMetaStore is a MetaStore storing each key as a file, written with the
+// write-temp-then-rename idiom for atomicity.
+type FileMetaStore struct {
+	dir string
+	mu  sync.Mutex
+}
+
+// NewFileMetaStore returns a store rooted at dir, creating it if needed.
+func NewFileMetaStore(dir string) (*FileMetaStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: mkdir %s: %w", dir, err)
+	}
+	return &FileMetaStore{dir: dir}, nil
+}
+
+// escape converts a metadata key to a safe file name.
+func escape(key string) string {
+	return strings.NewReplacer("/", "__", ":", "--").Replace(key)
+}
+
+// Put implements MetaStore.
+func (s *FileMetaStore) Put(key string, val []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	path := filepath.Join(s.dir, escape(key))
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, val, 0o644); err != nil {
+		return fmt.Errorf("wal: meta put: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("wal: meta rename: %w", err)
+	}
+	return nil
+}
+
+// Get implements MetaStore.
+func (s *FileMetaStore) Get(key string) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, err := os.ReadFile(filepath.Join(s.dir, escape(key)))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("wal: meta get: %w", err)
+	}
+	return b, true, nil
+}
+
+// Delete implements MetaStore.
+func (s *FileMetaStore) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := os.Remove(filepath.Join(s.dir, escape(key)))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// Keys implements MetaStore. Escaped names are returned as stored keys only
+// when the escaping is reversible; to keep things simple the store lists by
+// escaped prefix, which is sufficient for the fixed key shapes used here.
+func (s *FileMetaStore) Keys(prefix string) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: meta keys: %w", err)
+	}
+	esc := escape(prefix)
+	var keys []string
+	for _, e := range ents {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			continue
+		}
+		if strings.HasPrefix(name, esc) {
+			keys = append(keys, strings.NewReplacer("__", "/", "--", ":").Replace(name))
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+var (
+	_ MetaStore = (*MemMetaStore)(nil)
+	_ MetaStore = (*FileMetaStore)(nil)
+)

@@ -1,0 +1,118 @@
+package wal
+
+import (
+	"testing"
+)
+
+func testMetaStore(t *testing.T, ms MetaStore) {
+	t.Helper()
+	if err := ms.Put("a/1", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.Put("a/2", []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.Put("b/1", []byte("three")); err != nil {
+		t.Fatal(err)
+	}
+
+	v, ok, err := ms.Get("a/1")
+	if err != nil || !ok || string(v) != "one" {
+		t.Fatalf("Get(a/1) = %q,%v,%v", v, ok, err)
+	}
+	if _, ok, _ := ms.Get("missing"); ok {
+		t.Error("Get(missing) reported ok")
+	}
+
+	// Overwrite.
+	if err := ms.Put("a/1", []byte("uno")); err != nil {
+		t.Fatal(err)
+	}
+	v, _, _ = ms.Get("a/1")
+	if string(v) != "uno" {
+		t.Errorf("after overwrite Get = %q", v)
+	}
+
+	keys, err := ms.Keys("a/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 {
+		t.Errorf("Keys(a/) = %v", keys)
+	}
+
+	if err := ms.Delete("a/1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := ms.Get("a/1"); ok {
+		t.Error("deleted key still present")
+	}
+	// Deleting a missing key is not an error.
+	if err := ms.Delete("a/1"); err != nil {
+		t.Errorf("double delete: %v", err)
+	}
+}
+
+func TestMemMetaStore(t *testing.T) {
+	testMetaStore(t, NewMemMetaStore())
+}
+
+func TestFileMetaStore(t *testing.T) {
+	ms, err := NewFileMetaStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	testMetaStore(t, ms)
+}
+
+func TestMemMetaStoreIsolation(t *testing.T) {
+	ms := NewMemMetaStore()
+	val := []byte("mutable")
+	if err := ms.Put("k", val); err != nil {
+		t.Fatal(err)
+	}
+	val[0] = 'X' // caller mutates its buffer after Put
+	got, _, _ := ms.Get("k")
+	if string(got) != "mutable" {
+		t.Errorf("store aliased caller buffer: %q", got)
+	}
+	got[0] = 'Y' // caller mutates the returned buffer
+	got2, _, _ := ms.Get("k")
+	if string(got2) != "mutable" {
+		t.Errorf("store aliased returned buffer: %q", got2)
+	}
+}
+
+func TestMemMetaStoreFail(t *testing.T) {
+	ms := NewMemMetaStore()
+	if err := ms.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	ms.Fail()
+	if _, ok, _ := ms.Get("k"); ok {
+		t.Error("data survived Fail")
+	}
+}
+
+func TestFileMetaStorePersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	ms, err := NewFileMetaStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.Put("skiplsn/3", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	ms2, err := NewFileMetaStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := ms2.Get("skiplsn/3")
+	if err != nil || !ok || string(v) != "payload" {
+		t.Fatalf("reopened Get = %q,%v,%v", v, ok, err)
+	}
+	keys, _ := ms2.Keys("skiplsn/")
+	if len(keys) != 1 || keys[0] != "skiplsn/3" {
+		t.Errorf("Keys = %v", keys)
+	}
+}

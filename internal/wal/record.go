@@ -1,0 +1,112 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// RecType discriminates the kinds of records in the shared log.
+type RecType uint8
+
+const (
+	// RecWrite carries a replicated write (a put/delete proposal). These
+	// are the records forced to disk before acknowledging a propose
+	// message (paper §5, Fig 4).
+	RecWrite RecType = 1 + iota
+	// RecLastCommitted records the cohort's last committed LSN. It is
+	// written with a non-forced log write when a commit message is sent
+	// or processed (paper §5: "log last committed LSN, non-forced").
+	RecLastCommitted
+	// RecCheckpoint records that all of a cohort's writes up to the LSN
+	// have been captured in SSTables; local recovery replays from the
+	// most recent checkpoint (paper §6.1).
+	RecCheckpoint
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (t RecType) String() string {
+	switch t {
+	case RecWrite:
+		return "write"
+	case RecLastCommitted:
+		return "lastCommitted"
+	case RecCheckpoint:
+		return "checkpoint"
+	default:
+		return fmt.Sprintf("RecType(%d)", uint8(t))
+	}
+}
+
+// Record is one entry in a node's shared write-ahead log. Cohort identifies
+// the logical LSN stream the record belongs to: the shared log interleaves
+// the records of every cohort (key range) the node serves (paper §4.1).
+type Record struct {
+	Cohort  uint32
+	Type    RecType
+	LSN     LSN
+	Payload []byte
+}
+
+// recHeaderSize is the fixed framing: u32 body length + u32 CRC32.
+const recHeaderSize = 8
+
+// recBodyFixed is the fixed portion of the body: type + cohort + LSN.
+const recBodyFixed = 1 + 4 + 8
+
+// ErrCorruptRecord is returned when decoding hits a CRC or framing
+// mismatch. During recovery this marks the torn tail of the log: bytes
+// appended but not forced before a crash.
+var ErrCorruptRecord = errors.New("wal: corrupt record")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// EncodedSize returns the number of bytes Encode will produce.
+func (r *Record) EncodedSize() int {
+	return recHeaderSize + recBodyFixed + len(r.Payload)
+}
+
+// Encode serializes the record with length+CRC framing, appending to dst.
+func (r *Record) Encode(dst []byte) []byte {
+	bodyLen := recBodyFixed + len(r.Payload)
+	need := recHeaderSize + bodyLen
+	start := len(dst)
+	dst = append(dst, make([]byte, need)...)
+	b := dst[start:]
+	binary.LittleEndian.PutUint32(b[0:4], uint32(bodyLen))
+	body := b[recHeaderSize:]
+	body[0] = byte(r.Type)
+	binary.LittleEndian.PutUint32(body[1:5], r.Cohort)
+	binary.LittleEndian.PutUint64(body[5:13], uint64(r.LSN))
+	copy(body[13:], r.Payload)
+	binary.LittleEndian.PutUint32(b[4:8], crc32.Checksum(body, crcTable))
+	return dst
+}
+
+// DecodeRecord parses one record from b. It returns the record and the
+// total number of bytes consumed. ErrCorruptRecord is returned on framing
+// or checksum errors, which recovery treats as the end of the valid log.
+func DecodeRecord(b []byte) (Record, int, error) {
+	if len(b) < recHeaderSize {
+		return Record{}, 0, ErrCorruptRecord
+	}
+	bodyLen := int(binary.LittleEndian.Uint32(b[0:4]))
+	if bodyLen < recBodyFixed || bodyLen > len(b)-recHeaderSize {
+		return Record{}, 0, ErrCorruptRecord
+	}
+	wantCRC := binary.LittleEndian.Uint32(b[4:8])
+	body := b[recHeaderSize : recHeaderSize+bodyLen]
+	if crc32.Checksum(body, crcTable) != wantCRC {
+		return Record{}, 0, ErrCorruptRecord
+	}
+	rec := Record{
+		Type:   RecType(body[0]),
+		Cohort: binary.LittleEndian.Uint32(body[1:5]),
+		LSN:    LSN(binary.LittleEndian.Uint64(body[5:13])),
+	}
+	if bodyLen > recBodyFixed {
+		rec.Payload = append([]byte(nil), body[recBodyFixed:]...)
+	}
+	return rec, recHeaderSize + bodyLen, nil
+}

@@ -1,0 +1,110 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	rec := Record{Cohort: 7, Type: RecWrite, LSN: MakeLSN(1, 21), Payload: []byte("k=v")}
+	buf := rec.Encode(nil)
+	if len(buf) != rec.EncodedSize() {
+		t.Fatalf("EncodedSize = %d, Encode produced %d", rec.EncodedSize(), len(buf))
+	}
+	got, n, err := DecodeRecord(buf)
+	if err != nil {
+		t.Fatalf("DecodeRecord: %v", err)
+	}
+	if n != len(buf) {
+		t.Errorf("consumed %d, want %d", n, len(buf))
+	}
+	if got.Cohort != rec.Cohort || got.Type != rec.Type || got.LSN != rec.LSN || !bytes.Equal(got.Payload, rec.Payload) {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, rec)
+	}
+}
+
+func TestRecordEmptyPayload(t *testing.T) {
+	rec := Record{Cohort: 0, Type: RecLastCommitted, LSN: MakeLSN(2, 5)}
+	got, _, err := DecodeRecord(rec.Encode(nil))
+	if err != nil {
+		t.Fatalf("DecodeRecord: %v", err)
+	}
+	if len(got.Payload) != 0 {
+		t.Errorf("payload = %v, want empty", got.Payload)
+	}
+}
+
+func TestRecordDetectsCorruption(t *testing.T) {
+	rec := Record{Cohort: 3, Type: RecWrite, LSN: MakeLSN(1, 1), Payload: []byte("payload")}
+	buf := rec.Encode(nil)
+	for _, i := range []int{0, 4, recHeaderSize, len(buf) - 1} {
+		mut := append([]byte(nil), buf...)
+		mut[i] ^= 0xFF
+		if _, _, err := DecodeRecord(mut); !errors.Is(err, ErrCorruptRecord) {
+			t.Errorf("flipping byte %d: err = %v, want ErrCorruptRecord", i, err)
+		}
+	}
+}
+
+func TestRecordTruncatedBuffer(t *testing.T) {
+	rec := Record{Cohort: 1, Type: RecWrite, LSN: MakeLSN(1, 2), Payload: []byte("abcdef")}
+	buf := rec.Encode(nil)
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := DecodeRecord(buf[:cut]); !errors.Is(err, ErrCorruptRecord) {
+			t.Errorf("cut at %d: err = %v, want ErrCorruptRecord", cut, err)
+		}
+	}
+}
+
+func TestRecordBackToBack(t *testing.T) {
+	r1 := Record{Cohort: 1, Type: RecWrite, LSN: MakeLSN(1, 1), Payload: []byte("one")}
+	r2 := Record{Cohort: 2, Type: RecCheckpoint, LSN: MakeLSN(1, 2), Payload: []byte("two")}
+	buf := r2.Encode(r1.Encode(nil))
+	got1, n1, err := DecodeRecord(buf)
+	if err != nil {
+		t.Fatalf("first: %v", err)
+	}
+	got2, _, err := DecodeRecord(buf[n1:])
+	if err != nil {
+		t.Fatalf("second: %v", err)
+	}
+	if got1.Cohort != 1 || got2.Cohort != 2 {
+		t.Errorf("cohorts = %d,%d want 1,2", got1.Cohort, got2.Cohort)
+	}
+	if !bytes.Equal(got2.Payload, []byte("two")) {
+		t.Errorf("second payload = %q", got2.Payload)
+	}
+}
+
+func TestRecordPropertyRoundTrip(t *testing.T) {
+	f := func(cohort uint32, typ uint8, epoch uint16, seq uint64, payload []byte) bool {
+		rec := Record{
+			Cohort:  cohort,
+			Type:    RecType(typ%3 + 1),
+			LSN:     MakeLSN(uint32(epoch), seq&MaxSeq),
+			Payload: payload,
+		}
+		got, n, err := DecodeRecord(rec.Encode(nil))
+		if err != nil || n != rec.EncodedSize() {
+			return false
+		}
+		return got.Cohort == rec.Cohort && got.Type == rec.Type &&
+			got.LSN == rec.LSN && bytes.Equal(got.Payload, rec.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecTypeString(t *testing.T) {
+	for typ, want := range map[RecType]string{
+		RecWrite: "write", RecLastCommitted: "lastCommitted",
+		RecCheckpoint: "checkpoint", RecType(99): "RecType(99)",
+	} {
+		if got := typ.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", typ, got, want)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// SkippedLSNs is the logical-truncation structure of paper §6.1.1. A
+// recovering follower cannot physically truncate the shared log at f.cmt
+// because records of *other* cohorts interleave after it; instead the LSNs
+// of its own records in (f.cmt, f.lst] are remembered in a skipped-LSN
+// list, persisted to a known location on disk, and consulted by every
+// future invocation of local recovery so those records are never re-applied.
+//
+// The list is expected to be small (at most one commit period's worth of
+// writes) and is loaded into memory before recovery.
+type SkippedLSNs struct {
+	mu   sync.Mutex
+	lsns map[LSN]struct{}
+}
+
+// NewSkippedLSNs returns an empty list.
+func NewSkippedLSNs() *SkippedLSNs {
+	return &SkippedLSNs{lsns: make(map[LSN]struct{})}
+}
+
+// Add records that lsn must be skipped by local recovery.
+func (s *SkippedLSNs) Add(lsn LSN) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lsns[lsn] = struct{}{}
+}
+
+// AddRange adds every LSN in (after, through] that appears in present.
+// Recovery uses the follower's own log scan to enumerate which LSNs
+// actually exist in the ambiguous range.
+func (s *SkippedLSNs) AddRange(present []LSN, after, through LSN) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, l := range present {
+		if l > after && l <= through {
+			s.lsns[l] = struct{}{}
+		}
+	}
+}
+
+// Contains reports whether lsn was logically truncated.
+func (s *SkippedLSNs) Contains(lsn LSN) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.lsns[lsn]
+	return ok
+}
+
+// Len returns the number of skipped LSNs.
+func (s *SkippedLSNs) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.lsns)
+}
+
+// GC drops entries at or below the captured LSN; skipped-LSN lists are
+// garbage-collected along with log files (paper §6.1.1).
+func (s *SkippedLSNs) GC(captured LSN) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for l := range s.lsns {
+		if l <= captured {
+			delete(s.lsns, l)
+		}
+	}
+}
+
+// sorted returns the LSNs in ascending order; callers hold s.mu.
+func (s *SkippedLSNs) sorted() []LSN {
+	out := make([]LSN, 0, len(s.lsns))
+	for l := range s.lsns {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Encode serializes the list.
+func (s *SkippedLSNs) Encode() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lsns := s.sorted()
+	buf := make([]byte, 4+8*len(lsns))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(lsns)))
+	for i, l := range lsns {
+		binary.LittleEndian.PutUint64(buf[4+8*i:], uint64(l))
+	}
+	return buf
+}
+
+// DecodeSkippedLSNs parses a list serialized by Encode.
+func DecodeSkippedLSNs(b []byte) (*SkippedLSNs, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("wal: skipped-LSN list too short (%d bytes)", len(b))
+	}
+	n := int(binary.LittleEndian.Uint32(b[0:4]))
+	if len(b) < 4+8*n {
+		return nil, fmt.Errorf("wal: skipped-LSN list truncated: want %d entries", n)
+	}
+	s := NewSkippedLSNs()
+	for i := 0; i < n; i++ {
+		s.lsns[LSN(binary.LittleEndian.Uint64(b[4+8*i:]))] = struct{}{}
+	}
+	return s, nil
+}
+
+// skipKey is the MetaStore key holding a cohort's skipped-LSN list.
+func skipKey(cohort uint32) string { return fmt.Sprintf("skiplsn/%d", cohort) }
+
+// SaveSkippedLSNs persists a cohort's list to the metadata store.
+func SaveSkippedLSNs(ms MetaStore, cohort uint32, s *SkippedLSNs) error {
+	return ms.Put(skipKey(cohort), s.Encode())
+}
+
+// LoadSkippedLSNs loads a cohort's list, returning an empty list when none
+// has been saved.
+func LoadSkippedLSNs(ms MetaStore, cohort uint32) (*SkippedLSNs, error) {
+	b, ok, err := ms.Get(skipKey(cohort))
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return NewSkippedLSNs(), nil
+	}
+	return DecodeSkippedLSNs(b)
+}

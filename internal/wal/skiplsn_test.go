@@ -1,0 +1,130 @@
+package wal
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSkippedLSNsBasic(t *testing.T) {
+	s := NewSkippedLSNs()
+	if s.Contains(MakeLSN(1, 22)) {
+		t.Error("empty list must contain nothing")
+	}
+	s.Add(MakeLSN(1, 22))
+	if !s.Contains(MakeLSN(1, 22)) {
+		t.Error("added LSN missing")
+	}
+	if s.Contains(MakeLSN(1, 21)) {
+		t.Error("unrelated LSN present")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestSkippedLSNsAddRange(t *testing.T) {
+	// Appendix B, S3→S4: node C recovers with cmt=1.10, lst=1.22; the new
+	// leader's history keeps 1.11..1.21 but discards 1.22. C's ambiguous
+	// range is (1.10, 1.22]; only the LSNs actually present in C's log and
+	// not re-sent by the leader end up skipped. AddRange records the
+	// whole ambiguous set first.
+	s := NewSkippedLSNs()
+	present := []LSN{MakeLSN(1, 9), MakeLSN(1, 11), MakeLSN(1, 21), MakeLSN(1, 22)}
+	s.AddRange(present, MakeLSN(1, 10), MakeLSN(1, 22))
+	if s.Contains(MakeLSN(1, 9)) {
+		t.Error("LSN at or below f.cmt must not be skipped")
+	}
+	for _, l := range []LSN{MakeLSN(1, 11), MakeLSN(1, 21), MakeLSN(1, 22)} {
+		if !s.Contains(l) {
+			t.Errorf("LSN %s missing from skip list", l)
+		}
+	}
+}
+
+func TestSkippedLSNsEncodeDecode(t *testing.T) {
+	s := NewSkippedLSNs()
+	for _, l := range []LSN{MakeLSN(1, 22), MakeLSN(2, 3), MakeLSN(1, 11)} {
+		s.Add(l)
+	}
+	got, err := DecodeSkippedLSNs(s.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 3 {
+		t.Fatalf("decoded Len = %d", got.Len())
+	}
+	for _, l := range []LSN{MakeLSN(1, 22), MakeLSN(2, 3), MakeLSN(1, 11)} {
+		if !got.Contains(l) {
+			t.Errorf("decoded list missing %s", l)
+		}
+	}
+}
+
+func TestSkippedLSNsDecodeErrors(t *testing.T) {
+	if _, err := DecodeSkippedLSNs(nil); err == nil {
+		t.Error("nil input must fail")
+	}
+	if _, err := DecodeSkippedLSNs([]byte{9, 0, 0, 0, 1}); err == nil {
+		t.Error("truncated input must fail")
+	}
+}
+
+func TestSkippedLSNsGC(t *testing.T) {
+	s := NewSkippedLSNs()
+	s.Add(MakeLSN(1, 5))
+	s.Add(MakeLSN(1, 9))
+	s.Add(MakeLSN(2, 1))
+	s.GC(MakeLSN(1, 9))
+	if s.Contains(MakeLSN(1, 5)) || s.Contains(MakeLSN(1, 9)) {
+		t.Error("GC left captured entries behind")
+	}
+	if !s.Contains(MakeLSN(2, 1)) {
+		t.Error("GC dropped a live entry")
+	}
+}
+
+func TestSkippedLSNsSaveLoad(t *testing.T) {
+	ms := NewMemMetaStore()
+	s := NewSkippedLSNs()
+	s.Add(MakeLSN(1, 22))
+	if err := SaveSkippedLSNs(ms, 3, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSkippedLSNs(ms, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Contains(MakeLSN(1, 22)) {
+		t.Error("loaded list missing entry")
+	}
+	// Loading a cohort with no saved list yields an empty list.
+	empty, err := LoadSkippedLSNs(ms, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Len() != 0 {
+		t.Errorf("fresh cohort list Len = %d", empty.Len())
+	}
+}
+
+func TestSkippedLSNsPropertyRoundTrip(t *testing.T) {
+	f := func(seqs []uint16) bool {
+		s := NewSkippedLSNs()
+		for _, q := range seqs {
+			s.Add(MakeLSN(1, uint64(q)))
+		}
+		got, err := DecodeSkippedLSNs(s.Encode())
+		if err != nil || got.Len() != s.Len() {
+			return false
+		}
+		for _, q := range seqs {
+			if !got.Contains(MakeLSN(1, uint64(q))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

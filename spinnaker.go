@@ -1,0 +1,315 @@
+// Package spinnaker is a from-scratch Go implementation of Spinnaker, the
+// scalable, consistent, and highly available datastore of Rao, Shekita, and
+// Tata (VLDB 2011). It features key-based range partitioning, 3-way
+// replication, and a transactional get-put API with the option to choose
+// either strong or timeline consistency on reads. Replication uses a
+// Multi-Paxos–derived protocol integrated with each node's shared
+// write-ahead log and recovery, with leader election and epochs managed
+// through a Zookeeper-like coordination service.
+//
+// The package runs a full multi-node cluster in process, over a simulated
+// network and simulated logging devices, which is how the paper's entire
+// evaluation is reproduced on one machine (see bench_test.go and
+// EXPERIMENTS.md). The underlying node implementation also runs over real
+// TCP and real disks via cmd/spinnaker-server.
+//
+// Quickstart:
+//
+//	cluster, err := spinnaker.NewCluster(spinnaker.Options{Nodes: 3})
+//	if err != nil { ... }
+//	defer cluster.Close()
+//
+//	client := cluster.NewClient()
+//	version, err := client.Put("user42", "email", []byte("x@example.com"))
+//	value, version, err := client.Get("user42", "email", spinnaker.Strong)
+package spinnaker
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"spinnaker/internal/core"
+	"spinnaker/internal/sim"
+	"spinnaker/internal/wal"
+)
+
+// Consistency selects the read consistency level (§3 of the paper).
+type Consistency bool
+
+const (
+	// Strong routes the read to the cohort leader; the latest committed
+	// value is always returned.
+	Strong Consistency = true
+	// Timeline may route the read to any replica; a possibly stale value
+	// is returned in exchange for better performance. Staleness is
+	// bounded by the commit period.
+	Timeline Consistency = false
+)
+
+// Errors returned by the client API.
+var (
+	// ErrNotFound reports a missing row or column.
+	ErrNotFound = core.ErrNotFound
+	// ErrVersionMismatch is returned by conditional put/delete when the
+	// column's current version differs from the one supplied.
+	ErrVersionMismatch = core.ErrVersionMismatch
+	// ErrUnavailable reports that the key's cohort has no majority alive
+	// (or is mid-takeover).
+	ErrUnavailable = core.ErrUnavailable
+)
+
+// LogDevice names a simulated logging-device latency profile.
+type LogDevice string
+
+// Logging device profiles (paper §9.2, App. D.4, D.6.2). Latencies are the
+// benchmark harness's scaled models of the paper's hardware (see
+// wal.DeviceHDD and friends for the exact figures).
+const (
+	// DeviceInstant has no simulated latency (unit tests, functional use).
+	DeviceInstant LogDevice = "instant"
+	// DeviceHDD models the dedicated SATA logging disk of Appendix C.
+	DeviceHDD LogDevice = "hdd"
+	// DeviceSSD models the FusionIO flash device of Appendix D.4.
+	DeviceSSD LogDevice = "ssd"
+	// DeviceMem models the main-memory log of Appendix D.6.2.
+	DeviceMem LogDevice = "mem"
+)
+
+func (d LogDevice) profile() (wal.DeviceProfile, error) {
+	switch d {
+	case "", DeviceInstant:
+		return wal.DeviceInstant, nil
+	case DeviceHDD:
+		return wal.DeviceHDD, nil
+	case DeviceSSD:
+		return wal.DeviceSSD, nil
+	case DeviceMem:
+		return wal.DeviceMem, nil
+	default:
+		return wal.DeviceProfile{}, fmt.Errorf("spinnaker: unknown log device %q", d)
+	}
+}
+
+// Options configure an embedded cluster.
+type Options struct {
+	// Nodes is the cluster size (default 3; the paper's local testbed
+	// uses 10, its EC2 runs 20-80).
+	Nodes int
+	// Replication is N, the cohort size (default 3, as in the paper).
+	Replication int
+	// CommitPeriod is the interval between the leader's asynchronous
+	// commit messages; it bounds timeline-read staleness and follower
+	// recovery work (paper §5, Table 1). Default 25ms.
+	CommitPeriod time.Duration
+	// NetworkDelay is the simulated one-way message latency (default 0).
+	NetworkDelay time.Duration
+	// LogDevice selects the logging-device latency profile (default
+	// DeviceInstant).
+	LogDevice LogDevice
+	// PiggybackCommits carries commit information on propose messages
+	// (App. D.1), shrinking staleness without extra messages.
+	PiggybackCommits bool
+	// ReadyTimeout bounds the wait for initial leader elections
+	// (default 30s).
+	ReadyTimeout time.Duration
+}
+
+// Cluster is an embedded multi-node Spinnaker deployment.
+type Cluster struct {
+	sc *sim.SpinnakerCluster
+}
+
+// NewCluster starts a cluster and waits until every key range has elected
+// a leader and is open for writes.
+func NewCluster(opts Options) (*Cluster, error) {
+	profile, err := LogDevice(opts.LogDevice).profile()
+	if err != nil {
+		return nil, err
+	}
+	sc, err := sim.NewSpinnakerCluster(sim.Options{
+		Nodes:            opts.Nodes,
+		Replication:      opts.Replication,
+		NetworkDelay:     opts.NetworkDelay,
+		Device:           profile,
+		CommitPeriod:     opts.CommitPeriod,
+		PiggybackCommits: opts.PiggybackCommits,
+	})
+	if err != nil {
+		return nil, err
+	}
+	timeout := opts.ReadyTimeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	if err := sc.WaitReady(timeout); err != nil {
+		sc.Stop()
+		return nil, err
+	}
+	return &Cluster{sc: sc}, nil
+}
+
+// NewClient attaches a new client to the cluster. Clients are safe for
+// concurrent use by a single goroutine each; create one per worker.
+func (c *Cluster) NewClient() *Client {
+	return &Client{c: c.sc.NewClient()}
+}
+
+// Nodes lists the ids of the running nodes.
+func (c *Cluster) Nodes() []string { return c.sc.Nodes() }
+
+// Key formats a numeric row key at the cluster's key width; workloads that
+// sweep numeric keys use it to hit every partition.
+func (c *Cluster) Key(i int) string { return c.sc.Key(i) }
+
+// LeaderOf returns the node currently leading the cohort for row's key
+// range, as registered in the coordination service.
+func (c *Cluster) LeaderOf(row string) string {
+	return c.sc.LeaderOf(c.sc.Layout.RangeOf(row))
+}
+
+// CrashNode simulates a node crash: the process dies and the unforced tail
+// of its log is lost. The cohort remains available as long as a majority
+// of its replicas are alive (§8.1).
+func (c *Cluster) CrashNode(id string) error { return c.sc.CrashNode(id) }
+
+// FailDisk destroys a crashed node's stable storage; on restart it
+// recovers entirely through the catch-up phase (§6.1).
+func (c *Cluster) FailDisk(id string) { c.sc.FailDisk(id) }
+
+// RestartNode restarts a crashed node over its surviving storage; it runs
+// local recovery and catches up before rejoining its cohorts.
+func (c *Cluster) RestartNode(id string) error { return c.sc.RestartNode(id) }
+
+// Close shuts the cluster down.
+func (c *Cluster) Close() { c.sc.Stop() }
+
+// Column is one column of a row in multi-column operations.
+type Column struct {
+	Col   string
+	Value []byte
+}
+
+// ColumnValue is a read column with its version.
+type ColumnValue struct {
+	Col     string
+	Value   []byte
+	Version uint64
+}
+
+// Client is a routing datastore client implementing the API of §3. Each
+// call executes as a single-operation transaction.
+type Client struct {
+	c *core.Client
+}
+
+// Get reads a column value and its version number from a row. Strong
+// consistency always returns the latest value; Timeline may return a
+// possibly stale value in exchange for better performance.
+func (cl *Client) Get(row, col string, consistency Consistency) ([]byte, uint64, error) {
+	return cl.c.Get(row, col, bool(consistency))
+}
+
+// GetRow reads every live column of a row.
+func (cl *Client) GetRow(row string, consistency Consistency) ([]ColumnValue, error) {
+	entries, err := cl.c.GetRow(row, bool(consistency))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ColumnValue, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, ColumnValue{Col: e.Key.Col, Value: e.Cell.Value, Version: e.Cell.Version})
+	}
+	return out, nil
+}
+
+// Put inserts a column value into a row and returns its version number.
+func (cl *Client) Put(row, col string, value []byte) (uint64, error) {
+	return cl.c.Put(row, col, value)
+}
+
+// Delete removes a column from a row.
+func (cl *Client) Delete(row, col string) error {
+	return cl.c.Delete(row, col)
+}
+
+// ConditionalPut inserts a new column value only if the column's current
+// version number equals version; otherwise ErrVersionMismatch is returned.
+// Use version 0 to insert only if the column does not exist. Together with
+// Get, this provides optimistic concurrency control for read-modify-write
+// transactions on a row (§3).
+func (cl *Client) ConditionalPut(row, col string, value []byte, version uint64) (uint64, error) {
+	return cl.c.ConditionalPut(row, col, value, version)
+}
+
+// ConditionalDelete removes the column only if its current version equals
+// version.
+func (cl *Client) ConditionalDelete(row, col string, version uint64) error {
+	return cl.c.ConditionalDelete(row, col, version)
+}
+
+// MultiPut atomically writes several columns of the same row in one
+// single-operation transaction.
+func (cl *Client) MultiPut(row string, cols []Column) ([]uint64, error) {
+	cc := make([]core.Column, len(cols))
+	for i, col := range cols {
+		cc[i] = core.Column{Col: col.Col, Value: col.Value}
+	}
+	return cl.c.MultiPut(row, cc)
+}
+
+// ConditionalMultiPut atomically writes several columns of the same row,
+// each guarded by its expected current version; if any check fails the
+// whole transaction fails.
+func (cl *Client) ConditionalMultiPut(row string, cols []Column, versions []uint64) ([]uint64, error) {
+	cc := make([]core.Column, len(cols))
+	for i, col := range cols {
+		cc[i] = core.Column{Col: col.Col, Value: col.Value}
+	}
+	return cl.c.ConditionalMultiPut(row, cc, versions)
+}
+
+// Increment transactionally adds delta to a counter column using the
+// get + conditionalPut retry loop from §3 of the paper, returning the new
+// value.
+func (cl *Client) Increment(row, col string, delta int64) (int64, error) {
+	for {
+		var cur int64
+		val, ver, err := cl.Get(row, col, Strong)
+		switch {
+		case err == nil:
+			if len(val) != 8 {
+				return 0, fmt.Errorf("spinnaker: column %s:%s is not a counter", row, col)
+			}
+			cur = int64(beUint64(val))
+		case errors.Is(err, ErrNotFound):
+			cur = 0
+		default:
+			return 0, err
+		}
+		next := cur + delta
+		if _, err := cl.ConditionalPut(row, col, bePut(uint64(next)), ver); err == nil {
+			return next, nil
+		} else if !errors.Is(err, ErrVersionMismatch) {
+			return 0, err
+		}
+		// Lost the race; retry with a fresh read.
+	}
+}
+
+func beUint64(b []byte) uint64 {
+	var v uint64
+	for _, x := range b {
+		v = v<<8 | uint64(x)
+	}
+	return v
+}
+
+func bePut(v uint64) []byte {
+	b := make([]byte, 8)
+	for i := 7; i >= 0; i-- {
+		b[i] = byte(v)
+		v >>= 8
+	}
+	return b
+}

@@ -1,0 +1,162 @@
+package spinnaker
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newCluster(t *testing.T, opts Options) *Cluster {
+	t.Helper()
+	c, err := NewCluster(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestPublicAPIBasics(t *testing.T) {
+	cluster := newCluster(t, Options{Nodes: 3})
+	client := cluster.NewClient()
+
+	v, err := client.Put("user42", "email", []byte("x@example.com"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	val, ver, err := client.Get("user42", "email", Strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(val) != "x@example.com" || ver != v {
+		t.Errorf("Get = %q v%d", val, ver)
+	}
+	if err := client.Delete("user42", "email"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := client.Get("user42", "email", Strong); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get after Delete: %v", err)
+	}
+}
+
+func TestPublicAPIConditional(t *testing.T) {
+	cluster := newCluster(t, Options{Nodes: 3})
+	client := cluster.NewClient()
+
+	v1, err := client.ConditionalPut("row", "c", []byte("a"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.ConditionalPut("row", "c", []byte("b"), 0); !errors.Is(err, ErrVersionMismatch) {
+		t.Errorf("stale conditional put: %v", err)
+	}
+	if _, err := client.ConditionalPut("row", "c", []byte("b"), v1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIMultiColumn(t *testing.T) {
+	cluster := newCluster(t, Options{Nodes: 3})
+	client := cluster.NewClient()
+
+	if _, err := client.MultiPut("profile", []Column{
+		{Col: "name", Value: []byte("Ada")},
+		{Col: "lang", Value: []byte("Go")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	row, err := client.GetRow("profile", Strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(row) != 2 || row[0].Col != "lang" || row[1].Col != "name" {
+		t.Errorf("GetRow = %+v", row)
+	}
+}
+
+func TestPublicAPIIncrement(t *testing.T) {
+	cluster := newCluster(t, Options{Nodes: 3})
+
+	var wg sync.WaitGroup
+	const workers, each = 4, 10
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := cluster.NewClient()
+			for i := 0; i < each; i++ {
+				if _, err := client.Increment("stats", "hits", 1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	got, err := cluster.NewClient().Increment("stats", "hits", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != workers*each {
+		t.Errorf("counter = %d, want %d", got, workers*each)
+	}
+}
+
+func TestPublicAPIFailover(t *testing.T) {
+	cluster := newCluster(t, Options{Nodes: 3, CommitPeriod: 5 * time.Millisecond})
+	client := cluster.NewClient()
+
+	if _, err := client.Put("durable", "c", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	leader := cluster.LeaderOf("durable")
+	if leader == "" {
+		t.Fatal("no leader registered")
+	}
+	if err := cluster.CrashNode(leader); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		val, _, err := client.Get("durable", "c", Strong)
+		if err == nil {
+			if string(val) != "v" {
+				t.Fatalf("value = %q after failover", val)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("unavailable after failover: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cluster.RestartNode(leader); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPITimelineRead(t *testing.T) {
+	cluster := newCluster(t, Options{Nodes: 3, CommitPeriod: 5 * time.Millisecond})
+	client := cluster.NewClient()
+	if _, err := client.Put("tl", "c", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		val, _, err := client.Get("tl", "c", Timeline)
+		if err == nil && string(val) == "x" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timeline read never converged: %v", err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := NewCluster(Options{LogDevice: "floppy"}); err == nil {
+		t.Error("unknown device accepted")
+	}
+}
