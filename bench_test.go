@@ -98,3 +98,8 @@ func BenchmarkAblationStaleness(b *testing.B) { runExperiment(b, "ablation-stale
 // BenchmarkAblationParallelPropose measures the parallel force+propose
 // design choice of Figure 4.
 func BenchmarkAblationParallelPropose(b *testing.B) { runExperiment(b, "ablation-parallelpropose") }
+
+// BenchmarkAblationProposalBatching compares the batched, pipelined
+// replication path against the paper's per-write protocol at 1/4/16/64
+// concurrent writers.
+func BenchmarkAblationProposalBatching(b *testing.B) { runExperiment(b, "ablation-batching") }

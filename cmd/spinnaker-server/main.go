@@ -55,10 +55,11 @@ type server struct {
 
 func main() {
 	var (
-		dir    = flag.String("dir", "", "data directory (required; created if missing)")
-		nodes  = flag.Int("nodes", 3, "number of nodes")
-		listen = flag.String("listen", "127.0.0.1:7070", "client listen address")
-		commit = flag.Duration("commit-period", 100*time.Millisecond, "commit message period")
+		dir     = flag.String("dir", "", "data directory (required; created if missing)")
+		nodes   = flag.Int("nodes", 3, "number of nodes")
+		listen  = flag.String("listen", "127.0.0.1:7070", "client listen address")
+		commit  = flag.Duration("commit-period", 100*time.Millisecond, "commit message period")
+		noBatch = flag.Bool("no-proposal-batching", false, "disable the batched replication pipeline (ablation)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -66,7 +67,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	s, err := newServer(*dir, *nodes, *commit)
+	s, err := newServer(*dir, *nodes, *commit, *noBatch)
 	if err != nil {
 		log.Fatalf("start cluster: %v", err)
 	}
@@ -84,7 +85,7 @@ func main() {
 	}
 }
 
-func newServer(dir string, nodeCount int, commitPeriod time.Duration) (*server, error) {
+func newServer(dir string, nodeCount int, commitPeriod time.Duration, noBatch bool) (*server, error) {
 	names := make([]string, nodeCount)
 	for i := range names {
 		names[i] = fmt.Sprintf("node%03d", i)
@@ -104,8 +105,9 @@ func newServer(dir string, nodeCount int, commitPeriod time.Duration) (*server, 
 		stores:   make(map[string]*core.Stores),
 		nodes:    make(map[string]*core.Node),
 		cfg: core.Config{
-			Layout:       layout,
-			CommitPeriod: commitPeriod,
+			Layout:                  layout,
+			CommitPeriod:            commitPeriod,
+			DisableProposalBatching: noBatch,
 		},
 	}
 	for _, name := range names {

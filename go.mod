@@ -1,0 +1,3 @@
+module spinnaker
+
+go 1.22

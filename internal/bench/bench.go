@@ -229,6 +229,7 @@ var Names = []string{
 	"figure13", "figure14", "figure15", "figure16",
 	"ablation-groupcommit", "ablation-piggyback",
 	"ablation-staleness", "ablation-parallelpropose",
+	"ablation-batching",
 }
 
 // Run executes one named experiment.
@@ -260,6 +261,8 @@ func Run(name string, cfg Config) (Table, error) {
 		return AblationStaleness(cfg)
 	case "ablation-parallelpropose":
 		return AblationParallelPropose(cfg)
+	case "ablation-batching":
+		return AblationProposalBatching(cfg)
 	default:
 		return Table{}, fmt.Errorf("bench: unknown experiment %q (have %v)", name, Names)
 	}

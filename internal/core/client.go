@@ -20,10 +20,11 @@ import (
 // (learned from the coordination service and cached); timeline reads go to
 // a random cohort member in exchange for better performance.
 type Client struct {
-	layout *cluster.Layout
-	ep     transport.Endpoint
-	sess   *coord.Session
-	rng    *rand.Rand
+	layout   *cluster.Layout
+	ep       transport.Endpoint
+	sess     *coord.Session
+	rng      *rand.Rand
+	asyncSem chan struct{}
 
 	mu      sync.Mutex
 	leaders map[uint32]string
@@ -33,11 +34,12 @@ type Client struct {
 // coordination-service session.
 func NewClient(layout *cluster.Layout, ep transport.Endpoint, coordSvc *coord.Service, seed int64) *Client {
 	return &Client{
-		layout:  layout,
-		ep:      ep,
-		sess:    coordSvc.Connect(),
-		rng:     rand.New(rand.NewSource(seed)),
-		leaders: make(map[uint32]string),
+		layout:   layout,
+		ep:       ep,
+		sess:     coordSvc.Connect(),
+		rng:      rand.New(rand.NewSource(seed)),
+		asyncSem: make(chan struct{}, maxAsyncInFlight),
+		leaders:  make(map[uint32]string),
 	}
 }
 
@@ -130,6 +132,105 @@ func (c *Client) write(op WriteOp) ([]uint64, error) {
 		lastErr = ErrUnavailable
 	}
 	return nil, lastErr
+}
+
+// maxAsyncInFlight bounds a client's concurrent asynchronous writes so a
+// large Batch pipelines without flooding the transport.
+const maxAsyncInFlight = 128
+
+// WriteFuture is the handle to an in-flight asynchronous write. Wait blocks
+// until the write commits (or fails) and returns the versions assigned to
+// its columns; it may be called multiple times and from any goroutine.
+type WriteFuture struct {
+	done     chan struct{}
+	versions []uint64
+	err      error
+}
+
+// Wait blocks for the write's outcome.
+func (f *WriteFuture) Wait() ([]uint64, error) {
+	<-f.done
+	return f.versions, f.err
+}
+
+// writeAsync routes op to the range leader without blocking the caller,
+// returning a future for the outcome. Each in-flight write occupies its own
+// request slot, so a single client can keep the leader's proposal pipeline
+// full (the batched replication path coalesces concurrently submitted
+// writes into shared propose batches and log forces).
+func (c *Client) writeAsync(op WriteOp) *WriteFuture {
+	f := &WriteFuture{done: make(chan struct{})}
+	c.asyncSem <- struct{}{}
+	go func() {
+		defer func() { <-c.asyncSem }()
+		f.versions, f.err = c.write(op)
+		close(f.done)
+	}()
+	return f
+}
+
+// PutAsync starts a put without waiting for it to commit; the returned
+// future resolves to the assigned version. Submitting many writes before
+// waiting pipelines them through the leader's batched replication path.
+// Submission applies backpressure: once maxAsyncInFlight writes are
+// outstanding, PutAsync blocks until a slot frees.
+func (c *Client) PutAsync(row, col string, value []byte) *WriteFuture {
+	return c.writeAsync(WriteOp{Row: row, Cols: []ColWrite{{Col: col, Value: value}}})
+}
+
+// DeleteAsync starts a delete without waiting for it to commit; it applies
+// the same backpressure as PutAsync.
+func (c *Client) DeleteAsync(row, col string) *WriteFuture {
+	return c.writeAsync(WriteOp{Row: row, Cols: []ColWrite{{Col: col, Delete: true}}})
+}
+
+// Batch collects writes to independent rows and submits them as one
+// pipelined burst. Each write remains its own single-operation transaction
+// (the paper's API has no cross-row transactions, §3); the batch only
+// overlaps their replication rather than running them lockstep.
+type Batch struct {
+	c   *Client
+	ops []WriteOp
+}
+
+// NewBatch returns an empty write batch.
+func (c *Client) NewBatch() *Batch { return &Batch{c: c} }
+
+// Put adds a put to the batch.
+func (b *Batch) Put(row, col string, value []byte) {
+	b.ops = append(b.ops, WriteOp{Row: row, Cols: []ColWrite{{Col: col, Value: value}}})
+}
+
+// Delete adds a delete to the batch.
+func (b *Batch) Delete(row, col string) {
+	b.ops = append(b.ops, WriteOp{Row: row, Cols: []ColWrite{{Col: col, Delete: true}}})
+}
+
+// Len reports the number of writes queued in the batch.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Run submits every write concurrently and waits for them all, returning
+// the version assigned to each write (in batch order) and the first error
+// encountered. The batch is left empty for reuse.
+func (b *Batch) Run() ([]uint64, error) {
+	ops := b.ops
+	b.ops = nil
+	futures := make([]*WriteFuture, len(ops))
+	for i, op := range ops {
+		futures[i] = b.c.writeAsync(op)
+	}
+	versions := make([]uint64, len(ops))
+	var firstErr error
+	for i, f := range futures {
+		vs, err := f.Wait()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if len(vs) > 0 {
+			versions[i] = vs[0]
+		}
+	}
+	return versions, firstErr
 }
 
 // Put inserts a column value into a row (§3) and returns the version

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"os"
 	"testing"
 	"time"
 
@@ -33,6 +34,7 @@ func newTestCluster(t *testing.T, nodeCount int, tweak func(*Config)) *testClust
 	if err != nil {
 		t.Fatal(err)
 	}
+	ParanoidAckChecks = os.Getenv("SPINNAKER_PARANOIA") != ""
 	tc := &testCluster{
 		t:      t,
 		net:    transport.NewNetwork(0),
@@ -49,6 +51,10 @@ func newTestCluster(t *testing.T, nodeCount int, tweak func(*Config)) *testClust
 		TakeoverTimeout: 2 * time.Second,
 		RetryInterval:   5 * time.Millisecond,
 		FlushInterval:   20 * time.Millisecond,
+		// SPINNAKER_TEST_NO_BATCHING=1 runs the whole package under the
+		// ProposalBatching=false ablation (per-write proposes and acks);
+		// CI exercises both modes.
+		DisableProposalBatching: os.Getenv("SPINNAKER_TEST_NO_BATCHING") != "",
 	}
 	if tweak != nil {
 		tweak(&tc.cfgTmpl)

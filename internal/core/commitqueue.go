@@ -26,9 +26,19 @@ type pendingWrite struct {
 	lsn        wal.LSN
 	op         WriteOp
 	selfForced bool // the local log force for this write completed
-	acks       int  // follower acks received (leader only)
-	done       chan writeOutcome
-	doneOnce   sync.Once
+	// ackFrom records which followers acked this LSN individually
+	// (per-write protocol; leader only). The batched protocol instead
+	// tracks per-peer cumulative watermarks on the queue itself, and the
+	// commit rule counts distinct peers across both.
+	ackFrom  map[string]struct{}
+	done     chan writeOutcome
+	doneOnce sync.Once
+	// respond delivers the outcome of an asynchronously handled client
+	// write (the batched write path replies on commit instead of holding
+	// a goroutine per write); enqueuedAt bounds its wait via the leader's
+	// WriteTimeout sweep.
+	respond    func(writeOutcome)
+	enqueuedAt time.Time
 	// lastPropose is when the leader last sent (or re-sent) the propose
 	// message, for retransmission of writes whose proposes were lost.
 	// The paper gets retransmission from TCP; across reconnects we must
@@ -44,6 +54,9 @@ func (p *pendingWrite) finish(out writeOutcome) {
 		if p.done != nil {
 			p.done <- out
 		}
+		if p.respond != nil {
+			p.respond(out)
+		}
 	})
 }
 
@@ -57,13 +70,20 @@ type commitQueue struct {
 	order   []wal.LSN // ascending
 	byKey   map[kv.Key]wal.LSN
 	keyLSNs map[kv.Key][]wal.LSN
+	// peerAcked is the batched protocol's per-peer cumulative ack
+	// watermark: peer p durably holds every write of the cohort at or
+	// below peerAcked[p]. Reset on leadership transitions — a watermark
+	// earned under an old epoch may cover LSNs the peer has since
+	// logically truncated.
+	peerAcked map[string]wal.LSN
 }
 
 func newCommitQueue() *commitQueue {
 	return &commitQueue{
-		byLSN:   make(map[wal.LSN]*pendingWrite),
-		byKey:   make(map[kv.Key]wal.LSN),
-		keyLSNs: make(map[kv.Key][]wal.LSN),
+		byLSN:     make(map[wal.LSN]*pendingWrite),
+		byKey:     make(map[kv.Key]wal.LSN),
+		keyLSNs:   make(map[kv.Key][]wal.LSN),
+		peerAcked: make(map[string]wal.LSN),
 	}
 }
 
@@ -107,32 +127,79 @@ func (q *commitQueue) markForced(lsn wal.LSN) {
 	}
 }
 
-// markAck counts a follower ack for lsn.
-func (q *commitQueue) markAck(lsn wal.LSN) {
+// markAck records a follower's per-write ack for lsn (the unbatched
+// protocol). Duplicate acks from the same peer are idempotent.
+func (q *commitQueue) markAck(from string, lsn wal.LSN) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if p, ok := q.byLSN[lsn]; ok {
-		p.acks++
+		if p.ackFrom == nil {
+			p.ackFrom = make(map[string]struct{}, 2)
+		}
+		p.ackFrom[from] = struct{}{}
 	}
+}
+
+// markAckedThrough advances a peer's cumulative ack watermark (the batched
+// protocol): the peer durably holds every write of the cohort at or below
+// lsn. Watermarks only move forward, so stale or reordered acks — including
+// acks carrying LSNs from a prior epoch, which compare below every LSN of
+// the current epoch — are ignored.
+func (q *commitQueue) markAckedThrough(from string, lsn wal.LSN) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if lsn > q.peerAcked[from] {
+		q.peerAcked[from] = lsn
+	}
+}
+
+// ackCountLocked returns the number of distinct peers that acknowledge lsn,
+// by per-write ack or by cumulative watermark; callers hold q.mu.
+func (q *commitQueue) ackCountLocked(p *pendingWrite) int {
+	n := len(p.ackFrom)
+	for peer, through := range q.peerAcked {
+		if through < p.lsn {
+			continue
+		}
+		if _, dup := p.ackFrom[peer]; !dup {
+			n++
+		}
+	}
+	return n
 }
 
 // popCommittable removes and returns, in LSN order, the maximal prefix of
 // the queue where every write has been locally forced and acknowledged by
-// at least quorum-1 followers (the leader's own log force is its vote, §8.1:
-// a write commits once it is on 2 of 3 logs).
+// at least quorum-1 distinct followers (the leader's own log force is its
+// vote, §8.1: a write commits once it is on 2 of 3 logs). With cumulative
+// acks this commits the whole quorum-acked prefix in one pass.
 func (q *commitQueue) popCommittable(quorum int) []*pendingWrite {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	var out []*pendingWrite
 	for len(q.order) > 0 {
 		p := q.byLSN[q.order[0]]
-		if !p.selfForced || 1+p.acks < quorum {
+		if !p.selfForced || 1+q.ackCountLocked(p) < quorum {
 			break
 		}
 		out = append(out, p)
 		q.removeHeadLocked()
 	}
 	return out
+}
+
+// resetAcks forgets every follower acknowledgement — per-write and
+// cumulative — without touching the pending writes themselves. Called on
+// leadership transitions: acks gathered under an earlier leadership no
+// longer prove durability (a peer may have logically truncated writes it
+// once acked), so takeover re-proposals must earn a fresh quorum.
+func (q *commitQueue) resetAcks() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.peerAcked = make(map[string]wal.LSN)
+	for _, p := range q.byLSN {
+		p.ackFrom = nil
+	}
 }
 
 // popThrough removes and returns, in LSN order, all pending writes with
@@ -212,6 +279,7 @@ func (q *commitQueue) drain() []*pendingWrite {
 	q.order = nil
 	q.byKey = make(map[kv.Key]wal.LSN)
 	q.keyLSNs = make(map[kv.Key][]wal.LSN)
+	q.peerAcked = make(map[string]wal.LSN)
 	return out
 }
 
@@ -269,15 +337,16 @@ func (q *commitQueue) snapshotOrder() []wal.LSN {
 	return append([]wal.LSN(nil), q.order...)
 }
 
-// stalePending returns re-proposal payload snapshots for locally-forced
-// pending writes whose last propose is older than age, marking them as
-// re-proposed now. Snapshots (LSN + op) are taken under the lock so callers
-// never touch pendingWrite fields concurrently with the ack path.
-func (q *commitQueue) stalePending(age time.Duration) []proposePayload {
+// stalePending returns re-proposal record snapshots, in LSN order, for
+// locally-forced pending writes whose last propose is older than age,
+// marking them as re-proposed now. Snapshots (LSN + op) are taken under the
+// lock so callers never touch pendingWrite fields concurrently with the ack
+// path.
+func (q *commitQueue) stalePending(age time.Duration) []proposeRec {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	now := time.Now()
-	var out []proposePayload
+	var out []proposeRec
 	for _, lsn := range q.order {
 		p := q.byLSN[lsn]
 		if !p.selfForced {
@@ -285,7 +354,24 @@ func (q *commitQueue) stalePending(age time.Duration) []proposePayload {
 		}
 		if p.lastPropose.IsZero() || now.Sub(p.lastPropose) >= age {
 			p.lastPropose = now
-			out = append(out, proposePayload{LSN: p.lsn, Op: p.op})
+			out = append(out, proposeRec{LSN: p.lsn, Op: p.op})
+		}
+	}
+	return out
+}
+
+// staleResponders returns the async-responded pendings older than timeout,
+// for the leader's WriteTimeout sweep (finish is idempotent, so re-listing
+// an already-expired write is harmless).
+func (q *commitQueue) staleResponders(timeout time.Duration) []*pendingWrite {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := time.Now()
+	var out []*pendingWrite
+	for _, lsn := range q.order {
+		p := q.byLSN[lsn]
+		if p.respond != nil && !p.enqueuedAt.IsZero() && now.Sub(p.enqueuedAt) > timeout {
+			out = append(out, p)
 		}
 	}
 	return out

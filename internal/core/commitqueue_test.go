@@ -40,12 +40,12 @@ func TestCommitQueuePopCommittableInOrder(t *testing.T) {
 	// LSN 2 satisfied first: commits must still wait for LSN 1 (writes
 	// execute in LSN order within a cohort, §5.1).
 	q.markForced(wal.MakeLSN(1, 2))
-	q.markAck(wal.MakeLSN(1, 2))
+	q.markAck("f1", wal.MakeLSN(1, 2))
 	if got := q.popCommittable(2); len(got) != 0 {
 		t.Fatalf("LSN 2 committed ahead of LSN 1")
 	}
 	q.markForced(wal.MakeLSN(1, 1))
-	q.markAck(wal.MakeLSN(1, 1))
+	q.markAck("f1", wal.MakeLSN(1, 1))
 	got := q.popCommittable(2)
 	if len(got) != 2 || got[0].lsn != wal.MakeLSN(1, 1) || got[1].lsn != wal.MakeLSN(1, 2) {
 		t.Fatalf("popped %d writes, want [1.1 1.2]", len(got))
@@ -61,7 +61,7 @@ func TestCommitQueueQuorumRule(t *testing.T) {
 	q.add(pw(1, "r", "c"))
 	// An ack without the local force is not enough (the commit rule is
 	// 2-of-3 logs *including* the leader's, §8.1).
-	q.markAck(wal.MakeLSN(1, 1))
+	q.markAck("f1", wal.MakeLSN(1, 1))
 	if got := q.popCommittable(2); len(got) != 0 {
 		t.Fatal("committed without local force")
 	}
@@ -215,4 +215,163 @@ func TestPendingWriteFinishOnce(t *testing.T) {
 	}
 	// Follower-side pendings have no channel; finish must not panic.
 	(&pendingWrite{}).finish(writeOutcome{})
+}
+
+// pwAt builds a pending write at an explicit epoch.
+func pwAt(epoch uint32, seq uint64, row, col string) *pendingWrite {
+	return &pendingWrite{
+		lsn: wal.MakeLSN(epoch, seq),
+		op:  WriteOp{Row: row, Cols: []ColWrite{{Col: col, Version: seq}}},
+	}
+}
+
+func TestCommitQueueCumulativeAckCommitsPrefix(t *testing.T) {
+	// One cumulative ack commits the whole covered prefix in one pass.
+	q := newCommitQueue()
+	for seq := uint64(1); seq <= 5; seq++ {
+		q.add(pw(seq, "r", "c"))
+		q.markForced(wal.MakeLSN(1, seq))
+	}
+	q.markAckedThrough("f1", wal.MakeLSN(1, 4))
+	got := q.popCommittable(2)
+	if len(got) != 4 || got[0].lsn != wal.MakeLSN(1, 1) || got[3].lsn != wal.MakeLSN(1, 4) {
+		t.Fatalf("popped %d writes, want the 4-write prefix", len(got))
+	}
+	if q.len() != 1 {
+		t.Errorf("len = %d after prefix commit", q.len())
+	}
+}
+
+func TestCommitQueueCumulativeAckOutOfOrder(t *testing.T) {
+	// Batch acks are sent by concurrent force goroutines and may arrive
+	// reordered; the watermark must only move forward.
+	q := newCommitQueue()
+	for seq := uint64(1); seq <= 6; seq++ {
+		q.add(pw(seq, "r", "c"))
+		q.markForced(wal.MakeLSN(1, seq))
+	}
+	q.markAckedThrough("f1", wal.MakeLSN(1, 5))
+	q.markAckedThrough("f1", wal.MakeLSN(1, 2)) // stale, reordered: ignored
+	got := q.popCommittable(2)
+	if len(got) != 5 {
+		t.Fatalf("popped %d writes after reordered acks, want 5", len(got))
+	}
+}
+
+func TestCommitQueueCumulativeAckStaleEpoch(t *testing.T) {
+	// A duplicate/stale ack carrying an LSN from a prior epoch compares
+	// below every current-epoch LSN and must not commit anything.
+	q := newCommitQueue()
+	q.add(pwAt(2, 7, "r", "c"))
+	q.markForced(wal.MakeLSN(2, 7))
+	q.markAckedThrough("f1", wal.MakeLSN(1, 99)) // epoch 1 watermark
+	if got := q.popCommittable(2); len(got) != 0 {
+		t.Fatalf("committed %d writes on a prior-epoch ack", len(got))
+	}
+	q.markAckedThrough("f1", wal.MakeLSN(2, 7))
+	if got := q.popCommittable(2); len(got) != 1 {
+		t.Fatal("not committed after current-epoch ack")
+	}
+}
+
+func TestCommitQueueCumulativeAckForceInterleavings(t *testing.T) {
+	// Commit needs the local force AND the quorum ack, in either order
+	// (the leader's force is its own vote, §8.1).
+	lsn := wal.MakeLSN(1, 1)
+
+	// Ack before force.
+	q := newCommitQueue()
+	q.add(pw(1, "r", "c"))
+	q.markAckedThrough("f1", lsn)
+	if got := q.popCommittable(2); len(got) != 0 {
+		t.Fatal("committed without the local force")
+	}
+	q.markForced(lsn)
+	if got := q.popCommittable(2); len(got) != 1 {
+		t.Fatal("not committed after force joined the ack")
+	}
+
+	// Force before ack.
+	q = newCommitQueue()
+	q.add(pw(1, "r", "c"))
+	q.markForced(lsn)
+	if got := q.popCommittable(2); len(got) != 0 {
+		t.Fatal("committed without any follower ack")
+	}
+	q.markAckedThrough("f1", lsn)
+	if got := q.popCommittable(2); len(got) != 1 {
+		t.Fatal("not committed after ack joined the force")
+	}
+}
+
+func TestCommitQueueDistinctPeerQuorum(t *testing.T) {
+	// A 5-way cohort (quorum 3) needs acks from two DISTINCT peers; one
+	// peer acking through both paths (per-write and cumulative) must not
+	// be double-counted.
+	q := newCommitQueue()
+	lsn := wal.MakeLSN(1, 1)
+	q.add(pw(1, "r", "c"))
+	q.markForced(lsn)
+	q.markAck("f1", lsn)
+	q.markAckedThrough("f1", lsn)
+	if got := q.popCommittable(3); len(got) != 0 {
+		t.Fatal("one peer double-counted toward a 3-quorum")
+	}
+	q.markAckedThrough("f2", lsn)
+	if got := q.popCommittable(3); len(got) != 1 {
+		t.Fatal("two distinct peers + leader should commit at quorum 3")
+	}
+}
+
+func TestCommitQueueResetAcksOnStepDown(t *testing.T) {
+	// A leadership transition discards watermarks and per-write acks: a
+	// peer may have logically truncated writes it acked under an earlier
+	// leadership, so re-proposals must earn a fresh quorum.
+	q := newCommitQueue()
+	lsn := wal.MakeLSN(1, 1)
+	q.add(pw(1, "r", "c"))
+	q.markForced(lsn)
+	q.markAck("f1", lsn)
+	q.markAckedThrough("f2", lsn)
+	q.resetAcks()
+	if got := q.popCommittable(2); len(got) != 0 {
+		t.Fatal("stale acks survived resetAcks")
+	}
+	q.markAckedThrough("f1", lsn)
+	if got := q.popCommittable(2); len(got) != 1 {
+		t.Fatal("fresh ack after reset did not commit")
+	}
+}
+
+func TestCommitQueueDrainClearsWatermarks(t *testing.T) {
+	// Draining on leader step-down must also drop the per-peer
+	// watermarks, or a re-added write could commit on ghost acks.
+	q := newCommitQueue()
+	q.add(pw(1, "r", "c"))
+	q.markForced(wal.MakeLSN(1, 1))
+	q.markAckedThrough("f1", wal.MakeLSN(1, 9))
+	q.drain()
+	q.add(pw(2, "r", "c"))
+	q.markForced(wal.MakeLSN(1, 2))
+	if got := q.popCommittable(2); len(got) != 0 {
+		t.Fatal("watermark survived drain")
+	}
+}
+
+func TestCommitQueueStaleResponders(t *testing.T) {
+	q := newCommitQueue()
+	fresh := pw(1, "r", "c")
+	fresh.respond = func(writeOutcome) {}
+	fresh.enqueuedAt = time.Now()
+	q.add(fresh)
+	old := pw(2, "r", "c")
+	old.respond = func(writeOutcome) {}
+	old.enqueuedAt = time.Now().Add(-time.Minute)
+	q.add(old)
+	follower := pw(3, "r", "c") // no responder: never listed
+	q.add(follower)
+	stale := q.staleResponders(time.Second)
+	if len(stale) != 1 || stale[0].lsn != wal.MakeLSN(1, 2) {
+		t.Fatalf("staleResponders = %d entries", len(stale))
+	}
 }

@@ -266,17 +266,22 @@ func (r *replica) takeover() bool {
 	// Line 9: re-propose the unresolved writes in (l.cmt, l.lst] and
 	// commit them through the normal replication protocol. They are
 	// exactly our pending queue (populated by local recovery or by our
-	// time as a follower); they are already in our durable log.
+	// time as a follower); they are already in our durable log. Any acks
+	// gathered under an earlier leadership are discarded first: they no
+	// longer prove durability (a peer may have logically truncated writes
+	// it once acked), so the re-proposals must earn a fresh quorum.
+	r.queue.resetAcks()
+	var reprops []proposeRec
 	for _, lsn := range r.queue.snapshotOrder() {
 		p, ok := r.queue.get(lsn)
 		if !ok || lsn <= lCmt {
 			continue
 		}
 		r.queue.markForced(lsn) // it is in our durable log
-		payload := encodePropose(proposePayload{LSN: lsn, Op: p.op})
-		for _, peer := range r.peers {
-			r.n.send(peer, transport.Message{Kind: MsgPropose, Cohort: r.rangeID, Payload: payload})
-		}
+		reprops = append(reprops, proposeRec{LSN: lsn, Op: p.op})
+	}
+	if len(reprops) > 0 {
+		r.reproposeRecs(reprops)
 	}
 	// Wait for the re-proposals to commit.
 	reproposeDeadline := time.Now().Add(r.n.cfg.TakeoverTimeout)

@@ -150,6 +150,15 @@ type Config struct {
 	// SequentialPropose makes the leader force its log *before* sending
 	// propose messages instead of in parallel (Fig 4). Ablation only.
 	SequentialPropose bool
+	// DisableProposalBatching turns off the batched replication pipeline
+	// (the ProposalBatching=false ablation). The default (batching on)
+	// coalesces every write sequenced since the batcher's last send into
+	// a single MsgProposeBatch per peer, and followers append the whole
+	// batch under one lock acquisition, issue one force, and reply with
+	// one cumulative acked-through LSN. With batching disabled, the
+	// leader sends one MsgPropose per write and followers ack each LSN
+	// individually — the paper's Figure 4 read literally.
+	DisableProposalBatching bool
 }
 
 func (c *Config) fillDefaults() {
@@ -349,13 +358,28 @@ func (n *Node) handle(m transport.Message) {
 		if err != nil {
 			return
 		}
+		if r.batched() {
+			// Batched pipeline: sequence now, reply on commit. The
+			// link goroutine is freed immediately, so one client's
+			// pipelined writes coalesce into shared batches instead
+			// of running in lockstep.
+			r.submitWriteAsync(op, func(out writeOutcome) {
+				n.reply(m, transport.Message{Cohort: m.Cohort, Payload: encodeWriteResult(writeResult{
+					Status: out.status, Detail: out.detail, Versions: out.versions})})
+			})
+			return
+		}
 		out := r.submitWrite(op)
 		n.reply(m, transport.Message{Cohort: m.Cohort, Payload: encodeWriteResult(writeResult{
 			Status: out.status, Detail: out.detail, Versions: out.versions})})
 	case MsgPropose:
 		r.onPropose(m)
+	case MsgProposeBatch:
+		r.onProposeBatch(m)
 	case MsgAck:
 		r.onAck(m)
+	case MsgAckBatch:
+		r.onAckBatch(m)
 	case MsgCommit:
 		r.onCommitMsg(m)
 	case MsgStateReq:

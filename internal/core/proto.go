@@ -29,6 +29,12 @@ const (
 	MsgTakeover    // leader → follower: catch up to l.cmt (Fig 6 lines 5-6)
 	MsgCatchupReq  // recovering follower → leader: advertise f.cmt (§6.1)
 	MsgCatchupResp // leader → follower: committed writes after f.cmt
+	// Batched replication (default write path): one propose message per
+	// batch of sequenced writes, one cumulative ack per batch. The
+	// per-write MsgPropose/MsgAck pair above remains as the
+	// DisableProposalBatching ablation.
+	MsgProposeBatch
+	MsgAckBatch // payload: AckedThrough LSN (cumulative)
 )
 
 // Status codes carried in responses.
@@ -235,6 +241,61 @@ func decodePropose(b []byte) (proposePayload, error) {
 		return p, err
 	}
 	p.Op = op
+	return p, nil
+}
+
+// proposeRec is one sequenced write inside a batched propose: the LSN plus
+// the op, exactly the per-write protocol state of Fig 4 without the
+// per-message envelope.
+type proposeRec struct {
+	LSN wal.LSN
+	Op  WriteOp
+}
+
+// proposeBatchPayload is the body of MsgProposeBatch: the commit piggyback
+// (as in proposePayload) followed by the batch's records in ascending LSN
+// order. In steady state the records are the contiguous run of writes the
+// leader sequenced since the previous batch; retransmissions may carry
+// non-contiguous records, so every record carries its full LSN.
+type proposeBatchPayload struct {
+	CommittedThrough wal.LSN
+	Recs             []proposeRec
+}
+
+func encodeProposeBatch(p proposeBatchPayload) []byte {
+	buf := make([]byte, 12)
+	binary.LittleEndian.PutUint64(buf[0:8], uint64(p.CommittedThrough))
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(len(p.Recs)))
+	var s [8]byte
+	for _, rec := range p.Recs {
+		binary.LittleEndian.PutUint64(s[:], uint64(rec.LSN))
+		buf = append(buf, s[:]...)
+		buf = EncodeWriteOp(buf, rec.Op)
+	}
+	return buf
+}
+
+func decodeProposeBatch(b []byte) (proposeBatchPayload, error) {
+	var p proposeBatchPayload
+	if len(b) < 12 {
+		return p, fmt.Errorf("core: propose batch truncated")
+	}
+	p.CommittedThrough = wal.LSN(binary.LittleEndian.Uint64(b[0:8]))
+	count := int(binary.LittleEndian.Uint32(b[8:12]))
+	off := 12
+	for i := 0; i < count; i++ {
+		if len(b)-off < 8 {
+			return p, fmt.Errorf("core: propose batch record %d truncated", i)
+		}
+		lsn := wal.LSN(binary.LittleEndian.Uint64(b[off:]))
+		off += 8
+		op, n, err := DecodeWriteOp(b[off:])
+		if err != nil {
+			return p, err
+		}
+		off += n
+		p.Recs = append(p.Recs, proposeRec{LSN: lsn, Op: op})
+	}
 	return p, nil
 }
 

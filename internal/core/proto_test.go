@@ -207,3 +207,45 @@ func TestRoleString(t *testing.T) {
 		}
 	}
 }
+
+func TestProposeBatchRoundTrip(t *testing.T) {
+	p := proposeBatchPayload{
+		CommittedThrough: wal.MakeLSN(1, 40),
+		Recs: []proposeRec{
+			{LSN: wal.MakeLSN(1, 41), Op: WriteOp{Row: "a", Cols: []ColWrite{{Col: "c", Value: []byte("x"), Version: 41}}}},
+			{LSN: wal.MakeLSN(1, 42), Op: WriteOp{Row: "b", Cols: []ColWrite{{Col: "d", Delete: true, Version: 42}}}},
+		},
+	}
+	got, err := decodeProposeBatch(encodeProposeBatch(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CommittedThrough != p.CommittedThrough || len(got.Recs) != 2 {
+		t.Fatalf("decoded %+v", got)
+	}
+	if got.Recs[0].LSN != p.Recs[0].LSN || got.Recs[0].Op.Row != "a" ||
+		!bytes.Equal(got.Recs[0].Op.Cols[0].Value, []byte("x")) {
+		t.Errorf("rec 0 = %+v", got.Recs[0])
+	}
+	if got.Recs[1].LSN != p.Recs[1].LSN || !got.Recs[1].Op.Cols[0].Delete {
+		t.Errorf("rec 1 = %+v", got.Recs[1])
+	}
+}
+
+func TestProposeBatchEmpty(t *testing.T) {
+	got, err := decodeProposeBatch(encodeProposeBatch(proposeBatchPayload{}))
+	if err != nil || len(got.Recs) != 0 {
+		t.Fatalf("empty batch: %+v, %v", got, err)
+	}
+}
+
+func TestProposeBatchTruncation(t *testing.T) {
+	buf := encodeProposeBatch(proposeBatchPayload{
+		Recs: []proposeRec{{LSN: wal.MakeLSN(1, 1), Op: WriteOp{Row: "r", Cols: []ColWrite{{Col: "c"}}}}},
+	})
+	for cut := 0; cut < len(buf); cut++ {
+		if _, err := decodeProposeBatch(buf[:cut]); err == nil {
+			t.Fatalf("cut %d decoded", cut)
+		}
+	}
+}

@@ -302,6 +302,11 @@ func (r *replica) demoteLocked(newLeader string) {
 	r.role = RoleFollower
 	r.open = false
 	r.leaderID = newLeader
+	// Drop any proposals still waiting in the batcher: the new leader
+	// owns the replication stream now (followers would reject them as
+	// stale-epoch anyway).
+	r.batchBuf = nil
+	r.batchEnd = 0
 	// Pending writes keep their places in the queue — they are in our
 	// durable log and may yet be committed by the new leader's
 	// re-proposals. Their waiting clients, however, must not hang.

@@ -66,9 +66,23 @@ type replica struct {
 	queue  *commitQueue
 	engine *storage.Engine
 
+	// Leader-side proposal batcher (default write path): writes are
+	// sequenced into batchBuf under r.mu; the first writer to find no
+	// drain in progress becomes the drainer and sends everything
+	// sequenced since the last send as one MsgProposeBatch per peer,
+	// looping while further writes accumulate behind it. batchSending
+	// marks the active drainer (guarded by r.mu).
+	batchBuf     []proposeRec
+	batchEnd     int64 // max log offset of buffered records (force target)
+	batchSending bool
+
 	// election bookkeeping
 	electionNudge chan struct{}
 }
+
+// batched reports whether the cohort uses the batched replication pipeline
+// (on unless the DisableProposalBatching ablation is set).
+func (r *replica) batched() bool { return !r.n.cfg.DisableProposalBatching }
 
 func (r *replica) loggerPrefix() string {
 	return fmt.Sprintf("%s/r%d", r.n.cfg.ID, r.rangeID)
@@ -83,11 +97,13 @@ func (r *replica) snapshotState() (role Role, cmt, lst wal.LSN, leader string) {
 
 // --- Write path (paper §5, Figure 4) ---------------------------------------
 
-// submitWrite runs the leader's side of the replication protocol for one
-// client write and blocks until the write commits (or fails). The flow is
-// Figure 4: force a log record for W; in parallel append W to the commit
-// queue and send propose messages; after the local force and at least one
-// ack, apply W to the memtable and return to the client.
+// submitWrite runs the leader's side of the per-write replication protocol
+// (the DisableProposalBatching ablation) for one client write and blocks
+// until the write commits (or fails). The flow is Figure 4: force a log
+// record for W; in parallel append W to the commit queue and send propose
+// messages; after the local force and at least one ack, apply W to the
+// memtable and return to the client. The batched pipeline (the default)
+// uses submitWriteAsync instead.
 func (r *replica) submitWrite(op WriteOp) writeOutcome {
 	r.mu.Lock()
 	if r.role != RoleLeader || !r.open {
@@ -173,6 +189,77 @@ func (r *replica) submitWrite(op WriteOp) writeOutcome {
 	}
 }
 
+// submitWriteAsync runs the leader's side of the batched replication
+// pipeline for one client write without blocking the caller: the write is
+// sequenced, logged, and handed to the cohort's proposal drainer, and
+// respond is invoked with the outcome when the write commits (or fails).
+// Not holding a goroutine per in-flight write is what lets a single client
+// pipeline many writes through one leader link. The WriteTimeout bound is
+// enforced by the commit timer's sweep of staleResponders.
+func (r *replica) submitWriteAsync(op WriteOp, respond func(writeOutcome)) {
+	r.mu.Lock()
+	if r.role != RoleLeader || !r.open {
+		leader := r.leaderID
+		r.mu.Unlock()
+		if leader != "" && leader != r.n.cfg.ID {
+			respond(writeOutcome{status: StatusNotLeader, detail: leader})
+			return
+		}
+		respond(writeOutcome{status: StatusUnavailable, detail: "no leader for range"})
+		return
+	}
+	// Conditional checks run before sequencing (§5.1), against the
+	// effective state, exactly as in submitWrite.
+	for _, c := range op.Cols {
+		if !c.Cond {
+			continue
+		}
+		cur := r.effectiveVersionLocked(kv.Key{Row: op.Row, Col: c.Col})
+		if cur != c.CondVersion {
+			r.mu.Unlock()
+			respond(writeOutcome{status: StatusVersionMismatch,
+				detail: fmt.Sprintf("column %s at version %d, want %d", c.Col, cur, c.CondVersion)})
+			return
+		}
+	}
+
+	lsn := wal.MakeLSN(r.epoch, r.nextSeq)
+	r.nextSeq++
+	versions := make([]uint64, len(op.Cols))
+	for i := range op.Cols {
+		op.Cols[i].Version = uint64(lsn)
+		versions[i] = uint64(lsn)
+	}
+	p := &pendingWrite{lsn: lsn, op: op, enqueuedAt: time.Now(),
+		respond: func(out writeOutcome) {
+			out.versions = versions
+			respond(out)
+		}}
+	r.queue.add(p)
+	rec := wal.Record{Cohort: r.rangeID, Type: wal.RecWrite, LSN: lsn,
+		Payload: EncodeWriteOp(nil, op)}
+	end, err := r.n.log.Append(rec)
+	if err != nil {
+		r.queue.remove(lsn)
+		r.mu.Unlock()
+		respond(writeOutcome{status: StatusUnavailable, detail: err.Error()})
+		return
+	}
+	r.lastLSN = lsn
+	r.queue.touchPropose(lsn)
+	r.enqueueProposalLocked(proposeRec{LSN: lsn, Op: op})
+	if end > r.batchEnd {
+		r.batchEnd = end
+	}
+	claimed := r.claimDrainLocked()
+	r.mu.Unlock()
+	if claimed {
+		// The drainer loops for as long as writes keep arriving, so it
+		// must not run on this (link) goroutine.
+		go r.drainProposals()
+	}
+}
+
 // effectiveVersionLocked returns the version a read-your-own-sequenced-
 // writes observer would see for key; callers hold r.mu.
 func (r *replica) effectiveVersionLocked(key kv.Key) uint64 {
@@ -187,6 +274,82 @@ func (r *replica) effectiveVersionLocked(key kv.Key) uint64 {
 		return cell.Version
 	}
 	return 0
+}
+
+// enqueueProposalLocked appends rec to the outgoing batch buffer; callers
+// hold r.mu. LSN allocation and the enqueue happen in the same critical
+// section (submitWriteAsync), so the buffer is ascending by construction
+// and batches leave in LSN order.
+func (r *replica) enqueueProposalLocked(rec proposeRec) {
+	r.batchBuf = append(r.batchBuf, rec)
+}
+
+// claimDrainLocked makes the caller the cohort's proposal drainer if no
+// drain is in progress; callers hold r.mu and, on true, must call
+// drainProposals after releasing it.
+func (r *replica) claimDrainLocked() bool {
+	if r.batchSending || len(r.batchBuf) == 0 {
+		return false
+	}
+	r.batchSending = true
+	return true
+}
+
+// drainProposals streams the cohort's proposal buffer to the followers:
+// it repeatedly swaps out everything sequenced since the last swap, sends
+// it as one MsgProposeBatch per peer, forces the leader's log through the
+// batch in parallel (Fig 4's overlap, per batch instead of per write), and
+// commits what the acks allow. Writes sequenced while a batch is being
+// sent and forced accumulate behind it and leave in the next batch, so
+// batch size adapts to offered load — group commit's trick applied to the
+// replication stream. Single-drainer + in-LSN-order buffer keeps batches
+// leaving in LSN order on the in-order links; the drainer exits once the
+// buffer runs dry.
+func (r *replica) drainProposals() {
+	r.mu.Lock()
+	for len(r.batchBuf) > 0 {
+		recs := r.batchBuf
+		r.batchBuf = nil
+		end := r.batchEnd
+		r.batchEnd = 0
+		committedThrough := wal.LSN(0)
+		if r.n.cfg.PiggybackCommits {
+			committedThrough = r.lastCommitted
+		}
+		r.mu.Unlock()
+		payload := encodeProposeBatch(proposeBatchPayload{
+			CommittedThrough: committedThrough, Recs: recs,
+		})
+		send := func() {
+			for _, peer := range r.peers {
+				r.n.send(peer, transport.Message{
+					Kind: MsgProposeBatch, Cohort: r.rangeID, Payload: payload,
+				})
+			}
+		}
+		// The SequentialPropose ablation forces before sending.
+		if !r.n.cfg.SequentialPropose {
+			send()
+		}
+		forced := true
+		if end > 0 {
+			forced = r.n.log.ForceTo(end) == nil
+		}
+		if r.n.cfg.SequentialPropose {
+			send()
+		}
+		if forced {
+			for _, rec := range recs {
+				r.queue.markForced(rec.LSN)
+			}
+			r.tryCommit()
+		}
+		// On a force error the writes stay pending; the WriteTimeout
+		// sweep fails their clients.
+		r.mu.Lock()
+	}
+	r.batchSending = false
+	r.mu.Unlock()
 }
 
 // tryCommit commits the maximal committable prefix of the queue: each write
@@ -302,13 +465,128 @@ func (r *replica) onPropose(m transport.Message) {
 	}
 }
 
-// onAck counts a follower's ack (leader side) and commits what it can.
+// onProposeBatch handles a batched propose (the follower column of Fig 4
+// for a whole run of writes): append every new record to the shared log
+// under one lock acquisition, issue one force, and reply with one
+// cumulative ack covering everything this replica durably holds. The force
+// and ack run off the link goroutine so concurrent batches across cohorts
+// share group-commit forces.
+//
+// A cumulative ack of X asserts that this replica's durable log holds every
+// (non-truncated) write of the cohort at or below X, so the log must never
+// hold a write beyond a hole. Records that would create a sequence gap
+// (messages lost across a broken connection) are therefore not appended:
+// the batch's tail is dropped, catch-up is nudged for the committed prefix,
+// and the leader's retransmission re-proposes the rest in order.
+func (r *replica) onProposeBatch(m transport.Message) {
+	b, err := decodeProposeBatch(m.Payload)
+	if err != nil || len(b.Recs) == 0 {
+		return
+	}
+	r.mu.Lock()
+	if r.role == RoleRecovering {
+		r.mu.Unlock()
+		return // catch-up will deliver these writes' effects
+	}
+	if m.From != r.leaderID && r.leaderID != "" {
+		// A batch from a node we do not believe leads the cohort.
+		// Accept only if it carries a higher epoch (we are behind on
+		// leadership news; the election loop will refresh leaderID).
+		if b.Recs[0].LSN.Epoch() < r.epoch {
+			r.mu.Unlock()
+			return
+		}
+	}
+	var (
+		appended []wal.LSN
+		end      int64
+		gap      bool
+	)
+	for _, rec := range b.Recs {
+		if e := rec.LSN.Epoch(); e > r.epoch {
+			r.epoch = e
+		}
+		if rec.LSN <= r.lastCommitted || r.queue.has(rec.LSN) {
+			// Already committed or already logged and pending (a
+			// re-proposal, Fig 6 line 5: "these can be detected and
+			// ignored"); the force below still covers it before the
+			// cumulative ack claims it.
+			continue
+		}
+		// Unlike the per-write path, a zero lastLSN gets no exemption: a
+		// cohort's first write is seq 1 (which passes), and an empty-log
+		// follower that accepted a mid-stream batch would cumulatively
+		// ack a prefix it never received.
+		if rec.LSN.Seq() > r.lastLSN.Seq()+1 {
+			gap = true
+			break
+		}
+		recEnd, err := r.n.log.Append(wal.Record{Cohort: r.rangeID, Type: wal.RecWrite,
+			LSN: rec.LSN, Payload: EncodeWriteOp(nil, rec.Op)})
+		if err != nil {
+			break
+		}
+		end = recEnd
+		if rec.LSN > r.lastLSN {
+			r.lastLSN = rec.LSN
+		}
+		r.queue.add(&pendingWrite{lsn: rec.LSN, op: rec.Op})
+		appended = append(appended, rec.LSN)
+	}
+	if gap {
+		r.gapped = true
+	}
+	ackThrough := r.lastLSN
+	r.mu.Unlock()
+
+	go func() {
+		if end > 0 {
+			if err := r.n.log.ForceTo(end); err != nil {
+				return
+			}
+		} else if err := r.n.log.Force(); err != nil {
+			return
+		}
+		for _, lsn := range appended {
+			r.queue.markForced(lsn)
+		}
+		if !ackThrough.IsZero() {
+			if ParanoidAckChecks {
+				r.verifyAckClaim(ackThrough)
+			}
+			r.n.send(m.From, transport.Message{Kind: MsgAckBatch, Cohort: r.rangeID,
+				Payload: encodeLSN(ackThrough)})
+		}
+		if b.CommittedThrough > 0 {
+			r.applyCommitted(b.CommittedThrough, false)
+		}
+	}()
+	if gap {
+		// We missed proposes (e.g. across a healed partition); ask the
+		// leader for the committed writes in between.
+		r.n.nudgeCatchup(r)
+	}
+}
+
+// onAck counts a follower's per-write ack (leader side) and commits what it
+// can.
 func (r *replica) onAck(m transport.Message) {
 	lsn, err := decodeLSN(m.Payload)
 	if err != nil {
 		return
 	}
-	r.queue.markAck(lsn)
+	r.queue.markAck(m.From, lsn)
+	r.tryCommit()
+}
+
+// onAckBatch advances a follower's cumulative acked-through watermark
+// (leader side) and commits the maximal quorum-acked prefix in one pass.
+func (r *replica) onAckBatch(m transport.Message) {
+	lsn, err := decodeLSN(m.Payload)
+	if err != nil {
+		return
+	}
+	r.queue.markAckedThrough(m.From, lsn)
 	r.tryCommit()
 }
 
@@ -402,13 +680,36 @@ func (r *replica) sendCommitMessages() {
 		_, _ = r.n.log.Append(wal.Record{Cohort: r.rangeID, Type: wal.RecLastCommitted, LSN: lsn})
 	}
 
-	for _, pp := range r.queue.stalePending(2 * r.n.cfg.CommitPeriod) {
-		payload := encodePropose(pp)
+	if stale := r.queue.stalePending(2 * r.n.cfg.CommitPeriod); len(stale) > 0 {
+		r.reproposeRecs(stale)
+	}
+	// Fail asynchronously handled writes that have waited longer than the
+	// write timeout (the per-write path enforces this bound by blocking).
+	for _, p := range r.queue.staleResponders(r.n.cfg.WriteTimeout) {
+		p.finish(writeOutcome{status: StatusUnavailable, detail: "write timed out awaiting quorum"})
+	}
+	r.tryCommit()
+}
+
+// reproposeRecs retransmits pending writes to every peer: one batch in the
+// batched pipeline, one MsgPropose per record in the ablation. Records are
+// old by construction (sequenced at least one drain of the batcher ago), so
+// followers either hold them already (deduped by LSN) or hit them as the
+// contiguous continuation of their log.
+func (r *replica) reproposeRecs(recs []proposeRec) {
+	if r.batched() {
+		payload := encodeProposeBatch(proposeBatchPayload{Recs: recs})
+		for _, peer := range r.peers {
+			r.n.send(peer, transport.Message{Kind: MsgProposeBatch, Cohort: r.rangeID, Payload: payload})
+		}
+		return
+	}
+	for _, rec := range recs {
+		payload := encodePropose(proposePayload{LSN: rec.LSN, Op: rec.Op})
 		for _, peer := range r.peers {
 			r.n.send(peer, transport.Message{Kind: MsgPropose, Cohort: r.rangeID, Payload: payload})
 		}
 	}
-	r.tryCommit()
 }
 
 // --- Read path (§3, §5) -----------------------------------------------------
@@ -484,5 +785,53 @@ func (r *replica) stats() ReplicaStats {
 		Pending:       r.queue.len(),
 		Leader:        r.leaderID,
 		Open:          r.open,
+	}
+}
+
+// ParanoidAckChecks enables expensive verification of the cumulative-ack
+// invariant before every batch ack (debug aid; the core test suite wires
+// it to SPINNAKER_PARANOIA=1).
+var ParanoidAckChecks bool
+
+// verifyAckClaim checks the cumulative-ack invariant: every non-skipped
+// LSN of this cohort at or below through is in our durable log (same-epoch
+// sequence contiguity; cross-epoch gaps are legal when a new leader's
+// sequence continues above truncated branches).
+func (r *replica) verifyAckClaim(through wal.LSN) {
+	held := make(map[wal.LSN]bool)
+	_ = r.n.log.ScanCohort(r.rangeID, func(rec wal.Record) error {
+		if rec.Type == wal.RecWrite {
+			held[rec.LSN] = true
+		}
+		return nil
+	})
+	r.mu.Lock()
+	skipped := r.skipped
+	cmt := r.lastCommitted
+	r.mu.Unlock()
+	// Reconstruct the set of LSNs that must exist: walk epochs seen in the
+	// log up to through; within the max epoch, every seq ≤ through.Seq()
+	// beyond the previous epoch max must be held or skipped or ≤ cmt
+	// (captured by SSTables after truncation). This is approximate but
+	// catches the dangerous case: a hole above cmt.
+	for seq := cmt.Seq() + 1; seq <= through.Seq(); seq++ {
+		l := wal.MakeLSN(through.Epoch(), seq)
+		if l > through {
+			break
+		}
+		if !held[l] && !skipped.Contains(l) {
+			// Check lower epochs for the same seq (epoch change mid-range).
+			found := false
+			for e := through.Epoch(); e > 0; e-- {
+				if held[wal.MakeLSN(e-1, seq)] || skipped.Contains(wal.MakeLSN(e-1, seq)) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				fmt.Printf("PARANOIA[%s]: ack %s claims seq %d but log lacks it (cmt=%s)\n",
+					r.loggerPrefix(), through, seq, cmt)
+			}
+		}
 	}
 }

@@ -28,15 +28,22 @@ type Options struct {
 	// of 50µs stands in for the paper's rack-level 1-GbE switch at ~10×
 	// scale (Appendix C).
 	NetworkDelay time.Duration
+	// MessageCost is the per-message delivery cost serialized on each
+	// link (receive-path CPU: syscalls, interrupts, protocol work).
+	// Unlike NetworkDelay it does not pipeline, so it bounds per-link
+	// message rate; zero keeps the latency-only model.
+	MessageCost time.Duration
 	// Device is the logging-device latency profile (default instant, for
 	// tests; benches pass wal.DeviceHDD / DeviceSSD / DeviceMem).
 	Device wal.DeviceProfile
 	// CommitPeriod is Spinnaker's commit-message interval.
 	CommitPeriod time.Duration
-	// PiggybackCommits / DisableGroupCommit toggle protocol options
-	// (ablation benches).
-	PiggybackCommits   bool
-	DisableGroupCommit bool
+	// PiggybackCommits / DisableGroupCommit / DisableProposalBatching
+	// toggle protocol options (ablation benches). Proposal batching is on
+	// unless disabled.
+	PiggybackCommits        bool
+	DisableGroupCommit      bool
+	DisableProposalBatching bool
 	// KeyWidth is the zero-padded decimal width of row keys (default 8).
 	KeyWidth int
 	// WriteTimeout bounds client writes.
@@ -115,20 +122,22 @@ func NewSpinnakerCluster(opts Options) (*SpinnakerCluster, error) {
 		stores: make(map[string]*core.Stores),
 		nodes:  make(map[string]*core.Node),
 	}
+	sc.Net.SetMessageCost(opts.MessageCost)
 	sc.cfg = core.Config{
-		Layout:             layout,
-		CommitPeriod:       opts.CommitPeriod,
-		PiggybackCommits:   opts.PiggybackCommits,
-		DisableGroupCommit: opts.DisableGroupCommit,
-		WriteTimeout:       opts.WriteTimeout,
-		ElectionTimeout:    50 * time.Millisecond,
-		RetryInterval:      5 * time.Millisecond,
-		ReadServiceTime:    opts.ReadServiceTime,
-		ReadConcurrency:    opts.ReadConcurrency,
-		SequentialPropose:  opts.SequentialPropose,
-		FlushBytes:         opts.FlushBytes,
-		SegmentBytes:       opts.SegmentBytes,
-		FlushInterval:      opts.FlushInterval,
+		Layout:                  layout,
+		CommitPeriod:            opts.CommitPeriod,
+		PiggybackCommits:        opts.PiggybackCommits,
+		DisableGroupCommit:      opts.DisableGroupCommit,
+		DisableProposalBatching: opts.DisableProposalBatching,
+		WriteTimeout:            opts.WriteTimeout,
+		ElectionTimeout:         50 * time.Millisecond,
+		RetryInterval:           5 * time.Millisecond,
+		ReadServiceTime:         opts.ReadServiceTime,
+		ReadConcurrency:         opts.ReadConcurrency,
+		SequentialPropose:       opts.SequentialPropose,
+		FlushBytes:              opts.FlushBytes,
+		SegmentBytes:            opts.SegmentBytes,
+		FlushInterval:           opts.FlushInterval,
 	}
 	for _, name := range names {
 		sc.stores[name] = core.NewMemStores(opts.Device)

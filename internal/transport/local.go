@@ -15,7 +15,8 @@ import (
 // the paper's test cluster (Appendix C), scaled down. Links pipeline:
 // messages in flight overlap, so the delay models latency, not bandwidth.
 type Network struct {
-	delay time.Duration
+	delay   time.Duration
+	msgCost time.Duration
 
 	mu        sync.Mutex
 	eps       map[string]*LocalEndpoint
@@ -120,6 +121,15 @@ func (n *Network) getLink(from, to string) *link {
 	return l
 }
 
+// SetMessageCost sets a per-message delivery cost, serialized on each
+// link: the receive-path CPU a real transport pays per message (syscalls,
+// interrupts, protocol work) that the propagation delay alone does not
+// model. Unlike delay, cost does not pipeline — a link delivers at most
+// 1/cost messages per second — so it is what per-message protocol overhead
+// (and hence message batching) trades against. Zero (the default) keeps
+// the historical latency-only model. Set it before traffic starts.
+func (n *Network) SetMessageCost(d time.Duration) { n.msgCost = d }
+
 // run delivers messages for a link in order, honoring per-message due
 // times. A constant per-link delay preserves FIFO order.
 func (n *Network) run(l *link, to string) {
@@ -129,6 +139,7 @@ func (n *Network) run(l *link, to string) {
 			return
 		case tm := <-l.ch:
 			simtime.Sleep(time.Until(tm.due))
+			simtime.Sleep(n.msgCost)
 			n.mu.Lock()
 			ep, ok := n.eps[to]
 			cut := n.cut[pairKey(tm.m.From, to)]

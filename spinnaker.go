@@ -110,6 +110,11 @@ type Options struct {
 	// PiggybackCommits carries commit information on propose messages
 	// (App. D.1), shrinking staleness without extra messages.
 	PiggybackCommits bool
+	// DisableProposalBatching turns off the batched replication pipeline
+	// (proposal batching is on by default): leaders fall back to one
+	// propose message and one per-LSN ack per write, the paper's Figure 4
+	// read literally. Ablation only.
+	DisableProposalBatching bool
 	// ReadyTimeout bounds the wait for initial leader elections
 	// (default 30s).
 	ReadyTimeout time.Duration
@@ -128,12 +133,13 @@ func NewCluster(opts Options) (*Cluster, error) {
 		return nil, err
 	}
 	sc, err := sim.NewSpinnakerCluster(sim.Options{
-		Nodes:            opts.Nodes,
-		Replication:      opts.Replication,
-		NetworkDelay:     opts.NetworkDelay,
-		Device:           profile,
-		CommitPeriod:     opts.CommitPeriod,
-		PiggybackCommits: opts.PiggybackCommits,
+		Nodes:                   opts.Nodes,
+		Replication:             opts.Replication,
+		NetworkDelay:            opts.NetworkDelay,
+		Device:                  profile,
+		CommitPeriod:            opts.CommitPeriod,
+		PiggybackCommits:        opts.PiggybackCommits,
+		DisableProposalBatching: opts.DisableProposalBatching,
 	})
 	if err != nil {
 		return nil, err
@@ -149,8 +155,9 @@ func NewCluster(opts Options) (*Cluster, error) {
 	return &Cluster{sc: sc}, nil
 }
 
-// NewClient attaches a new client to the cluster. Clients are safe for
-// concurrent use by a single goroutine each; create one per worker.
+// NewClient attaches a new client to the cluster. A client is safe for
+// concurrent use (asynchronous writes run on internal goroutines), but all
+// of its traffic shares one endpoint; create one per worker for throughput.
 func (c *Cluster) NewClient() *Client {
 	return &Client{c: c.sc.NewClient()}
 }
@@ -227,6 +234,63 @@ func (cl *Client) GetRow(row string, consistency Consistency) ([]ColumnValue, er
 func (cl *Client) Put(row, col string, value []byte) (uint64, error) {
 	return cl.c.Put(row, col, value)
 }
+
+// WriteFuture is the handle to an in-flight asynchronous write started with
+// PutAsync or DeleteAsync.
+type WriteFuture struct {
+	f *core.WriteFuture
+}
+
+// Wait blocks until the write commits (or fails) and returns the version
+// assigned to it. It may be called multiple times and from any goroutine.
+func (w *WriteFuture) Wait() (uint64, error) {
+	vs, err := w.f.Wait()
+	if err != nil || len(vs) == 0 {
+		return 0, err
+	}
+	return vs[0], nil
+}
+
+// PutAsync starts a put without waiting for it to commit. Issuing several
+// writes before calling Wait pipelines them: the leader coalesces
+// concurrently submitted writes into shared propose batches and log forces,
+// so a single client can saturate the replication pipeline. Submission
+// applies backpressure — with many writes already in flight, PutAsync
+// blocks until a slot frees rather than queueing without bound.
+func (cl *Client) PutAsync(row, col string, value []byte) *WriteFuture {
+	return &WriteFuture{f: cl.c.PutAsync(row, col, value)}
+}
+
+// DeleteAsync starts a delete without waiting for it to commit; it applies
+// the same backpressure as PutAsync.
+func (cl *Client) DeleteAsync(row, col string) *WriteFuture {
+	return &WriteFuture{f: cl.c.DeleteAsync(row, col)}
+}
+
+// Batch collects writes to independent rows for pipelined submission. Each
+// write remains its own single-operation transaction (there are no
+// cross-row transactions, §3); batching overlaps their replication instead
+// of running them lockstep.
+type Batch struct {
+	b *core.Batch
+}
+
+// NewBatch returns an empty write batch bound to this client.
+func (cl *Client) NewBatch() *Batch { return &Batch{b: cl.c.NewBatch()} }
+
+// Put adds a put to the batch.
+func (b *Batch) Put(row, col string, value []byte) { b.b.Put(row, col, value) }
+
+// Delete adds a delete to the batch.
+func (b *Batch) Delete(row, col string) { b.b.Delete(row, col) }
+
+// Len reports the number of writes queued in the batch.
+func (b *Batch) Len() int { return b.b.Len() }
+
+// Run submits every write concurrently, waits for them all, and returns the
+// version assigned to each write in batch order plus the first error
+// encountered. The batch is reset for reuse.
+func (b *Batch) Run() ([]uint64, error) { return b.b.Run() }
 
 // Delete removes a column from a row.
 func (cl *Client) Delete(row, col string) error {

@@ -160,3 +160,73 @@ func TestOptionsValidation(t *testing.T) {
 		t.Error("unknown device accepted")
 	}
 }
+
+func TestPublicAPIAsyncAndBatch(t *testing.T) {
+	cluster := newCluster(t, Options{Nodes: 3})
+	client := cluster.NewClient()
+
+	// Pipelined single-client writes through futures.
+	const n = 32
+	futures := make([]*WriteFuture, n)
+	for i := 0; i < n; i++ {
+		futures[i] = client.PutAsync(cluster.Key(i), "c", []byte{byte(i)})
+	}
+	for i, f := range futures {
+		if v, err := f.Wait(); err != nil || v == 0 {
+			t.Fatalf("async put %d: v=%d err=%v", i, v, err)
+		}
+	}
+	// Wait is idempotent.
+	if v, err := futures[0].Wait(); err != nil || v == 0 {
+		t.Fatalf("re-Wait: v=%d err=%v", v, err)
+	}
+	for i := 0; i < n; i++ {
+		got, _, err := client.Get(cluster.Key(i), "c", Strong)
+		if err != nil || len(got) != 1 || got[0] != byte(i) {
+			t.Fatalf("Get(%d) = %v, %v", i, got, err)
+		}
+	}
+
+	// Batch: multi-row pipelined submission, versions in batch order.
+	b := client.NewBatch()
+	for i := 0; i < 10; i++ {
+		b.Put(cluster.Key(100+i), "c", []byte("b"))
+	}
+	b.Delete(cluster.Key(0), "c")
+	if b.Len() != 11 {
+		t.Fatalf("batch Len = %d", b.Len())
+	}
+	versions, err := b.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(versions) != 11 {
+		t.Fatalf("batch versions = %d", len(versions))
+	}
+	for i, v := range versions {
+		if v == 0 {
+			t.Errorf("batch op %d: zero version", i)
+		}
+	}
+	if b.Len() != 0 {
+		t.Errorf("batch not reset after Run")
+	}
+	if _, _, err := client.Get(cluster.Key(0), "c", Strong); !errors.Is(err, ErrNotFound) {
+		t.Errorf("batched delete not applied: %v", err)
+	}
+	got, _, err := client.Get(cluster.Key(105), "c", Strong)
+	if err != nil || string(got) != "b" {
+		t.Errorf("batched put: %q, %v", got, err)
+	}
+
+	// DeleteAsync.
+	if _, err := client.Put("zz", "c", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.DeleteAsync("zz", "c").Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := client.Get("zz", "c", Strong); !errors.Is(err, ErrNotFound) {
+		t.Errorf("async delete: %v", err)
+	}
+}
