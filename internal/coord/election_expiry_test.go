@@ -1,0 +1,205 @@
+package coord
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// recvEvent waits briefly for a watch notification.
+func recvEvent(t *testing.T, ch <-chan Event, what string) Event {
+	t.Helper()
+	select {
+	case ev := <-ch:
+		return ev
+	case <-time.After(2 * time.Second):
+		t.Fatalf("%s: watch never fired", what)
+		return Event{}
+	}
+}
+
+// TestLeaderSessionExpiryDuringElection replays the coordination-service
+// side of a leader death in the middle of the Figure 7 protocol: the
+// leader holds an ephemeral /leader znode and an ephemeral sequential
+// candidate entry; a follower is blocked watching /leader; a late
+// candidate is blocked watching /candidates for a quorum. Expiring the
+// leader's session must delete both ephemerals and fire both watches —
+// that chain is exactly what re-triggers elections after a crash.
+func TestLeaderSessionExpiryDuringElection(t *testing.T) {
+	svc := NewService(0)
+	defer svc.Stop()
+
+	leader := svc.Connect()
+	follower := svc.Connect()
+	late := svc.Connect()
+
+	if err := leader.EnsurePath("/r/0/candidates"); err != nil {
+		t.Fatal(err)
+	}
+	// The leader registered its candidacy (Fig 7 lines 3-4) and won
+	// (lines 7-9).
+	leaderCand, err := leader.Create("/r/0/candidates/c:n0:", []byte("50"),
+		FlagEphemeral|FlagSequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := leader.Create("/r/0/leader", []byte("n0"), FlagEphemeral); err != nil {
+		t.Fatal(err)
+	}
+
+	// The follower learned the leader and parked on a /leader watch
+	// (electionLoop's steady state).
+	leaderWatch, err := follower.Watch("/r/0/leader")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The late candidate announced itself and parked on a children watch
+	// (Fig 7 line 5), waiting for a quorum of candidates.
+	if _, err := late.Create("/r/0/candidates/c:n2:", []byte("40"),
+		FlagEphemeral|FlagSequential); err != nil {
+		t.Fatal(err)
+	}
+	childWatch, err := late.WatchChildren("/r/0/candidates")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The leader's process dies; the service detects the dead session.
+	leader.Expire()
+
+	// Both ephemerals are gone...
+	if ok, _ := follower.Exists("/r/0/leader"); ok {
+		t.Fatal("leader znode survived session expiry")
+	}
+	if ok, _ := follower.Exists(leaderCand); ok {
+		t.Fatal("leader's candidate znode survived session expiry")
+	}
+	// ...and both blocked parties were notified.
+	if ev := recvEvent(t, leaderWatch, "follower /leader watch"); ev.Type != EventDeleted || ev.Path != "/r/0/leader" {
+		t.Fatalf("follower watch got %v %q", ev.Type, ev.Path)
+	}
+	if ev := recvEvent(t, childWatch, "late candidate children watch"); ev.Type != EventDeleted {
+		t.Fatalf("children watch got %v %q", ev.Type, ev.Path)
+	}
+
+	// The election proceeds without the dead node: the surviving
+	// candidates see only live candidacies...
+	kids, err := late.Children("/r/0/candidates")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kids) != 1 {
+		t.Fatalf("candidates after expiry = %d, want 1", len(kids))
+	}
+	// ...and the winner claims the vacant leadership while the follower
+	// (re-watching, as electionLoop does each iteration) hears about it.
+	leaderWatch2, err := follower.Watch("/r/0/leader")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := late.Create("/r/0/leader", []byte("n2"), FlagEphemeral); err != nil {
+		t.Fatal(err)
+	}
+	if ev := recvEvent(t, leaderWatch2, "follower re-watch"); ev.Type != EventCreated {
+		t.Fatalf("re-watch got %v", ev.Type)
+	}
+	data, err := follower.Get("/r/0/leader")
+	if err != nil || string(data) != "n2" {
+		t.Fatalf("new leader = %q, %v", data, err)
+	}
+}
+
+// TestExpiredCandidateOwnWatchesNotified pins the other half of the
+// contract: the expired session's own parked watches receive
+// EventSessionExpired (so a node whose session dies while blocked in
+// electionLoop wakes up and finds out), and every further operation on
+// the session fails with ErrSessionClosed.
+func TestExpiredCandidateOwnWatchesNotified(t *testing.T) {
+	svc := NewService(0)
+	defer svc.Stop()
+
+	cand := svc.Connect()
+	if err := cand.EnsurePath("/r/1/candidates"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cand.Create("/r/1/candidates/c:n1:", []byte("7"),
+		FlagEphemeral|FlagSequential); err != nil {
+		t.Fatal(err)
+	}
+	own, err := cand.WatchChildren("/r/1/candidates")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lw, err := cand.Watch("/r/1/leader")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cand.Expire()
+
+	for _, w := range []<-chan Event{own, lw} {
+		if ev := recvEvent(t, w, "expired session's own watch"); ev.Type != EventSessionExpired {
+			t.Fatalf("own watch got %v, want sessionExpired", ev.Type)
+		}
+	}
+	if _, err := cand.Create("/r/1/candidates/c:n1:", nil, FlagEphemeral|FlagSequential); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("create on expired session: %v", err)
+	}
+	if err := cand.Heartbeat(); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("heartbeat on expired session: %v", err)
+	}
+}
+
+// TestExpiryDuringElectionOnlyRemovesOwnEphemerals: a session expiry in a
+// contended election must not disturb the other candidates' znodes or the
+// persistent election scaffolding.
+func TestExpiryDuringElectionOnlyRemovesOwnEphemerals(t *testing.T) {
+	svc := NewService(0)
+	defer svc.Stop()
+
+	a, b, c := svc.Connect(), svc.Connect(), svc.Connect()
+	if err := a.EnsurePath("/r/2/candidates"); err != nil {
+		t.Fatal(err)
+	}
+	for i, sess := range []*Session{a, b, c} {
+		if _, err := sess.Create("/r/2/candidates/c:n:", []byte{byte('0' + i)},
+			FlagEphemeral|FlagSequential); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Expire()
+
+	kids, err := a.Children("/r/2/candidates")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kids) != 2 {
+		t.Fatalf("candidates after one expiry = %d, want 2", len(kids))
+	}
+	// The persistent scaffolding survives.
+	if ok, _ := a.Exists("/r/2/candidates"); !ok {
+		t.Fatal("persistent candidates path deleted by expiry")
+	}
+	// Sequence numbers keep increasing past the expired candidate's
+	// (Fig 7 line 6 tie-breaking depends on it).
+	p, err := c.Create("/r/2/candidates/c:n3:", nil, FlagEphemeral|FlagSequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kids, _ = a.Children("/r/2/candidates")
+	var maxSeq uint64
+	for _, kid := range kids {
+		if kid.Seq > maxSeq {
+			maxSeq = kid.Seq
+		}
+	}
+	found := false
+	for _, kid := range kids {
+		if "/r/2/candidates/"+kid.Name == p && kid.Seq == maxSeq {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("new candidate %s did not get the max sequence number", p)
+	}
+}

@@ -26,9 +26,22 @@ type Client struct {
 	rng      *rand.Rand
 	asyncSem chan struct{}
 
+	// strictWrites stops write retries at the first ambiguous attempt
+	// (transport error or StatusAmbiguous) and surfaces ErrAmbiguous
+	// instead. The default transparent retry maximizes availability but
+	// can execute a write more than once — a retried conditional put
+	// whose first attempt committed will honestly report a version
+	// mismatch for an op that took effect. History-checking harnesses
+	// need the strict mode to keep recorded outcomes sound.
+	strictWrites bool
+
 	mu      sync.Mutex
 	leaders map[uint32]string
 }
+
+// SetStrictWrites toggles strict write handling; see the field comment.
+// Call before issuing traffic.
+func (c *Client) SetStrictWrites(on bool) { c.strictWrites = on }
 
 // NewClient builds a client over its own network endpoint and
 // coordination-service session.
@@ -110,6 +123,14 @@ func (c *Client) write(op WriteOp) ([]uint64, error) {
 		})
 		if err != nil {
 			c.forgetLeader(rangeID)
+			if c.strictWrites && errors.Is(err, transport.ErrTimeout) {
+				// A timed-out call may have reached the leader and
+				// been sequenced; a retry could execute the write
+				// twice. Other transport errors (unknown node, send
+				// failure) prove the request never left, so retrying
+				// stays safe even in strict mode.
+				return nil, fmt.Errorf("%w: %v", ErrAmbiguous, err)
+			}
 			lastErr = err
 			continue
 		}
@@ -121,7 +142,15 @@ func (c *Client) write(op WriteOp) ([]uint64, error) {
 		case StatusOK:
 			return res.Versions, nil
 		case StatusNotLeader, StatusUnavailable:
+			// Definite no-effect failures: always safe to retry.
 			c.forgetLeader(rangeID)
+			lastErr = StatusError(res.Status, res.Detail)
+			continue
+		case StatusAmbiguous:
+			c.forgetLeader(rangeID)
+			if c.strictWrites {
+				return nil, StatusError(res.Status, res.Detail)
+			}
 			lastErr = StatusError(res.Status, res.Detail)
 			continue
 		default:
@@ -343,9 +372,11 @@ func (c *Client) Get(row, col string, consistent bool) ([]byte, uint64, error) {
 			return res.Value, res.Version, nil
 		case StatusNotFound:
 			return nil, res.Version, ErrNotFound
-		case StatusNotLeader:
+		case StatusNotLeader, StatusUnavailable:
+			// NotLeader: re-resolve. Unavailable: a mid-takeover
+			// leader that cannot serve strong reads yet; retry.
 			c.forgetLeader(rangeID)
-			lastErr = ErrNotLeader
+			lastErr = StatusError(res.Status, "")
 			continue
 		default:
 			return nil, 0, StatusError(res.Status, "")
@@ -393,9 +424,9 @@ func (c *Client) GetRow(row string, consistent bool) ([]kv.Entry, error) {
 			return res.Entries, nil
 		case StatusNotFound:
 			return nil, ErrNotFound
-		case StatusNotLeader:
+		case StatusNotLeader, StatusUnavailable:
 			c.forgetLeader(rangeID)
-			lastErr = ErrNotLeader
+			lastErr = StatusError(res.Status, "")
 			continue
 		default:
 			return nil, StatusError(res.Status, "")

@@ -24,6 +24,12 @@ type testCluster struct {
 	cfgTmpl Config
 }
 
+// init (not newTestCluster) sets the global paranoia flag: per-test writes
+// would race with replica goroutines still draining from the previous test.
+func init() {
+	ParanoidAckChecks = os.Getenv("SPINNAKER_PARANOIA") != ""
+}
+
 func newTestCluster(t *testing.T, nodeCount int, tweak func(*Config)) *testCluster {
 	t.Helper()
 	names := make([]string, nodeCount)
@@ -34,7 +40,6 @@ func newTestCluster(t *testing.T, nodeCount int, tweak func(*Config)) *testClust
 	if err != nil {
 		t.Fatal(err)
 	}
-	ParanoidAckChecks = os.Getenv("SPINNAKER_PARANOIA") != ""
 	tc := &testCluster{
 		t:      t,
 		net:    transport.NewNetwork(0),

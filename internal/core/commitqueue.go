@@ -44,6 +44,29 @@ type pendingWrite struct {
 	// The paper gets retransmission from TCP; across reconnects we must
 	// re-propose explicitly, which followers dedupe by LSN.
 	lastPropose time.Time
+	// observers run when the write's outcome is decided (true = the
+	// write committed). Conditional puts rejected on the strength of
+	// this still-uncommitted write park their mismatch replies here: the
+	// rejection may not become visible before the state that justifies
+	// it does (§5.1 ordering, extended to the failure path).
+	obsMu     sync.Mutex
+	obsDone   bool
+	obsOK     bool
+	observers []func(committed bool)
+}
+
+// observe registers f to run once the write's outcome is decided; if it
+// already has been, f runs immediately on the caller's goroutine.
+func (p *pendingWrite) observe(f func(committed bool)) {
+	p.obsMu.Lock()
+	if p.obsDone {
+		ok := p.obsOK
+		p.obsMu.Unlock()
+		f(ok)
+		return
+	}
+	p.observers = append(p.observers, f)
+	p.obsMu.Unlock()
 }
 
 // finish delivers the write's outcome to its waiting client exactly once;
@@ -56,6 +79,15 @@ func (p *pendingWrite) finish(out writeOutcome) {
 		}
 		if p.respond != nil {
 			p.respond(out)
+		}
+		p.obsMu.Lock()
+		p.obsDone = true
+		p.obsOK = out.status == StatusOK
+		obs := p.observers
+		p.observers = nil
+		p.obsMu.Unlock()
+		for _, f := range obs {
+			f(p.obsOK)
 		}
 	})
 }

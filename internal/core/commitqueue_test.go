@@ -274,6 +274,84 @@ func TestCommitQueueCumulativeAckStaleEpoch(t *testing.T) {
 	}
 }
 
+func TestCommitQueueQuorumAckFromStaleLeaderEpoch(t *testing.T) {
+	// The partitioned-away-stale-leader scenario, from the NEW leader's
+	// commit queue: on takeover the queue holds the old epoch's
+	// unresolved writes (1.5, 1.6) plus a fresh epoch-2 write, acks are
+	// reset (takeover, Fig 6 line 9), and then a full QUORUM of
+	// acknowledgements carrying old-epoch LSNs arrives — delayed
+	// MsgAckBatch watermarks earned under the deposed leader that the
+	// partition held in flight. Old-epoch LSNs compare below every
+	// epoch-2 LSN, so they must commit nothing of epoch 2; and because
+	// acks were reset, they must not resurrect durability claims for the
+	// re-proposals either (the peers may have logically truncated those
+	// writes since earning the watermarks).
+	q := newCommitQueue()
+	q.add(pwAt(1, 5, "r", "c"))
+	q.add(pwAt(1, 6, "r", "c"))
+	q.add(pwAt(2, 7, "r", "c"))
+	// Pre-takeover state: everything forced, stale quorum on 1.5.
+	for _, lsn := range []wal.LSN{wal.MakeLSN(1, 5), wal.MakeLSN(1, 6), wal.MakeLSN(2, 7)} {
+		q.markForced(lsn)
+	}
+	q.markAck("f1", wal.MakeLSN(1, 5))
+	q.markAckedThrough("f2", wal.MakeLSN(1, 6))
+
+	// Takeover: the new leader discards every pre-transition ack.
+	q.resetAcks()
+
+	// The delayed stale-epoch quorum lands: two distinct peers, both
+	// claiming old-epoch watermarks (f2's even covers 1.6 again).
+	q.markAckedThrough("f1", wal.MakeLSN(1, 6))
+	q.markAckedThrough("f2", wal.MakeLSN(1, 6))
+	got := q.popCommittable(2)
+	// The re-proposed old-epoch writes commit — these acks are fresh
+	// answers to the re-proposals and genuinely cover 1.5 and 1.6 — but
+	// the epoch-2 write must NOT ride along on old-epoch watermarks.
+	if len(got) != 2 || got[0].lsn != wal.MakeLSN(1, 5) || got[1].lsn != wal.MakeLSN(1, 6) {
+		t.Fatalf("popped %d writes, want the two re-proposed 1.x writes", len(got))
+	}
+	if got := q.popCommittable(2); len(got) != 0 {
+		t.Fatal("epoch-2 write committed on a quorum of stale-epoch acks")
+	}
+	// A per-write ack for an LSN that is no longer pending (logically
+	// truncated on another branch) is a no-op.
+	q.markAck("f1", wal.MakeLSN(1, 99))
+	if got := q.popCommittable(2); len(got) != 0 {
+		t.Fatal("ack for a truncated LSN committed something")
+	}
+	// Only a current-epoch acknowledgement commits the epoch-2 write.
+	q.markAckedThrough("f1", wal.MakeLSN(2, 7))
+	if got := q.popCommittable(2); len(got) != 1 || got[0].lsn != wal.MakeLSN(2, 7) {
+		t.Fatal("epoch-2 write did not commit on its own epoch's ack")
+	}
+}
+
+func TestPendingWriteObservers(t *testing.T) {
+	// Deferred conditional-put mismatches hang off the pending write
+	// they observed; the observer must fire exactly once with the
+	// write's fate, and late registration runs immediately.
+	p := pw(1, "r", "c")
+	var got []bool
+	p.observe(func(ok bool) { got = append(got, ok) })
+	p.finish(writeOutcome{status: StatusOK})
+	p.finish(writeOutcome{status: StatusAmbiguous}) // idempotent
+	if len(got) != 1 || !got[0] {
+		t.Fatalf("observers after commit = %v, want [true]", got)
+	}
+	p.observe(func(ok bool) { got = append(got, ok) })
+	if len(got) != 2 || !got[1] {
+		t.Fatalf("late observer = %v, want immediate true", got)
+	}
+
+	q := pw(2, "r", "c")
+	q.observe(func(ok bool) { got = append(got, ok) })
+	q.finish(writeOutcome{status: StatusAmbiguous, detail: "write timed out awaiting quorum"})
+	if len(got) != 3 || got[2] {
+		t.Fatalf("observer after failure = %v, want false", got)
+	}
+}
+
 func TestCommitQueueCumulativeAckForceInterleavings(t *testing.T) {
 	// Commit needs the local force AND the quorum ack, in either order
 	// (the leader's force is its own vote, §8.1).

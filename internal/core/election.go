@@ -133,8 +133,17 @@ func (r *replica) runElection() {
 	r.mu.Unlock()
 
 	// Lines 3-4: announce our candidacy in a sequential ephemeral znode
-	// carrying our last LSN.
-	myPath, err := sess.Create(r.candidatePrefix(), encodeCandidateLSN(nLst),
+	// carrying our last LSN, stamped with the epoch we observe. The stamp
+	// scopes the round: a node that has not yet noticed the current
+	// leader's death still has its candidacy from an EARLIER round parked
+	// under /candidates (each node cleans up only its own entries, line
+	// 1), and that entry carries an ancient n.lst. Counting it toward the
+	// quorum would let this round conclude before the live nodes
+	// re-register — electing a laggard over a node that holds committed
+	// writes, which are then logically truncated (lost). Only candidacies
+	// at the newest observed epoch may count.
+	myEpoch := r.n.readEpochZnode(r.rangeID)
+	myPath, err := sess.Create(r.candidatePrefix(), encodeCandidacy(myEpoch, nLst),
 		coord.FlagEphemeral|coord.FlagSequential)
 	if err != nil {
 		return
@@ -142,7 +151,8 @@ func (r *replica) runElection() {
 	myName := myPath[strings.LastIndex(myPath, "/")+1:]
 
 	for !r.n.stopped() {
-		// Line 5: set a watch and wait for a majority.
+		// Line 5: set a watch and wait for a majority of current-round
+		// candidacies.
 		watch, err := sess.WatchChildren(candidatesPath(r.rangeID))
 		if err != nil {
 			return
@@ -151,7 +161,39 @@ func (r *replica) runElection() {
 		if err != nil {
 			return
 		}
-		if len(kids) < r.quorum {
+		maxObs := myEpoch
+		for _, kid := range kids {
+			if e, _ := decodeCandidacy(kid.Data); e > maxObs {
+				maxObs = e
+			}
+		}
+		if maxObs > myEpoch {
+			// A newer round started (a takeover consumed an epoch and
+			// failed, or we raced a bump): our entry no longer counts.
+			// Re-register at the newer round with our current state.
+			_ = sess.Delete(candidatesPath(r.rangeID) + "/" + myName)
+			r.mu.Lock()
+			nLst = r.lastLSN
+			r.mu.Unlock()
+			myEpoch = maxObs
+			if e := r.n.readEpochZnode(r.rangeID); e > myEpoch {
+				myEpoch = e
+			}
+			myPath, err = sess.Create(r.candidatePrefix(), encodeCandidacy(myEpoch, nLst),
+				coord.FlagEphemeral|coord.FlagSequential)
+			if err != nil {
+				return
+			}
+			myName = myPath[strings.LastIndex(myPath, "/")+1:]
+			continue
+		}
+		electorate := kids[:0:0]
+		for _, kid := range kids {
+			if e, _ := decodeCandidacy(kid.Data); e == maxObs {
+				electorate = append(electorate, kid)
+			}
+		}
+		if len(electorate) < r.quorum {
 			select {
 			case <-watch:
 				continue
@@ -162,12 +204,12 @@ func (r *replica) runElection() {
 			}
 		}
 
-		// Line 6: the new leader is the candidate with the max n.lst,
-		// with znode sequence numbers breaking ties.
-		winner := kids[0]
-		winnerLSN := decodeCandidateLSN(kids[0].Data)
-		for _, kid := range kids[1:] {
-			lsn := decodeCandidateLSN(kid.Data)
+		// Line 6: the new leader is the current-round candidate with the
+		// max n.lst, with znode sequence numbers breaking ties.
+		winner := electorate[0]
+		_, winnerLSN := decodeCandidacy(electorate[0].Data)
+		for _, kid := range electorate[1:] {
+			_, lsn := decodeCandidacy(kid.Data)
 			if lsn > winnerLSN || (lsn == winnerLSN && kid.Seq < winner.Seq) {
 				winner, winnerLSN = kid, lsn
 			}
@@ -362,17 +404,28 @@ func (r *replica) logLSNsInRangeLocked(after, through wal.LSN) []wal.LSN {
 	return out
 }
 
-// encodeCandidateLSN serializes n.lst for the candidate znode (Fig 7 line 4).
-func encodeCandidateLSN(l wal.LSN) []byte {
-	return []byte(strconv.FormatUint(uint64(l), 10))
+// encodeCandidacy serializes a candidate znode's payload (Fig 7 line 4):
+// the epoch the candidate observed when registering — which scopes the
+// election round — and its n.lst.
+func encodeCandidacy(epoch uint32, l wal.LSN) []byte {
+	return []byte(strconv.FormatUint(uint64(epoch), 10) + ":" + strconv.FormatUint(uint64(l), 10))
 }
 
-func decodeCandidateLSN(b []byte) wal.LSN {
-	v, err := strconv.ParseUint(string(b), 10, 64)
-	if err != nil {
-		return 0
+func decodeCandidacy(b []byte) (uint32, wal.LSN) {
+	s := string(b)
+	i := strings.IndexByte(s, ':')
+	if i < 0 {
+		return 0, 0
 	}
-	return wal.LSN(v)
+	e, err := strconv.ParseUint(s[:i], 10, 32)
+	if err != nil {
+		return 0, 0
+	}
+	v, err := strconv.ParseUint(s[i+1:], 10, 64)
+	if err != nil {
+		return 0, 0
+	}
+	return uint32(e), wal.LSN(v)
 }
 
 func encodeEpoch(e uint32) []byte {

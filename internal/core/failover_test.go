@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"spinnaker/internal/coord"
 	"spinnaker/internal/transport"
 	"spinnaker/internal/wal"
 )
@@ -385,6 +386,206 @@ func TestAppendixBScenario(t *testing.T) {
 		if res.Status != StatusOK || string(res.Value) != fmt.Sprintf("v%d", i) {
 			t.Fatalf("committed key %d at straggler: %q status %d", i, res.Value, res.Status)
 		}
+	}
+}
+
+func TestConditionalMismatchWaitsForPendingWrite(t *testing.T) {
+	// A conditional put rejected on the strength of a sequenced-but-
+	// uncommitted write must not learn of that rejection before the
+	// write it observed commits: a mismatch reply that precedes the
+	// state justifying it lets a client prove a version change that
+	// concurrent strong reads cannot yet see (the stale-read anomaly the
+	// nemesis harness caught).
+	tc := newTestCluster(t, 3, func(cfg *Config) {
+		cfg.WriteTimeout = 5 * time.Second
+	})
+	tc.waitAllLeaders()
+	c := tc.client()
+
+	v1, err := c.Put(row0(60), "c", []byte("base"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the leader off from its followers and sequence a write that
+	// cannot commit (no quorum).
+	leaderNode := tc.leaderOf(0)
+	leader := leaderNode.ID()
+	for _, name := range tc.layout.Cohort(0) {
+		if name != leader {
+			tc.net.Partition(leader, name)
+		}
+	}
+	f := c.PutAsync(row0(60), "c", []byte("pending"))
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		st, ok := leaderNode.ReplicaStats(0)
+		if ok && st.LastLSN > wal.LSN(v1) {
+			break // the pending write is sequenced
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("pending write never sequenced at the leader")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// The CAS observes the pending write's version and fails — but the
+	// reply must be withheld while that write is uncommitted.
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.ConditionalPut(row0(60), "c", []byte("cas"), v1)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("conditional put returned (%v) while the write justifying its rejection was uncommitted", err)
+	case <-time.After(400 * time.Millisecond):
+	}
+
+	// Heal: the pending write commits, and only then does the mismatch
+	// reach the client.
+	tc.net.HealAll()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrVersionMismatch) {
+			t.Fatalf("conditional put after heal: %v, want ErrVersionMismatch", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("conditional put never returned after heal")
+	}
+	if _, err := f.Wait(); err != nil {
+		t.Fatalf("the observed write itself failed: %v", err)
+	}
+	got, _, err := c.Get(row0(60), "c", true)
+	if err != nil || string(got) != "pending" {
+		t.Fatalf("final state = %q, %v; want the pending write's value", got, err)
+	}
+}
+
+func TestElectionIgnoresStaleCandidacies(t *testing.T) {
+	// A candidate znode left over from an earlier election round (each
+	// node cleans up only its own entries, Fig 7 line 1) must count
+	// toward neither the quorum nor the winner of a later round: stale
+	// entries carry out-of-date n.lst values, and counting them lets a
+	// round conclude before the live nodes register — electing a laggard
+	// over the node that holds committed writes, which are then
+	// logically truncated. The churn suite surfaced this as lost
+	// acknowledged increments. Pin it by planting a stale-round
+	// candidacy with an absurdly high LSN: if any election round counted
+	// it, the phantom would win every round and the range would never
+	// elect a real leader again.
+	tc := newTestCluster(t, 3, nil)
+	tc.waitAllLeaders()
+	c := tc.client()
+
+	if _, err := c.Put(row0(90), "c", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	ghost := tc.coord.Connect()
+	t.Cleanup(ghost.Close)
+	if _, err := ghost.Create(candidatesPath(0)+"/c:ghost:",
+		encodeCandidacy(0, wal.MakeLSN(40, 1)),
+		coord.FlagEphemeral|coord.FlagSequential); err != nil {
+		t.Fatal(err)
+	}
+
+	tc.crashNode(tc.leaderOf(0).ID())
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := c.Put(row0(91), "c", []byte("y")); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no real leader elected: the stale candidacy was counted")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	got, _, err := c.Get(row0(90), "c", true)
+	if err != nil || string(got) != "x" {
+		t.Fatalf("committed write after election = %q, %v", got, err)
+	}
+}
+
+func TestMidTakeoverLeaderRejectsStrongReads(t *testing.T) {
+	// A node that has claimed leadership but not finished takeover
+	// (role=Leader, not yet open, Fig 6 line 10) must reject strongly
+	// consistent reads: its engine may lack writes the previous leader
+	// committed and acknowledged, so serving would read committed state
+	// stale. Stall a takeover deterministically by partitioning the two
+	// surviving followers from each other before crashing the leader —
+	// whichever follower wins the election cannot sync the other and sits
+	// mid-takeover until TakeoverTimeout.
+	tc := newTestCluster(t, 3, nil)
+	tc.waitAllLeaders()
+	c := tc.client()
+
+	if _, err := c.Put(row0(80), "c", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	oldLeader := tc.leaderOf(0).ID()
+	var followers []string
+	for _, name := range tc.layout.Cohort(0) {
+		if name != oldLeader {
+			followers = append(followers, name)
+		}
+	}
+	tc.net.Partition(followers[0], followers[1])
+	tc.crashNode(oldLeader)
+
+	// Wait for a new claim, then probe it with strong reads while its
+	// takeover is stalled: any StatusOK is a stale-read hole.
+	sess := tc.coord.Connect()
+	defer sess.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	newLeader := ""
+	for newLeader == "" {
+		if data, err := sess.Get(leaderPath(0)); err == nil && string(data) != oldLeader {
+			newLeader = string(data)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no new leadership claim")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	ep := tc.net.Join("probe-midtakeover")
+	probeUntil := time.Now().Add(500 * time.Millisecond)
+	for time.Now().Before(probeUntil) {
+		resp, err := ep.Call(transport.Message{
+			To: newLeader, Kind: MsgGet, Cohort: 0,
+			Payload: encodeGetReq(getReq{Row: row0(80), Col: "c", Consistent: true}),
+		})
+		if err != nil {
+			continue
+		}
+		res, err := decodeGetResp(resp.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status == StatusOK {
+			st := ReplicaStats{}
+			if n, ok := tc.nodes[newLeader]; ok {
+				st, _ = n.ReplicaStats(0)
+			}
+			t.Fatalf("mid-takeover leader %s served a strongly consistent read (stats %+v)", newLeader, st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Heal: takeover completes and strong reads resume, nothing lost.
+	tc.net.HealAll()
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		got, _, err := c.Get(row0(80), "c", true)
+		if err == nil {
+			if string(got) != "x" {
+				t.Fatalf("value after takeover = %q", got)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("strong reads never resumed: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

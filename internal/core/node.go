@@ -486,6 +486,17 @@ func (n *Node) catchupWorker() {
 	}
 }
 
+// readEpochZnode returns the range's epoch as stored in the coordination
+// service (0 if unreadable). Candidates stamp their registrations with it
+// to scope election rounds.
+func (n *Node) readEpochZnode(rangeID uint32) uint32 {
+	data, err := n.coordSess.Get(epochPath(rangeID))
+	if err != nil {
+		return 0
+	}
+	return decodeEpoch(data)
+}
+
 // bumpEpoch atomically increments a range's epoch in the coordination
 // service and returns the new value (App. B: stored in Zookeeper before
 // the new leader accepts writes).

@@ -45,6 +45,14 @@ const (
 	StatusVersionMismatch
 	StatusUnavailable
 	StatusBadRequest
+	// StatusAmbiguous reports a write that failed AFTER being sequenced
+	// into the replication stream: it sits in the leader's durable log
+	// and commit queue and may yet commit (quorum timeout, leadership
+	// lost mid-replication). Unlike StatusUnavailable — which is only
+	// ever returned before sequencing and so guarantees the write took
+	// no effect — a blind retry after StatusAmbiguous can execute the
+	// write twice.
+	StatusAmbiguous
 )
 
 // StatusError converts a non-OK status into an error.
@@ -60,6 +68,8 @@ func StatusError(status uint8, detail string) error {
 		return ErrVersionMismatch
 	case StatusUnavailable:
 		return fmt.Errorf("%w: %s", ErrUnavailable, detail)
+	case StatusAmbiguous:
+		return fmt.Errorf("%w: %s", ErrAmbiguous, detail)
 	default:
 		return fmt.Errorf("core: %s", detail)
 	}
@@ -76,8 +86,13 @@ var (
 	// column's current version differs from the one supplied.
 	ErrVersionMismatch = fmt.Errorf("core: version mismatch")
 	// ErrUnavailable reports a cohort closed for writes (no leader, or
-	// leader takeover in progress).
+	// leader takeover in progress). The operation took no effect.
 	ErrUnavailable = fmt.Errorf("core: cohort unavailable")
+	// ErrAmbiguous reports a write whose outcome is unknown: it was
+	// sequenced but its commit was never confirmed, and it may or may
+	// not take effect. Returned by strict-write clients instead of
+	// retrying (a retry could apply the write twice).
+	ErrAmbiguous = fmt.Errorf("core: write outcome ambiguous")
 )
 
 // ColWrite is one column mutation within a WriteOp.

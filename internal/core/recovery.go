@@ -312,7 +312,7 @@ func (r *replica) demoteLocked(newLeader string) {
 	// re-proposals. Their waiting clients, however, must not hang.
 	for _, lsn := range r.queue.snapshotOrder() {
 		if p, ok := r.queue.get(lsn); ok {
-			p.finish(writeOutcome{status: StatusUnavailable, detail: "leadership lost"})
+			p.finish(writeOutcome{status: StatusAmbiguous, detail: "leadership lost mid-replication"})
 		}
 	}
 }

@@ -118,15 +118,21 @@ func (r *replica) submitWrite(op WriteOp) writeOutcome {
 	// Conditional checks run before sequencing (§5.1), against the
 	// effective state: the newest pending write for the column if one is
 	// queued (writes execute in LSN order), else the committed cell.
-	for _, c := range op.Cols {
-		if !c.Cond {
-			continue
+	if out, dep := r.checkCondsLocked(op); out != nil {
+		r.mu.Unlock()
+		if dep == nil {
+			return *out
 		}
-		cur := r.effectiveVersionLocked(kv.Key{Row: op.Row, Col: c.Col})
-		if cur != c.CondVersion {
-			r.mu.Unlock()
-			return writeOutcome{status: StatusVersionMismatch,
-				detail: fmt.Sprintf("column %s at version %d, want %d", c.Col, cur, c.CondVersion)}
+		// The rejection hinges on an uncommitted write: hold the reply
+		// until that write resolves so the mismatch never precedes the
+		// state that justifies it.
+		ch := make(chan writeOutcome, 1)
+		deferMismatch(dep, *out, func(o writeOutcome) { ch <- o })
+		select {
+		case o := <-ch:
+			return o
+		case <-time.After(r.n.cfg.WriteTimeout):
+			return writeOutcome{status: StatusUnavailable, detail: "conditional check timed out awaiting a pending write"}
 		}
 	}
 
@@ -172,7 +178,11 @@ func (r *replica) submitWrite(op WriteOp) writeOutcome {
 	r.mu.Unlock()
 
 	if err := r.n.log.ForceTo(end); err != nil {
-		return writeOutcome{status: StatusUnavailable, detail: err.Error()}
+		// The write is already sequenced, queued, and (unless the
+		// SequentialPropose ablation is on) proposed: followers may log
+		// and ack it, and a takeover can re-commit it. Ambiguous, not
+		// definite-no-effect.
+		return writeOutcome{status: StatusAmbiguous, detail: err.Error()}
 	}
 	if r.n.cfg.SequentialPropose {
 		propose()
@@ -185,7 +195,7 @@ func (r *replica) submitWrite(op WriteOp) writeOutcome {
 		out.versions = versions
 		return out
 	case <-time.After(r.n.cfg.WriteTimeout):
-		return writeOutcome{status: StatusUnavailable, detail: "write timed out awaiting quorum"}
+		return writeOutcome{status: StatusAmbiguous, detail: "write timed out awaiting quorum"}
 	}
 }
 
@@ -210,17 +220,17 @@ func (r *replica) submitWriteAsync(op WriteOp, respond func(writeOutcome)) {
 	}
 	// Conditional checks run before sequencing (§5.1), against the
 	// effective state, exactly as in submitWrite.
-	for _, c := range op.Cols {
-		if !c.Cond {
-			continue
-		}
-		cur := r.effectiveVersionLocked(kv.Key{Row: op.Row, Col: c.Col})
-		if cur != c.CondVersion {
-			r.mu.Unlock()
-			respond(writeOutcome{status: StatusVersionMismatch,
-				detail: fmt.Sprintf("column %s at version %d, want %d", c.Col, cur, c.CondVersion)})
+	if out, dep := r.checkCondsLocked(op); out != nil {
+		r.mu.Unlock()
+		if dep == nil {
+			respond(*out)
 			return
 		}
+		// Hold the reply until the observed uncommitted write resolves;
+		// the WriteTimeout bound comes from the client side here (the
+		// dependency itself is swept by the leader's timeout timer).
+		deferMismatch(dep, *out, respond)
+		return
 	}
 
 	lsn := wal.MakeLSN(r.epoch, r.nextSeq)
@@ -261,19 +271,74 @@ func (r *replica) submitWriteAsync(op WriteOp, respond func(writeOutcome)) {
 }
 
 // effectiveVersionLocked returns the version a read-your-own-sequenced-
-// writes observer would see for key; callers hold r.mu.
-func (r *replica) effectiveVersionLocked(key kv.Key) uint64 {
+// writes observer would see for key and, when that version comes from a
+// sequenced-but-uncommitted write, the pending write carrying it; callers
+// hold r.mu.
+func (r *replica) effectiveVersionLocked(key kv.Key) (uint64, *pendingWrite) {
 	if p, ok := r.queue.latestPending(key); ok {
 		for _, c := range p.op.Cols {
 			if c.Col == key.Col {
-				return c.Version
+				return c.Version, p
 			}
 		}
 	}
+	return r.committedVersionLocked(key), nil
+}
+
+// committedVersionLocked returns the committed cell version for key (what
+// a strong read would serve); callers hold r.mu.
+func (r *replica) committedVersionLocked(key kv.Key) uint64 {
 	if cell, ok := r.engine.Get(key); ok {
 		return cell.Version
 	}
 	return 0
+}
+
+// checkCondsLocked evaluates a write's conditional guards against the
+// effective state (the newest pending write per column if one is queued —
+// writes execute in LSN order, §5.1 — else the committed cell). It returns
+// (nil, nil) when every guard passes. On a failure justified by committed
+// state alone it returns the mismatch outcome to deliver immediately. On a
+// failure that hinges on a sequenced-but-uncommitted write it returns that
+// write too: the rejection leaks the pending write's existence, so the
+// reply must wait until the pending write commits (then the mismatch is
+// consistent with visible state) or dies (then the state that justified
+// the rejection never existed, and the client must retry). Callers hold
+// r.mu.
+func (r *replica) checkCondsLocked(op WriteOp) (*writeOutcome, *pendingWrite) {
+	var dep *pendingWrite
+	var deferred *writeOutcome
+	for _, c := range op.Cols {
+		if !c.Cond {
+			continue
+		}
+		key := kv.Key{Row: op.Row, Col: c.Col}
+		cur, pending := r.effectiveVersionLocked(key)
+		if cur == c.CondVersion {
+			continue
+		}
+		out := writeOutcome{status: StatusVersionMismatch,
+			detail: fmt.Sprintf("column %s at version %d, want %d", c.Col, cur, c.CondVersion)}
+		if pending == nil || r.committedVersionLocked(key) != c.CondVersion {
+			return &out, nil
+		}
+		if dep == nil {
+			dep, deferred = pending, &out
+		}
+	}
+	return deferred, dep
+}
+
+// deferMismatch delivers a pending-dependent mismatch once dep resolves.
+func deferMismatch(dep *pendingWrite, out writeOutcome, respond func(writeOutcome)) {
+	dep.observe(func(committed bool) {
+		if committed {
+			respond(out)
+			return
+		}
+		respond(writeOutcome{status: StatusUnavailable,
+			detail: "conditional check raced an uncommitted write; retry"})
+	})
 }
 
 // enqueueProposalLocked appends rec to the outgoing batch buffer; callers
@@ -399,14 +464,27 @@ func (r *replica) onPropose(m transport.Message) {
 	}
 	if m.From != r.leaderID && r.leaderID != "" {
 		// A propose from a node we do not believe leads the cohort.
-		// Accept only if it carries a higher epoch (we are behind on
-		// leadership news; the election loop will refresh leaderID).
-		if p.LSN.Epoch() < r.epoch {
+		// Accept only if it carries a strictly higher epoch (we are
+		// behind on leadership news; the election loop will refresh
+		// leaderID). Equal epochs must be rejected too: after a
+		// takeover, a deposed-but-live leader still sends at the old
+		// epoch, and a follower that already follows the new leader
+		// but has not bumped its epoch would otherwise lend the old
+		// leader acks — letting it commit writes the new leader's
+		// history will truncate.
+		if p.LSN.Epoch() <= r.epoch {
 			r.mu.Unlock()
 			return
 		}
 	}
 	if p.LSN.Epoch() > r.epoch {
+		if r.role == RoleLeader {
+			// A higher-epoch proposal stream proves we were deposed;
+			// step down rather than silently adopting the epoch (our
+			// next write would otherwise collide with the real
+			// leader's LSN space).
+			r.demoteLocked(m.From)
+		}
 		r.epoch = p.LSN.Epoch()
 	}
 
@@ -426,9 +504,20 @@ func (r *replica) onPropose(m transport.Message) {
 			r.n.send(m.From, transport.Message{Kind: MsgAck, Cohort: r.rangeID, Payload: encodeLSN(p.LSN)})
 		}()
 	default:
-		gap := !r.lastLSN.IsZero() && p.LSN.Seq() > r.lastLSN.Seq()+1
-		if gap {
+		if p.LSN.Seq() > r.lastLSN.Seq()+1 {
+			// A sequence gap: appending past the hole would advance
+			// lastLSN over writes we do not hold, and our election
+			// candidacy (max n.lst, Fig 7 line 6) would then overstate
+			// our log — a gapped follower could win over the follower
+			// actually holding the committed writes in the hole, and
+			// they would be lost. Drop the write instead (exactly as
+			// the batched path does): catch-up recovers the committed
+			// prefix, and the leader's retransmission sweep re-proposes
+			// the pending tail in LSN order, refilling the hole.
 			r.gapped = true
+			r.mu.Unlock()
+			r.n.nudgeCatchup(r)
+			return
 		}
 		rec := wal.Record{Cohort: r.rangeID, Type: wal.RecWrite, LSN: p.LSN,
 			Payload: EncodeWriteOp(nil, p.Op)}
@@ -453,11 +542,6 @@ func (r *replica) onPropose(m transport.Message) {
 				r.applyCommitted(p.CommittedThrough, false)
 			}
 		}()
-		if gap {
-			// We missed proposes (e.g. across a healed partition);
-			// ask the leader for the committed writes in between.
-			r.n.nudgeCatchup(r)
-		}
 		return
 	}
 	if p.CommittedThrough > 0 {
@@ -490,9 +574,13 @@ func (r *replica) onProposeBatch(m transport.Message) {
 	}
 	if m.From != r.leaderID && r.leaderID != "" {
 		// A batch from a node we do not believe leads the cohort.
-		// Accept only if it carries a higher epoch (we are behind on
-		// leadership news; the election loop will refresh leaderID).
-		if b.Recs[0].LSN.Epoch() < r.epoch {
+		// Accept only if it carries a strictly higher epoch (we are
+		// behind on leadership news; the election loop will refresh
+		// leaderID). Equal epochs must be rejected too — see onPropose:
+		// a deposed-but-live leader still proposing at the old epoch
+		// must not earn acks from followers that already follow its
+		// successor.
+		if b.Recs[0].LSN.Epoch() <= r.epoch {
 			r.mu.Unlock()
 			return
 		}
@@ -504,6 +592,11 @@ func (r *replica) onProposeBatch(m transport.Message) {
 	)
 	for _, rec := range b.Recs {
 		if e := rec.LSN.Epoch(); e > r.epoch {
+			if r.role == RoleLeader {
+				// A higher-epoch stream proves we were deposed; step
+				// down rather than silently adopting the epoch.
+				r.demoteLocked(m.From)
+			}
 			r.epoch = e
 		}
 		if rec.LSN <= r.lastCommitted || r.queue.has(rec.LSN) {
@@ -686,7 +779,7 @@ func (r *replica) sendCommitMessages() {
 	// Fail asynchronously handled writes that have waited longer than the
 	// write timeout (the per-write path enforces this bound by blocking).
 	for _, p := range r.queue.staleResponders(r.n.cfg.WriteTimeout) {
-		p.finish(writeOutcome{status: StatusUnavailable, detail: "write timed out awaiting quorum"})
+		p.finish(writeOutcome{status: StatusAmbiguous, detail: "write timed out awaiting quorum"})
 	}
 	r.tryCommit()
 }
@@ -715,16 +808,24 @@ func (r *replica) reproposeRecs(recs []proposeRec) {
 // --- Read path (§3, §5) -----------------------------------------------------
 
 // get serves a read. Strongly consistent reads are only legal at the
-// leader (the client routes them there; we enforce it). Timeline reads are
-// served by any replica and may be stale by up to one commit period.
+// leader (the client routes them there; we enforce it), and only once the
+// takeover is complete (open): a mid-takeover leader's engine may not yet
+// reflect writes the previous leader committed and acknowledged, so
+// serving before Fig 6 line 10 would read committed state stale. Timeline
+// reads are served by any replica and may be stale by up to one commit
+// period.
 func (r *replica) get(req getReq) getResp {
 	if req.Consistent {
 		r.mu.Lock()
-		ok := r.role == RoleLeader
+		isLeader := r.role == RoleLeader
+		open := r.open
 		leader := r.leaderID
 		r.mu.Unlock()
-		if !ok {
+		if !isLeader {
 			return getResp{Status: StatusNotLeader, Value: []byte(leader)}
+		}
+		if !open {
+			return getResp{Status: StatusUnavailable}
 		}
 	}
 	r.n.readGate()
@@ -739,10 +840,14 @@ func (r *replica) get(req getReq) getResp {
 func (r *replica) getRow(req getReq) rowResp {
 	if req.Consistent {
 		r.mu.Lock()
-		ok := r.role == RoleLeader
+		isLeader := r.role == RoleLeader
+		open := r.open
 		r.mu.Unlock()
-		if !ok {
+		if !isLeader {
 			return rowResp{Status: StatusNotLeader}
+		}
+		if !open {
+			return rowResp{Status: StatusUnavailable}
 		}
 	}
 	entries := r.engine.GetRow(req.Row)

@@ -162,6 +162,111 @@ func TestChurnNoLostIncrements(t *testing.T) {
 		acked.Load(), final, int64(final)-acked.Load())
 }
 
+// TestStrongReadsNeverRegressAcrossFailover pins the takeover read gate:
+// a new leader must not serve strongly consistent reads until its takeover
+// completes (open), because until then its engine may lack writes the old
+// leader committed and acknowledged. The probe: one writer records the
+// highest acknowledged version; concurrent strong readers must never
+// observe a lower one, while the cohort leader is crash-restarted in a
+// loop. Caught originally by the nemesis harness as a stale strong read
+// during an election.
+func TestStrongReadsNeverRegressAcrossFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("failover churn takes several seconds")
+	}
+	tc := newTestCluster(t, 3, func(cfg *Config) {
+		cfg.WriteTimeout = 500 * time.Millisecond
+	})
+	tc.waitAllLeaders()
+
+	const duration = 3 * time.Second
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var maxAcked atomic.Uint64
+
+	// Writer: unconditional puts; every acknowledged version raises the
+	// floor readers must observe.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c := tc.client()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v, err := c.Put(row0(7), "c", []byte(fmt.Sprintf("v%d", i)))
+			if err != nil {
+				continue
+			}
+			for {
+				cur := maxAcked.Load()
+				if v <= cur || maxAcked.CompareAndSwap(cur, v) {
+					break
+				}
+			}
+		}
+	}()
+
+	// Readers: a strong read invoked after version V was acknowledged
+	// must return at least V.
+	for rdr := 0; rdr < 2; rdr++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := tc.client()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				floor := maxAcked.Load()
+				_, ver, err := c.Get(row0(7), "c", true)
+				if err != nil {
+					continue // unavailable mid-failover: retry
+				}
+				if ver < floor {
+					t.Errorf("STALE STRONG READ: version %d after %d was acknowledged", ver, floor)
+					return
+				}
+			}
+		}()
+	}
+
+	// Nemesis: crash and restart the cohort leader continuously.
+	rng := rand.New(rand.NewSource(11))
+	deadline := time.Now().Add(duration)
+	for time.Now().Before(deadline) {
+		leader := ""
+		sess := tc.coord.Connect()
+		if data, err := sess.Get(leaderPath(0)); err == nil {
+			leader = string(data)
+		}
+		sess.Close()
+		if _, ok := tc.nodes[leader]; !ok || leader == "" {
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		tc.crashNode(leader)
+		time.Sleep(time.Duration(50+rng.Intn(150)) * time.Millisecond)
+		cfg := tc.cfgTmpl
+		cfg.ID = leader
+		n, err := NewNode(cfg, tc.stores[leader], tc.net.Join(leader), tc.coord)
+		if err != nil {
+			t.Fatalf("restart %s: %v", leader, err)
+		}
+		if err := n.Start(); err != nil {
+			t.Fatalf("start %s: %v", leader, err)
+		}
+		tc.nodes[leader] = n
+		time.Sleep(time.Duration(50+rng.Intn(100)) * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+}
+
 // TestTimelineReadsMonotonicPerReplica checks the "timeline" in timeline
 // consistency: an individual replica applies committed writes in LSN order,
 // so polling one replica never observes versions going backwards.

@@ -1,0 +1,370 @@
+package lin
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ErrUndecided reports that the search hit its deadline before finding a
+// witness or exhausting the space.
+var ErrUndecided = errors.New("lin: check deadline exceeded before a verdict")
+
+// CheckResult is the verdict over a full multi-key history.
+type CheckResult struct {
+	// Linearizable is true when every per-key subhistory admits a legal
+	// sequential witness.
+	Linearizable bool
+	// BadKey names the first key whose subhistory has no witness.
+	BadKey string
+	// Err is non-nil when the search was cut short (ErrUndecided).
+	Err error
+	// Detail describes the deepest configuration the failed search
+	// reached: the model state and the earliest operations that could
+	// not be linearized from it.
+	Detail string
+	// Ops counts the operations checked (Failed ops and unknown-outcome
+	// reads are excluded from the history).
+	Ops int
+	// Unknown counts the ambiguous writes kept in the history.
+	Unknown int
+	// Keys counts the distinct keys checked.
+	Keys int
+}
+
+// Check verifies a history for per-key linearizability. timeout bounds the
+// total search; zero means no limit.
+func Check(ops []*Operation, timeout time.Duration) CheckResult {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	byKey := make(map[string][]*Operation)
+	res := CheckResult{Linearizable: true}
+	for _, o := range ops {
+		switch o.Outcome {
+		case Failed:
+			continue // definitely no effect: not part of the history
+		case Unknown, Pending:
+			if o.Op.Kind == Get {
+				// An ambiguous read has no effect and no recorded
+				// result; it constrains nothing.
+				continue
+			}
+			res.Unknown++
+		}
+		res.Ops++
+		byKey[o.Op.Key] = append(byKey[o.Op.Key], o)
+	}
+	res.Keys = len(byKey)
+
+	// Check keys in sorted order so failures are reported
+	// deterministically.
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		ok, detail, err := checkKey(byKey[k], deadline)
+		if err != nil {
+			res.Linearizable = false
+			res.BadKey = k
+			res.Err = err
+			return res
+		}
+		if !ok {
+			res.Linearizable = false
+			res.BadKey = k
+			res.Detail = detail
+			return res
+		}
+	}
+	return res
+}
+
+// Check verifies the recorder's history; see Check.
+func (r *Recorder) Check(timeout time.Duration) CheckResult {
+	return Check(r.Ops(), timeout)
+}
+
+// regState is the model state of one key: a register carrying a value and
+// the system-assigned version of the write that produced it. version 0
+// means "unknown" — the value was written by an operation whose assigned
+// version was never observed (an ambiguous write) — and matches anything
+// until a later read pins it down.
+type regState struct {
+	exists  bool
+	value   string
+	version uint64
+}
+
+func (s regState) cacheKey() string {
+	if !s.exists {
+		return "·"
+	}
+	return fmt.Sprintf("%s|%d", s.value, s.version)
+}
+
+// step applies op to the state sequentially: it reports whether the op's
+// recorded outputs are legal from s, and the successor state. Unknown
+// version numbers (0) are never grounds for rejection — the model only
+// refutes what the recorded outputs actually contradict.
+func step(s regState, op Op) (bool, regState) {
+	switch op.Kind {
+	case Get:
+		if op.NotFound {
+			return !s.exists, s
+		}
+		if !s.exists || s.value != op.OutValue {
+			return false, s
+		}
+		if s.version != 0 && op.OutVer != 0 && op.OutVer != s.version {
+			return false, s
+		}
+		if s.version == 0 && op.OutVer != 0 {
+			s.version = op.OutVer // the read pins the unknown version
+		}
+		return true, s
+	case Put:
+		// Versions are system-assigned LSNs: per key they strictly
+		// increase across the writes that took effect (epoch bumps keep
+		// LSNs monotonic across takeovers, Appendix B).
+		if s.exists && s.version != 0 && op.OutVer != 0 && op.OutVer <= s.version {
+			return false, s
+		}
+		return true, regState{exists: true, value: op.Value, version: op.OutVer}
+	case CondPut:
+		matched, known := true, false
+		switch {
+		case !s.exists:
+			matched, known = op.CondVer == 0, true
+		case s.version != 0:
+			matched, known = s.version == op.CondVer, true
+		}
+		if op.Mismatch {
+			// The system refused the write: illegal only if the
+			// state provably matched the condition.
+			if known && matched {
+				return false, s
+			}
+			return true, s
+		}
+		if known && !matched {
+			return false, s
+		}
+		if s.exists && s.version != 0 && op.OutVer != 0 && op.OutVer <= s.version {
+			return false, s
+		}
+		return true, regState{exists: true, value: op.Value, version: op.OutVer}
+	case Delete:
+		return true, regState{}
+	default:
+		return false, s
+	}
+}
+
+// event is one call or return in the per-key entry list.
+type event struct {
+	op    *Operation
+	id    int    // operation index within the subhistory
+	match *event // for calls: the matching return; nil for returns
+	at    int64
+	prev  *event
+	next  *event
+}
+
+// checkKey runs the Wing & Gong search over one key's subhistory: try to
+// linearize some pending call at each step, backtracking when stuck, with
+// memoization of (linearized-set, state) configurations (Lowe's
+// optimization). Returns whether a witness exists.
+func checkKey(ops []*Operation, deadline time.Time) (bool, string, error) {
+	n := len(ops)
+	if n == 0 {
+		return true, "", nil
+	}
+	if n > 256*1024 {
+		return false, "", fmt.Errorf("lin: subhistory of %d ops too large", n)
+	}
+
+	// Build the event list: a call and a return per operation, sorted by
+	// timestamp. Recorder timestamps are unique except the MaxInt64
+	// returns of unknown ops, which all sort last (their relative order
+	// is immaterial: they are concurrent with everything after their
+	// calls).
+	events := make([]*event, 0, 2*n)
+	for i, o := range ops {
+		call := &event{op: o, id: i, at: o.Invoke}
+		ret := &event{op: o, id: i, at: o.Return}
+		call.match = ret
+		events = append(events, call, ret)
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].at != events[j].at {
+			return events[i].at < events[j].at
+		}
+		// Ties only among MaxInt64 returns; order by id for
+		// determinism.
+		return events[i].id < events[j].id
+	})
+	head := &event{at: math.MinInt64} // sentinel
+	prev := head
+	for _, e := range events {
+		prev.next = e
+		e.prev = prev
+		prev = e
+	}
+
+	lift := func(call *event) {
+		call.prev.next = call.next
+		call.next.prev = call.prev
+		ret := call.match
+		ret.prev.next = ret.next
+		if ret.next != nil {
+			ret.next.prev = ret.prev
+		}
+	}
+	unlift := func(call *event) {
+		ret := call.match
+		ret.prev.next = ret
+		if ret.next != nil {
+			ret.next.prev = ret
+		}
+		call.prev.next = call
+		call.next.prev = call
+	}
+
+	// The search tries, at each step, to linearize one of the calls
+	// pending before the next return. Completed (OK) ops have one way to
+	// linearize: their recorded outputs must be legal. Ambiguous
+	// (Unknown/Pending) ops have two: take effect here, or never take
+	// effect at all (choice 1, a no-op) — a timed-out write may have
+	// died before reaching the leader, and the witness must not be
+	// forced to include it.
+	type frame struct {
+		call   *event
+		state  regState
+		choice int
+	}
+	var stack []frame
+	state := regState{}
+	linearized := newBitset(n)
+	cache := make(map[string]struct{})
+	entry := head.next
+	startChoice := 0
+	steps := 0
+	// Failure diagnostics: the deepest configuration reached and the
+	// earliest operations still pending there.
+	bestDepth := -1
+	bestDetail := ""
+	snapshot := func() string {
+		var b strings.Builder
+		fmt.Fprintf(&b, "linearized %d/%d ops; state {exists=%t value=%q version=%d}; stuck at:",
+			len(stack), n, state.exists, state.value, state.version)
+		count := 0
+		for e := head.next; e != nil && count < 5; e = e.next {
+			if e.match != nil {
+				fmt.Fprintf(&b, "\n  c%d %s (t%d..t%s)", e.op.Client, e.op.Op, e.op.Invoke, retString(e.op.Return))
+				count++
+			}
+		}
+		return b.String()
+	}
+	for head.next != nil {
+		steps++
+		if steps&0xfff == 0 && !deadline.IsZero() && time.Now().After(deadline) {
+			return false, "", ErrUndecided
+		}
+		if entry == nil {
+			if len(stack) > bestDepth {
+				bestDepth = len(stack)
+				bestDetail = snapshot()
+			}
+			// Out of candidates at this configuration: backtrack,
+			// resuming the popped call at its next untried choice.
+			if len(stack) == 0 {
+				return false, bestDetail, nil
+			}
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			state = top.state
+			linearized.clear(top.call.id)
+			unlift(top.call)
+			entry = top.call
+			startChoice = top.choice + 1
+			continue
+		}
+		if entry.match != nil { // a call: try to linearize it here
+			nchoices := 1
+			if entry.op.Outcome == Unknown || entry.op.Outcome == Pending {
+				nchoices = 2
+			}
+			advanced := false
+			for c := startChoice; c < nchoices; c++ {
+				var ok bool
+				var next regState
+				if c == 0 {
+					ok, next = step(state, entry.op.Op)
+				} else {
+					ok, next = true, state // ambiguous op never took effect
+				}
+				if !ok {
+					continue
+				}
+				linearized.set(entry.id)
+				key := linearized.key() + next.cacheKey()
+				if _, seen := cache[key]; seen {
+					linearized.clear(entry.id)
+					continue
+				}
+				cache[key] = struct{}{}
+				stack = append(stack, frame{call: entry, state: state, choice: c})
+				state = next
+				lift(entry)
+				entry = head.next
+				advanced = true
+				break
+			}
+			startChoice = 0
+			if !advanced {
+				entry = entry.next
+			}
+			continue
+		}
+		// A return: every call that could linearize before this point
+		// has been tried. Backtrack.
+		entry = nil
+	}
+	return true, "", nil
+}
+
+// bitset is a small fixed-size bitset with a cheap cache key.
+type bitset struct {
+	words []uint64
+	buf   []byte
+}
+
+func newBitset(n int) *bitset {
+	w := (n + 63) / 64
+	return &bitset{words: make([]uint64, w), buf: make([]byte, 8*w)}
+}
+
+func (b *bitset) set(i int)   { b.words[i>>6] |= 1 << (uint(i) & 63) }
+func (b *bitset) clear(i int) { b.words[i>>6] &^= 1 << (uint(i) & 63) }
+
+func (b *bitset) key() string {
+	for i, w := range b.words {
+		b.buf[8*i] = byte(w)
+		b.buf[8*i+1] = byte(w >> 8)
+		b.buf[8*i+2] = byte(w >> 16)
+		b.buf[8*i+3] = byte(w >> 24)
+		b.buf[8*i+4] = byte(w >> 32)
+		b.buf[8*i+5] = byte(w >> 40)
+		b.buf[8*i+6] = byte(w >> 48)
+		b.buf[8*i+7] = byte(w >> 56)
+	}
+	return string(b.buf)
+}

@@ -1,0 +1,276 @@
+// Package lin records operation histories from concurrent clients and
+// checks them for linearizability against the datastore's register +
+// conditional-put model (§3 of the paper: get / put / conditionalPut /
+// delete on a single key, with version numbers assigned by the system).
+//
+// The workflow mirrors Jepsen-style testing: a Recorder collects
+// invoke/ok/fail/info events from concurrent workers while a nemesis
+// injects faults; afterwards, Check searches for a legal sequential
+// witness of the completed history. Because the datastore's operations
+// touch exactly one row, the history decomposes per key (linearizability
+// is local: a history is linearizable iff each per-object subhistory is),
+// which keeps the NP-hard search tractable. Each per-key subhistory is
+// checked with the Wing & Gong linearization search, with Lowe's
+// memoization of (linearized-set, state) pairs.
+package lin
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind enumerates the single-key operations of the model.
+type Kind uint8
+
+const (
+	// Get reads the key's value and version.
+	Get Kind = iota
+	// Put writes a value unconditionally; the system assigns a version.
+	Put
+	// CondPut writes a value only if the key's current version equals
+	// CondVer (0 = only if the key does not exist).
+	CondPut
+	// Delete removes the key.
+	Delete
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Get:
+		return "get"
+	case Put:
+		return "put"
+	case CondPut:
+		return "condput"
+	case Delete:
+		return "delete"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Outcome classifies how an operation completed.
+type Outcome uint8
+
+const (
+	// Pending: the operation never completed (treated like Unknown).
+	Pending Outcome = iota
+	// OK: the operation completed with the recorded result.
+	OK
+	// Failed: the operation definitely did not take effect; it is
+	// excluded from the history.
+	Failed
+	// Unknown: the outcome is ambiguous (timeout, unavailable after the
+	// write may have been sequenced). The operation may take effect at
+	// any point after its invocation, including after every other
+	// completed operation.
+	Unknown
+)
+
+// Op is one operation on a single key: its inputs and, for OK outcomes,
+// its outputs.
+type Op struct {
+	Kind Kind
+	Key  string
+
+	// Inputs.
+	Value   string // Put/CondPut payload
+	CondVer uint64 // CondPut expected version
+
+	// Outputs, valid for OK outcomes.
+	OutValue string // Get: value read
+	OutVer   uint64 // version read (Get) or assigned (Put/CondPut); 0 = not recorded
+	NotFound bool   // Get: the key was absent
+	Mismatch bool   // CondPut: the version check failed (no effect)
+}
+
+func (o Op) String() string {
+	switch o.Kind {
+	case Get:
+		if o.NotFound {
+			return fmt.Sprintf("get(%s) -> not-found", o.Key)
+		}
+		return fmt.Sprintf("get(%s) -> %q v%d", o.Key, o.OutValue, o.OutVer)
+	case Put:
+		return fmt.Sprintf("put(%s, %q) -> v%d", o.Key, o.Value, o.OutVer)
+	case CondPut:
+		if o.Mismatch {
+			return fmt.Sprintf("condput(%s, %q, if v%d) -> mismatch", o.Key, o.Value, o.CondVer)
+		}
+		return fmt.Sprintf("condput(%s, %q, if v%d) -> v%d", o.Key, o.Value, o.CondVer, o.OutVer)
+	case Delete:
+		return fmt.Sprintf("delete(%s)", o.Key)
+	default:
+		return fmt.Sprintf("op(%d, %s)", o.Kind, o.Key)
+	}
+}
+
+// Operation is one recorded invocation. Invoke and Return are logical
+// timestamps from the recorder's clock: an operation that returned before
+// another was invoked has Return < Invoke of the other, so the recorded
+// partial order is exactly the real-time order linearizability must
+// respect. Unknown operations keep Return = math.MaxInt64 — they stay
+// concurrent with everything after their invocation.
+type Operation struct {
+	Client  int
+	Op      Op
+	Invoke  int64
+	Return  int64
+	Outcome Outcome
+}
+
+// Note is a timestamped annotation (nemesis actions, phase markers)
+// interleaved with the history for debugging failed checks.
+type Note struct {
+	At   int64
+	Text string
+}
+
+// Recorder is a concurrent-safe history recorder. One logical clock stamps
+// invocations, returns, and notes, giving a total order consistent with
+// real time within the process.
+type Recorder struct {
+	clock atomic.Int64
+
+	mu    sync.Mutex
+	ops   []*Operation
+	notes []Note
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// PendingOp is the handle to an invoked, not-yet-completed operation.
+type PendingOp struct {
+	r  *Recorder
+	op *Operation
+}
+
+// Invoke records the start of an operation; complete it with exactly one
+// of OK, Fail, or Unknown.
+func (r *Recorder) Invoke(client int, op Op) *PendingOp {
+	o := &Operation{
+		Client:  client,
+		Op:      op,
+		Invoke:  r.clock.Add(1),
+		Return:  math.MaxInt64,
+		Outcome: Pending,
+	}
+	r.mu.Lock()
+	r.ops = append(r.ops, o)
+	r.mu.Unlock()
+	return &PendingOp{r: r, op: o}
+}
+
+// Result carries an operation's outputs into OK.
+type Result struct {
+	Value    string
+	Version  uint64
+	NotFound bool
+	Mismatch bool
+}
+
+// OK completes the operation successfully with its outputs.
+func (p *PendingOp) OK(res Result) {
+	ret := p.r.clock.Add(1)
+	p.r.mu.Lock()
+	p.op.Op.OutValue = res.Value
+	p.op.Op.OutVer = res.Version
+	p.op.Op.NotFound = res.NotFound
+	p.op.Op.Mismatch = res.Mismatch
+	p.op.Outcome = OK
+	p.op.Return = ret
+	p.r.mu.Unlock()
+}
+
+// Fail completes the operation as definitely-without-effect; it will be
+// excluded from the checked history.
+func (p *PendingOp) Fail() {
+	ret := p.r.clock.Add(1)
+	p.r.mu.Lock()
+	p.op.Outcome = Failed
+	p.op.Return = ret
+	p.r.mu.Unlock()
+}
+
+// Unknown completes the operation with an ambiguous outcome: it may or may
+// not take effect, at any point after its invocation.
+func (p *PendingOp) Unknown() {
+	p.r.mu.Lock()
+	p.op.Outcome = Unknown
+	p.r.mu.Unlock()
+}
+
+// Note records a timestamped annotation.
+func (r *Recorder) Note(format string, args ...interface{}) {
+	at := r.clock.Add(1)
+	r.mu.Lock()
+	r.notes = append(r.notes, Note{At: at, Text: fmt.Sprintf(format, args...)})
+	r.mu.Unlock()
+}
+
+// Ops returns a snapshot of every recorded operation.
+func (r *Recorder) Ops() []*Operation {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*Operation(nil), r.ops...)
+}
+
+// Notes returns a snapshot of the recorded annotations.
+func (r *Recorder) Notes() []Note {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Note(nil), r.notes...)
+}
+
+// timeline is one renderable event for FormatKey.
+type timeline struct {
+	at   int64
+	text string
+}
+
+// FormatKey renders one key's subhistory (and the interleaved notes) in
+// invocation order, for failure reports.
+func (r *Recorder) FormatKey(key string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var evs []timeline
+	for _, o := range r.ops {
+		if o.Op.Key != key {
+			continue
+		}
+		outcome := ""
+		switch o.Outcome {
+		case Failed:
+			outcome = " [failed]"
+		case Unknown, Pending:
+			outcome = " [unknown]"
+		}
+		evs = append(evs, timeline{
+			at:   o.Invoke,
+			text: fmt.Sprintf("c%d %s%s (t%d..t%s)", o.Client, o.Op, outcome, o.Invoke, retString(o.Return)),
+		})
+	}
+	for _, n := range r.notes {
+		evs = append(evs, timeline{at: n.At, text: "-- " + n.Text})
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].at < evs[j].at })
+	var b strings.Builder
+	for _, e := range evs {
+		b.WriteString(e.text)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func retString(t int64) string {
+	if t == math.MaxInt64 {
+		return "∞"
+	}
+	return fmt.Sprint(t)
+}

@@ -1,0 +1,335 @@
+package lin
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// mkOp builds an operation with explicit logical timestamps; ret < 0 means
+// "never returned" (MaxInt64).
+func mkOp(client int, inv, ret int64, outcome Outcome, op Op) *Operation {
+	r := ret
+	if r < 0 {
+		r = math.MaxInt64
+	}
+	return &Operation{Client: client, Op: op, Invoke: inv, Return: r, Outcome: outcome}
+}
+
+func get(v string, ver uint64) Op {
+	return Op{Kind: Get, Key: "k", OutValue: v, OutVer: ver}
+}
+func getNotFound() Op { return Op{Kind: Get, Key: "k", NotFound: true} }
+func put(v string, ver uint64) Op {
+	return Op{Kind: Put, Key: "k", Value: v, OutVer: ver}
+}
+func condPut(v string, cond, ver uint64) Op {
+	return Op{Kind: CondPut, Key: "k", Value: v, CondVer: cond, OutVer: ver}
+}
+func condPutMiss(v string, cond uint64) Op {
+	return Op{Kind: CondPut, Key: "k", Value: v, CondVer: cond, Mismatch: true}
+}
+
+func assertLinearizable(t *testing.T, ops []*Operation) {
+	t.Helper()
+	res := Check(ops, 30*time.Second)
+	if res.Err != nil {
+		t.Fatalf("check undecided: %v", res.Err)
+	}
+	if !res.Linearizable {
+		t.Fatalf("history rejected (bad key %q), want linearizable", res.BadKey)
+	}
+}
+
+func assertViolation(t *testing.T, ops []*Operation) {
+	t.Helper()
+	res := Check(ops, 30*time.Second)
+	if res.Err != nil {
+		t.Fatalf("check undecided: %v", res.Err)
+	}
+	if res.Linearizable {
+		t.Fatal("history accepted, want violation")
+	}
+}
+
+func TestSequentialHistoryLinearizable(t *testing.T) {
+	assertLinearizable(t, []*Operation{
+		mkOp(0, 1, 2, OK, getNotFound()),
+		mkOp(0, 3, 4, OK, put("a", 1)),
+		mkOp(0, 5, 6, OK, get("a", 1)),
+		mkOp(0, 7, 8, OK, condPut("b", 1, 2)),
+		mkOp(0, 9, 10, OK, get("b", 2)),
+		mkOp(0, 11, 12, OK, condPutMiss("c", 1)),
+		mkOp(0, 13, 14, OK, Op{Kind: Delete, Key: "k"}),
+		mkOp(0, 15, 16, OK, getNotFound()),
+	})
+}
+
+func TestConcurrentWritesEitherOrderLegal(t *testing.T) {
+	// A write concurrent with two reads may linearize between them: the
+	// first read sees the old value, the second the new one.
+	assertLinearizable(t, []*Operation{
+		mkOp(0, 1, 2, OK, put("a", 1)),
+		mkOp(1, 3, 10, OK, put("b", 2)),
+		mkOp(2, 4, 5, OK, get("a", 1)),
+		mkOp(2, 6, 7, OK, get("b", 2)),
+	})
+	// ...but the reads swapped — b (v2) then a (v1) — would run the
+	// register backwards, which no interleaving of the same ops allows.
+	assertViolation(t, []*Operation{
+		mkOp(0, 1, 2, OK, put("a", 1)),
+		mkOp(1, 3, 10, OK, put("b", 2)),
+		mkOp(2, 4, 5, OK, get("b", 2)),
+		mkOp(2, 6, 7, OK, get("a", 1)),
+	})
+}
+
+func TestStaleReadViolation(t *testing.T) {
+	// A read strictly after a completed overwrite must not see the old
+	// value.
+	assertViolation(t, []*Operation{
+		mkOp(0, 1, 2, OK, put("a", 1)),
+		mkOp(0, 3, 4, OK, put("b", 2)),
+		mkOp(1, 5, 6, OK, get("a", 1)),
+	})
+}
+
+func TestLostUpdateViolation(t *testing.T) {
+	// Two conditional puts against the same version both reported OK:
+	// one of them must have observed the other's effect, so there is no
+	// witness — the classic lost update.
+	assertViolation(t, []*Operation{
+		mkOp(0, 1, 2, OK, put("base", 1)),
+		mkOp(1, 3, 7, OK, condPut("x", 1, 2)),
+		mkOp(2, 4, 8, OK, condPut("y", 1, 3)),
+	})
+	// The legal version: the second CAS saw the first's version.
+	assertLinearizable(t, []*Operation{
+		mkOp(0, 1, 2, OK, put("base", 1)),
+		mkOp(1, 3, 7, OK, condPut("x", 1, 2)),
+		mkOp(2, 4, 8, OK, condPut("y", 2, 3)),
+	})
+}
+
+func TestMismatchAgainstMatchingStateViolation(t *testing.T) {
+	// The system rejected a conditional put whose condition provably
+	// held: nothing else wrote between the put and the CAS.
+	assertViolation(t, []*Operation{
+		mkOp(0, 1, 2, OK, put("a", 1)),
+		mkOp(0, 3, 4, OK, condPutMiss("b", 1)),
+	})
+	// With a concurrent writer, the mismatch is explicable.
+	assertLinearizable(t, []*Operation{
+		mkOp(0, 1, 2, OK, put("a", 1)),
+		mkOp(1, 3, 8, OK, put("c", 2)),
+		mkOp(0, 4, 7, OK, condPutMiss("b", 1)),
+	})
+}
+
+func TestNotFoundAfterPutViolation(t *testing.T) {
+	assertViolation(t, []*Operation{
+		mkOp(0, 1, 2, OK, put("a", 1)),
+		mkOp(1, 3, 4, OK, getNotFound()),
+	})
+}
+
+func TestVersionsMustAgreeAcrossReads(t *testing.T) {
+	// Same value read twice with different versions and no intervening
+	// write: the version numbers expose a phantom write.
+	assertViolation(t, []*Operation{
+		mkOp(0, 1, 2, OK, put("a", 5)),
+		mkOp(1, 3, 4, OK, get("a", 5)),
+		mkOp(1, 5, 6, OK, get("a", 6)),
+	})
+}
+
+func TestUnknownWriteObservedLater(t *testing.T) {
+	// A timed-out put whose value a later read returns: the effect
+	// branch linearizes it, and the read pins its version.
+	assertLinearizable(t, []*Operation{
+		mkOp(0, 1, 2, OK, put("a", 1)),
+		mkOp(1, 3, -1, Unknown, put("x", 0)),
+		mkOp(2, 10, 11, OK, get("x", 7)),
+	})
+}
+
+func TestUnknownWriteNeverObserved(t *testing.T) {
+	// A timed-out put that never took effect: the no-op branch must
+	// admit the history even though every read sees the old value.
+	assertLinearizable(t, []*Operation{
+		mkOp(0, 1, 2, OK, put("a", 1)),
+		mkOp(1, 3, -1, Unknown, put("x", 0)),
+		mkOp(2, 10, 11, OK, get("a", 1)),
+		mkOp(2, 12, 13, OK, get("a", 1)),
+	})
+}
+
+func TestUnknownCondPutAgainstOverwrittenVersion(t *testing.T) {
+	// The outcome-ambiguity trap: a CAS against version 1 times out
+	// after version 2 was already committed and observed. The CAS
+	// certainly failed in the real run, so the checker must not force it
+	// into the witness.
+	assertLinearizable(t, []*Operation{
+		mkOp(0, 1, 2, OK, put("a", 1)),
+		mkOp(0, 3, 4, OK, put("b", 2)),
+		mkOp(1, 5, 6, OK, get("b", 2)),
+		mkOp(2, 7, -1, Unknown, condPut("x", 1, 0)),
+		mkOp(1, 8, 9, OK, get("b", 2)),
+	})
+}
+
+func TestFailedOpsExcluded(t *testing.T) {
+	// A definitely-failed put is not part of the history: reads that
+	// never see it stay legal, and its value appearing anywhere would be
+	// a violation.
+	assertLinearizable(t, []*Operation{
+		mkOp(0, 1, 2, OK, put("a", 1)),
+		mkOp(1, 3, 4, Failed, put("x", 0)),
+		mkOp(2, 5, 6, OK, get("a", 1)),
+	})
+	assertViolation(t, []*Operation{
+		mkOp(0, 1, 2, OK, put("a", 1)),
+		mkOp(1, 3, 4, Failed, put("x", 0)),
+		mkOp(2, 5, 6, OK, get("x", 2)),
+	})
+}
+
+func TestPerKeyDecomposition(t *testing.T) {
+	good := []*Operation{
+		mkOp(0, 1, 2, OK, Op{Kind: Put, Key: "good", Value: "g", OutVer: 1}),
+		mkOp(0, 3, 4, OK, Op{Kind: Get, Key: "good", OutValue: "g", OutVer: 1}),
+	}
+	bad := []*Operation{
+		mkOp(1, 5, 6, OK, Op{Kind: Put, Key: "bad", Value: "b1", OutVer: 1}),
+		mkOp(1, 7, 8, OK, Op{Kind: Put, Key: "bad", Value: "b2", OutVer: 2}),
+		mkOp(2, 9, 10, OK, Op{Kind: Get, Key: "bad", OutValue: "b1", OutVer: 1}),
+	}
+	res := Check(append(good, bad...), 30*time.Second)
+	if res.Linearizable {
+		t.Fatal("stale read on key bad accepted")
+	}
+	if res.BadKey != "bad" {
+		t.Fatalf("BadKey = %q, want bad", res.BadKey)
+	}
+	if res.Keys != 2 {
+		t.Fatalf("Keys = %d, want 2", res.Keys)
+	}
+}
+
+// adversarialHistory builds n fully concurrent unknown puts followed by a
+// read of a value nobody wrote — a violation whose refutation must exhaust
+// every subset of the ambiguous writes.
+func adversarialHistory(n int) []*Operation {
+	ops := make([]*Operation, 0, n+1)
+	for i := 0; i < n; i++ {
+		ops = append(ops, mkOp(i, int64(i+1), -1, Unknown, put(fmt.Sprintf("w%d", i), 0)))
+	}
+	ops = append(ops, mkOp(n, int64(n+1), int64(n+2), OK, get("zzz", 99)))
+	return ops
+}
+
+func TestCheckExhaustsAmbiguousSubsets(t *testing.T) {
+	res := Check(adversarialHistory(12), 30*time.Second)
+	if res.Err != nil {
+		t.Fatalf("undecided: %v", res.Err)
+	}
+	if res.Linearizable {
+		t.Fatal("read of a never-written value accepted")
+	}
+}
+
+func TestCheckDeadlineUndecided(t *testing.T) {
+	res := Check(adversarialHistory(16), time.Nanosecond)
+	if res.Err == nil {
+		t.Fatal("expected ErrUndecided on an exhausted deadline")
+	}
+	if res.Linearizable {
+		t.Fatal("undecided check claimed linearizable")
+	}
+}
+
+// TestRecorderAgainstAtomicRegister drives concurrent workers against a
+// mutex-protected register — a trivially linearizable implementation — and
+// the checker must accept the recorded history.
+func TestRecorderAgainstAtomicRegister(t *testing.T) {
+	type cell struct {
+		val string
+		ver uint64
+	}
+	var mu sync.Mutex
+	store := make(map[string]cell)
+	var verSeq uint64
+
+	rec := NewRecorder()
+	const workers, opsPer = 8, 200
+	keys := []string{"a", "b", "c"}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				key := keys[(w+i)%len(keys)]
+				switch i % 3 {
+				case 0:
+					p := rec.Invoke(w, Op{Kind: Put, Key: key, Value: fmt.Sprintf("w%d-%d", w, i)})
+					mu.Lock()
+					verSeq++
+					v := verSeq
+					store[key] = cell{val: fmt.Sprintf("w%d-%d", w, i), ver: v}
+					mu.Unlock()
+					p.OK(Result{Version: v})
+				case 1:
+					p := rec.Invoke(w, Op{Kind: Get, Key: key})
+					mu.Lock()
+					c, ok := store[key]
+					mu.Unlock()
+					if !ok {
+						p.OK(Result{NotFound: true})
+					} else {
+						p.OK(Result{Value: c.val, Version: c.ver})
+					}
+				case 2:
+					p := rec.Invoke(w, Op{Kind: Get, Key: key})
+					mu.Lock()
+					c, ok := store[key]
+					mu.Unlock()
+					if !ok {
+						p.OK(Result{NotFound: true})
+					} else {
+						p.OK(Result{Value: c.val, Version: c.ver})
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	res := rec.Check(30 * time.Second)
+	if res.Err != nil {
+		t.Fatalf("undecided: %v", res.Err)
+	}
+	if !res.Linearizable {
+		t.Fatalf("atomic register history rejected at key %q:\n%s", res.BadKey, rec.FormatKey(res.BadKey))
+	}
+	if res.Ops != workers*opsPer {
+		t.Fatalf("Ops = %d, want %d", res.Ops, workers*opsPer)
+	}
+}
+
+func TestRecorderFormatKey(t *testing.T) {
+	rec := NewRecorder()
+	p := rec.Invoke(0, Op{Kind: Put, Key: "k", Value: "v"})
+	rec.Note("nemesis: isolate leader")
+	p.OK(Result{Version: 3})
+	g := rec.Invoke(1, Op{Kind: Get, Key: "k"})
+	g.Unknown()
+	out := rec.FormatKey("k")
+	for _, want := range []string{"put(k,", "nemesis: isolate leader", "[unknown]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("FormatKey missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -8,6 +8,7 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"spinnaker/internal/cluster"
@@ -33,6 +34,15 @@ type Options struct {
 	// Unlike NetworkDelay it does not pipeline, so it bounds per-link
 	// message rate; zero keeps the latency-only model.
 	MessageCost time.Duration
+	// FaultSeed seeds the network's per-link fault RNGs (nemesis
+	// scenarios replay a failing run by reusing its seed).
+	FaultSeed int64
+	// LinkFaults is applied to every node↔node link (drop, duplication,
+	// reordering, jitter — see transport.LinkFaults). Client links stay
+	// clean: client RPCs are not idempotent, and in a real deployment
+	// TCP hides sub-connection faults from them, so injecting duplicates
+	// there would fail runs the deployed system cannot exhibit.
+	LinkFaults transport.LinkFaults
 	// Device is the logging-device latency profile (default instant, for
 	// tests; benches pass wal.DeviceHDD / DeviceSSD / DeviceMem).
 	Device wal.DeviceProfile
@@ -98,10 +108,12 @@ type SpinnakerCluster struct {
 	Coord  *coord.Service
 	Layout *cluster.Layout
 
-	opts    Options
-	cfg     core.Config
-	stores  map[string]*core.Stores
-	nodes   map[string]*core.Node
+	opts   Options
+	cfg    core.Config
+	stores map[string]*core.Stores
+	nodes  map[string]*core.Node
+
+	cliMu   sync.Mutex // guards clients/nextCli (NewClient is concurrency-safe)
 	clients []*core.Client
 	nextCli int
 }
@@ -123,6 +135,16 @@ func NewSpinnakerCluster(opts Options) (*SpinnakerCluster, error) {
 		nodes:  make(map[string]*core.Node),
 	}
 	sc.Net.SetMessageCost(opts.MessageCost)
+	sc.Net.SetFaultSeed(opts.FaultSeed)
+	if opts.LinkFaults != (transport.LinkFaults{}) {
+		for _, a := range names {
+			for _, b := range names {
+				if a != b {
+					sc.Net.SetLinkFaults(a, b, opts.LinkFaults)
+				}
+			}
+		}
+	}
 	sc.cfg = core.Config{
 		Layout:                  layout,
 		CommitPeriod:            opts.CommitPeriod,
@@ -200,8 +222,11 @@ func (sc *SpinnakerCluster) LeaderOf(rangeID uint32) string {
 // unavailability (Table 1 likewise excludes the failure-detection timeout).
 const clientCallTimeout = 250 * time.Millisecond
 
-// NewClient attaches a fresh client (its own endpoint and session).
+// NewClient attaches a fresh client (its own endpoint and session); safe
+// for concurrent use.
 func (sc *SpinnakerCluster) NewClient() *core.Client {
+	sc.cliMu.Lock()
+	defer sc.cliMu.Unlock()
 	sc.nextCli++
 	ep := sc.Net.Join(fmt.Sprintf("sp-client-%d", sc.nextCli))
 	ep.SetCallTimeout(clientCallTimeout)
@@ -224,6 +249,25 @@ func (sc *SpinnakerCluster) Nodes() []string {
 	}
 	return out
 }
+
+// PartitionNodes cuts every link between the two groups (both
+// directions); nodes within a group, and nodes in neither group, keep
+// full connectivity.
+func (sc *SpinnakerCluster) PartitionNodes(a, b []string) {
+	for _, x := range a {
+		for _, y := range b {
+			if x != y {
+				sc.Net.Partition(x, y)
+			}
+		}
+	}
+}
+
+// Isolate cuts a node from every other endpoint, clients included.
+func (sc *SpinnakerCluster) Isolate(id string) { sc.Net.Isolate(id) }
+
+// HealAll removes every partition, symmetric and one-way.
+func (sc *SpinnakerCluster) HealAll() { sc.Net.HealAll() }
 
 // CrashNode fails a node: process crash plus loss of the unforced log tail.
 func (sc *SpinnakerCluster) CrashNode(id string) error {
@@ -258,7 +302,11 @@ func (sc *SpinnakerCluster) Key(i int) string {
 
 // Stop shuts everything down.
 func (sc *SpinnakerCluster) Stop() {
-	for _, c := range sc.clients {
+	sc.cliMu.Lock()
+	clients := sc.clients
+	sc.clients = nil
+	sc.cliMu.Unlock()
+	for _, c := range clients {
 		c.Close()
 	}
 	for _, n := range sc.nodes {
@@ -273,9 +321,11 @@ type DynamoCluster struct {
 	Net    *transport.Network
 	Layout *cluster.Layout
 
-	opts    Options
-	stores  map[string]*core.Stores
-	nodes   map[string]*dynamo.Node
+	opts   Options
+	stores map[string]*core.Stores
+	nodes  map[string]*dynamo.Node
+
+	cliMu   sync.Mutex // guards clients/nextCli (NewClient is concurrency-safe)
 	clients []*dynamo.Client
 	nextCli int
 }
@@ -326,8 +376,10 @@ func (dc *DynamoCluster) startNode(name string) error {
 	return nil
 }
 
-// NewClient attaches a fresh baseline client.
+// NewClient attaches a fresh baseline client; safe for concurrent use.
 func (dc *DynamoCluster) NewClient() *dynamo.Client {
+	dc.cliMu.Lock()
+	defer dc.cliMu.Unlock()
 	dc.nextCli++
 	ep := dc.Net.Join(fmt.Sprintf("dy-client-%d", dc.nextCli))
 	ep.SetCallTimeout(clientCallTimeout)
@@ -363,7 +415,11 @@ func (dc *DynamoCluster) Key(i int) string {
 
 // Stop shuts everything down.
 func (dc *DynamoCluster) Stop() {
-	for _, c := range dc.clients {
+	dc.cliMu.Lock()
+	clients := dc.clients
+	dc.clients = nil
+	dc.cliMu.Unlock()
+	for _, c := range clients {
 		c.Close()
 	}
 	for _, n := range dc.nodes {

@@ -1,0 +1,133 @@
+package transport
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"time"
+)
+
+// LinkFaults configures the fault plane of a directed link. The simulated
+// network's base guarantee is TCP-like reliable in-order delivery (the
+// assumption the paper's replication protocol is built on, Appendix A.1);
+// the fault plane deliberately breaks that guarantee below the protocol so
+// nemesis scenarios can exercise the failure space between "healthy" and
+// "partitioned": lossy links (a TCP connection reset mid-stream drops its
+// in-flight data), duplicated deliveries (a retransmit racing a reconnect),
+// reordering (messages split across connections), and jittered latency
+// (congested or degraded links).
+//
+// All probabilities are per message, evaluated on the link's delivery
+// goroutine from a per-link RNG seeded deterministically from the network's
+// fault seed and the link's endpoints — for a fixed seed, fault
+// configuration, and per-link message sequence, the fault decisions are
+// reproducible.
+type LinkFaults struct {
+	// DropProb is the probability a message is silently dropped in
+	// flight.
+	DropProb float64
+	// DupProb is the probability a message is delivered twice
+	// back-to-back.
+	DupProb float64
+	// ReorderProb is the probability a message is held back and
+	// delivered after its successor on the link (or after ReorderHold if
+	// no successor arrives in time).
+	ReorderProb float64
+	// Jitter adds a uniformly random extra delay in [0, Jitter) to each
+	// message on top of the network's base propagation delay.
+	Jitter time.Duration
+}
+
+// ReorderHold bounds how long a reordered message waits for a successor to
+// overtake it before being delivered anyway.
+const ReorderHold = 2 * time.Millisecond
+
+// SetFaultSeed sets the seed from which every link derives its fault RNG.
+// Call it before traffic starts: links lazily created afterwards use the
+// new seed, but links that already carried messages keep their RNG.
+func (n *Network) SetFaultSeed(seed int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.faultSeed = seed
+}
+
+// SetDefaultFaults applies a fault configuration to every link that has no
+// per-link override. The zero value restores clean TCP-like delivery.
+func (n *Network) SetDefaultFaults(f LinkFaults) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.defaultFaults = f
+}
+
+// SetLinkFaults overrides the fault configuration of the directed link
+// from → to.
+func (n *Network) SetLinkFaults(from, to string, f LinkFaults) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.linkFaults[[2]string{from, to}] = f
+}
+
+// ClearLinkFaults removes a directed link's override, returning it to the
+// network default.
+func (n *Network) ClearLinkFaults(from, to string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.linkFaults, [2]string{from, to})
+}
+
+// ClearFaults removes the default and every per-link fault configuration.
+// Partitions are separate; see HealAll.
+func (n *Network) ClearFaults() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.defaultFaults = LinkFaults{}
+	n.linkFaults = make(map[[2]string]LinkFaults)
+}
+
+// PartitionOneWay cuts the directed link from → to only: from's messages
+// to to are dropped while to can still reach from. One-way partitions are
+// the asymmetric failure mode (half-open connections, asymmetric routing
+// loss) that symmetric Partition cannot express.
+func (n *Network) PartitionOneWay(from, to string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cutDir[[2]string{from, to}] = true
+}
+
+// HealOneWay restores the directed link from → to.
+func (n *Network) HealOneWay(from, to string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.cutDir, [2]string{from, to})
+}
+
+// faultsFor resolves the fault configuration of the directed link
+// from → to: the per-link override if present, else the network default.
+func (n *Network) faultsFor(from, to string) LinkFaults {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if f, ok := n.linkFaults[[2]string{from, to}]; ok {
+		return f
+	}
+	return n.defaultFaults
+}
+
+// cutLocked reports whether messages from → to are partitioned away, by
+// the symmetric cut set or the directed one; callers hold n.mu.
+func (n *Network) cutLocked(from, to string) bool {
+	return n.cut[pairKey(from, to)] || n.cutDir[[2]string{from, to}]
+}
+
+// linkSeed derives a link's fault-RNG seed from the network seed and the
+// link's endpoints, so every link draws an independent but reproducible
+// stream.
+func linkSeed(seed int64, from, to string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(from))
+	h.Write([]byte{0})
+	h.Write([]byte(to))
+	return seed ^ int64(h.Sum64())
+}
+
+func newLinkRNG(seed int64, from, to string) *rand.Rand {
+	return rand.New(rand.NewSource(linkSeed(seed, from, to)))
+}

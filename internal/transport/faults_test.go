@@ -1,0 +1,394 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// collectDeliveries runs one fault-plane configuration: n messages are sent
+// a → b over a freshly built network and the delivered message IDs are
+// returned in delivery order. A propagation delay larger than the send loop
+// keeps the whole burst queued on the link before delivery starts, so
+// reorder decisions see a full queue and the delivered sequence is a
+// deterministic function of the fault seed.
+func collectDeliveries(t *testing.T, seed int64, f LinkFaults, n int) []int {
+	t.Helper()
+	net := NewNetwork(5 * time.Millisecond)
+	net.SetFaultSeed(seed)
+	net.SetDefaultFaults(f)
+	a := net.Join("a")
+	b := net.Join("b")
+	var mu sync.Mutex
+	var got []int
+	b.SetHandler(func(m Message) {
+		mu.Lock()
+		got = append(got, int(m.ID))
+		mu.Unlock()
+	})
+	for i := 0; i < n; i++ {
+		if err := a.Send(Message{To: "b", ID: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wait for the link to drain: delivered+dropped covers every send
+	// (duplicates add deliveries, so wait for quiescence instead of an
+	// exact count).
+	deadline := time.Now().Add(5 * time.Second)
+	lastLen, lastChange := -1, time.Now()
+	for {
+		mu.Lock()
+		cur := len(got)
+		mu.Unlock()
+		if cur != lastLen {
+			lastLen, lastChange = cur, time.Now()
+		}
+		delivered, dropped := net.Stats()
+		if delivered+dropped >= int64(n) && time.Since(lastChange) > 50*time.Millisecond {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("link never drained: %d delivered, %d dropped", delivered, dropped)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	return append([]int(nil), got...)
+}
+
+func TestFaultPlaneDeterministicUnderSeed(t *testing.T) {
+	f := LinkFaults{DropProb: 0.2, DupProb: 0.15, ReorderProb: 0.25}
+	const n = 300
+	first := collectDeliveries(t, 42, f, n)
+	if len(first) == n {
+		t.Fatalf("no faults fired over %d messages", n)
+	}
+	for run := 0; run < 2; run++ {
+		again := collectDeliveries(t, 42, f, n)
+		if len(again) != len(first) {
+			t.Fatalf("seed 42 run delivered %d messages, want %d", len(again), len(first))
+		}
+		for i := range first {
+			if first[i] != again[i] {
+				t.Fatalf("seed 42 replay diverged at %d: %d vs %d", i, again[i], first[i])
+			}
+		}
+	}
+	// A different seed must draw a different fault schedule.
+	other := collectDeliveries(t, 43, f, n)
+	same := len(other) == len(first)
+	if same {
+		for i := range first {
+			if first[i] != other[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical fault schedules")
+	}
+}
+
+func TestFaultPlaneDropProbability(t *testing.T) {
+	got := collectDeliveries(t, 7, LinkFaults{DropProb: 0.5}, 400)
+	if len(got) < 100 || len(got) > 300 {
+		t.Fatalf("DropProb 0.5 delivered %d of 400", len(got))
+	}
+	// Survivors stay in order: drops alone never reorder a link.
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("drop-only link reordered: %d after %d", got[i], got[i-1])
+		}
+	}
+}
+
+func TestFaultPlaneDuplicationDeliversTwice(t *testing.T) {
+	const n = 50
+	got := collectDeliveries(t, 1, LinkFaults{DupProb: 1}, n)
+	if len(got) != 2*n {
+		t.Fatalf("DupProb 1 delivered %d messages, want %d", len(got), 2*n)
+	}
+	for i := 0; i < n; i++ {
+		if got[2*i] != i || got[2*i+1] != i {
+			t.Fatalf("message %d not duplicated back-to-back: %v", i, got[2*i:2*i+2])
+		}
+	}
+}
+
+func TestFaultPlaneReorderSwapsSuccessors(t *testing.T) {
+	const n = 60
+	got := collectDeliveries(t, 1, LinkFaults{ReorderProb: 1}, n)
+	if len(got) != n {
+		t.Fatalf("reorder-only link delivered %d of %d", len(got), n)
+	}
+	swaps := 0
+	for i := 0; i+1 < len(got); i += 2 {
+		if got[i] > got[i+1] {
+			swaps++
+		}
+	}
+	if swaps == 0 {
+		t.Fatalf("ReorderProb 1 never reordered: %v", got[:10])
+	}
+	// Every message still arrives exactly once.
+	seen := make(map[int]bool, n)
+	for _, id := range got {
+		if seen[id] {
+			t.Fatalf("message %d delivered twice on a reorder-only link", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestFaultPlaneJitterDelays(t *testing.T) {
+	net := NewNetwork(0)
+	net.SetFaultSeed(5)
+	net.SetDefaultFaults(LinkFaults{Jitter: 20 * time.Millisecond})
+	a := net.Join("a")
+	b := net.Join("b")
+	done := make(chan time.Time, 32)
+	b.SetHandler(func(m Message) { done <- time.Now() })
+	start := time.Now()
+	for i := 0; i < 16; i++ {
+		if err := a.Send(Message{To: "b", ID: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var worst time.Duration
+	for i := 0; i < 16; i++ {
+		select {
+		case at := <-done:
+			if d := at.Sub(start); d > worst {
+				worst = d
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("jittered message never delivered")
+		}
+	}
+	if worst < time.Millisecond {
+		t.Fatalf("jitter had no visible effect (worst %v)", worst)
+	}
+}
+
+func TestFaultPlanePerLinkOverride(t *testing.T) {
+	net := NewNetwork(0)
+	net.SetFaultSeed(9)
+	net.SetDefaultFaults(LinkFaults{DropProb: 1})
+	net.SetLinkFaults("a", "b", LinkFaults{}) // clean override on a lossy net
+	a := net.Join("a")
+	b := net.Join("b")
+	c := net.Join("c")
+	var mu sync.Mutex
+	seen := make(map[string]int)
+	h := func(id string) Handler {
+		return func(m Message) {
+			mu.Lock()
+			seen[id]++
+			mu.Unlock()
+		}
+	}
+	b.SetHandler(h("b"))
+	c.SetHandler(h("c"))
+	for i := 0; i < 20; i++ {
+		_ = a.Send(Message{To: "b", ID: uint64(i)})
+		_ = a.Send(Message{To: "c", ID: uint64(i)})
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		okB := seen["b"] == 20
+		mu.Unlock()
+		if okB {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("clean override link delivered %d of 20", seen["b"])
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	droppedAll := seen["c"] == 0
+	mu.Unlock()
+	if !droppedAll {
+		t.Fatalf("default DropProb 1 leaked %d messages to c", seen["c"])
+	}
+	// Clearing the override puts a→b back on the lossy default; clearing
+	// all faults restores clean delivery everywhere.
+	net.ClearLinkFaults("a", "b")
+	net.ClearFaults()
+	_ = a.Send(Message{To: "c", ID: 99})
+	deadline = time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		okC := seen["c"] > 0
+		mu.Unlock()
+		if okC {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("message not delivered after ClearFaults")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestPartitionOneWay(t *testing.T) {
+	net := NewNetwork(0)
+	a := net.Join("a")
+	b := net.Join("b")
+	var mu sync.Mutex
+	seen := make(map[string]int)
+	a.SetHandler(func(m Message) { mu.Lock(); seen["a"]++; mu.Unlock() })
+	b.SetHandler(func(m Message) { mu.Lock(); seen["b"]++; mu.Unlock() })
+
+	net.PartitionOneWay("a", "b")
+	if err := a.Send(Message{To: "b", ID: 1}); err != nil {
+		t.Fatal(err) // one-way cuts are silent drops, like Partition
+	}
+	if err := b.Send(Message{To: "a", ID: 2}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		okA := seen["a"] == 1
+		mu.Unlock()
+		if okA {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("reverse direction of a one-way partition blocked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	leaked := seen["b"]
+	mu.Unlock()
+	if leaked != 0 {
+		t.Fatalf("message crossed a one-way partition (%d delivered)", leaked)
+	}
+
+	// HealOneWay restores the cut direction; HealAll clears directed cuts
+	// too.
+	net.HealOneWay("a", "b")
+	if err := a.Send(Message{To: "b", ID: 3}); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		okB := seen["b"] == 1
+		mu.Unlock()
+		if okB {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("message not delivered after HealOneWay")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	net.PartitionOneWay("b", "a")
+	net.HealAll()
+	if err := b.Send(Message{To: "a", ID: 4}); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		okA := seen["a"] == 2
+		mu.Unlock()
+		if okA {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("HealAll left a one-way partition in place")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPartitionIsolateHealMatrix pins the semantics of the symmetric
+// partition API across three nodes: Partition cuts exactly one pair in
+// both directions, Isolate cuts one node from everyone, Heal is
+// pair-scoped, HealAll is global.
+func TestPartitionIsolateHealMatrix(t *testing.T) {
+	net := NewNetwork(0)
+	names := []string{"a", "b", "c"}
+	eps := make(map[string]*LocalEndpoint, len(names))
+	var mu sync.Mutex
+	seen := make(map[string]int) // "from>to" → deliveries
+	for _, name := range names {
+		name := name
+		eps[name] = net.Join(name)
+		eps[name].SetHandler(func(m Message) {
+			mu.Lock()
+			seen[m.From+">"+name]++
+			mu.Unlock()
+		})
+	}
+	sendAll := func() {
+		for _, from := range names {
+			for _, to := range names {
+				if from != to {
+					_ = eps[from].Send(Message{To: to})
+				}
+			}
+		}
+	}
+	expect := func(stage string, blocked map[string]bool) {
+		t.Helper()
+		mu.Lock()
+		before := make(map[string]int, len(seen))
+		for k, v := range seen {
+			before[k] = v
+		}
+		mu.Unlock()
+		sendAll()
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			mu.Lock()
+			missing := ""
+			for _, from := range names {
+				for _, to := range names {
+					key := from + ">" + to
+					if from != to && !blocked[key] && seen[key] == before[key] {
+						missing = key
+					}
+				}
+			}
+			mu.Unlock()
+			if missing == "" {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: open link %s never delivered", stage, missing)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		time.Sleep(10 * time.Millisecond) // let any leak surface
+		mu.Lock()
+		defer mu.Unlock()
+		for key := range blocked {
+			if seen[key] != before[key] {
+				t.Fatalf("%s: blocked link %s delivered", stage, key)
+			}
+		}
+	}
+
+	expect("clean", nil)
+	net.Partition("a", "b")
+	expect("partition a-b", map[string]bool{"a>b": true, "b>a": true})
+	net.Isolate("c")
+	expect("isolate c", map[string]bool{
+		"a>b": true, "b>a": true,
+		"a>c": true, "c>a": true, "b>c": true, "c>b": true,
+	})
+	net.Heal("a", "b")
+	expect("heal a-b", map[string]bool{
+		"a>c": true, "c>a": true, "b>c": true, "c>b": true,
+	})
+	net.HealAll()
+	expect("heal all", nil)
+}

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,27 +15,38 @@ import (
 // a configurable one-way propagation delay — the rack-level 1-GbE switch of
 // the paper's test cluster (Appendix C), scaled down. Links pipeline:
 // messages in flight overlap, so the delay models latency, not bandwidth.
+//
+// On top of the clean TCP-like base, a seeded per-link fault plane (see
+// LinkFaults) can drop, duplicate, reorder, and delay messages, and links
+// can be partitioned symmetrically (Partition/Isolate) or one way
+// (PartitionOneWay) — the substrate for nemesis scenarios.
 type Network struct {
 	delay   time.Duration
 	msgCost time.Duration
 
-	mu        sync.Mutex
-	eps       map[string]*LocalEndpoint
-	links     map[[2]string]*link
-	cut       map[[2]string]bool // unordered pair → partitioned
-	msgs      atomic.Int64
-	dropped   atomic.Int64
-	callSeq   atomic.Uint64
-	closedAll bool
+	mu            sync.Mutex
+	eps           map[string]*LocalEndpoint
+	links         map[[2]string]*link
+	cut           map[[2]string]bool // unordered pair → partitioned
+	cutDir        map[[2]string]bool // ordered (from, to) → partitioned
+	faultSeed     int64
+	defaultFaults LinkFaults
+	linkFaults    map[[2]string]LinkFaults // ordered (from, to) → override
+	msgs          atomic.Int64
+	dropped       atomic.Int64
+	callSeq       atomic.Uint64
+	closedAll     bool
 }
 
 // NewNetwork returns a network whose links have the given one-way delay.
 func NewNetwork(delay time.Duration) *Network {
 	return &Network{
-		delay: delay,
-		eps:   make(map[string]*LocalEndpoint),
-		links: make(map[[2]string]*link),
-		cut:   make(map[[2]string]bool),
+		delay:      delay,
+		eps:        make(map[string]*LocalEndpoint),
+		links:      make(map[[2]string]*link),
+		cut:        make(map[[2]string]bool),
+		cutDir:     make(map[[2]string]bool),
+		linkFaults: make(map[[2]string]LinkFaults),
 	}
 }
 
@@ -75,11 +87,13 @@ func (n *Network) Isolate(id string) {
 	}
 }
 
-// HealAll removes every partition.
+// HealAll removes every partition, symmetric and one-way. Link fault
+// configurations are separate; see ClearFaults.
 func (n *Network) HealAll() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.cut = make(map[[2]string]bool)
+	n.cutDir = make(map[[2]string]bool)
 }
 
 // Stats returns totals of delivered and dropped messages.
@@ -94,10 +108,14 @@ func pairKey(a, b string) [2]string {
 	return [2]string{a, b}
 }
 
-// link carries messages for one ordered (from, to) pair.
+// link carries messages for one ordered (from, to) pair. rng drives the
+// link's fault decisions; it is touched only by the link's delivery
+// goroutine, so the decision sequence is a deterministic function of the
+// fault seed and the messages carried.
 type link struct {
 	ch   chan timedMsg
 	stop chan struct{}
+	rng  *rand.Rand
 }
 
 type timedMsg struct {
@@ -115,7 +133,11 @@ func (n *Network) getLink(from, to string) *link {
 	if l, ok := n.links[key]; ok {
 		return l
 	}
-	l := &link{ch: make(chan timedMsg, linkBuffer), stop: make(chan struct{})}
+	l := &link{
+		ch:   make(chan timedMsg, linkBuffer),
+		stop: make(chan struct{}),
+		rng:  newLinkRNG(n.faultSeed, from, to),
+	}
 	n.links[key] = l
 	go n.run(l, to)
 	return l
@@ -131,26 +153,84 @@ func (n *Network) getLink(from, to string) *link {
 func (n *Network) SetMessageCost(d time.Duration) { n.msgCost = d }
 
 // run delivers messages for a link in order, honoring per-message due
-// times. A constant per-link delay preserves FIFO order.
+// times. A constant per-link delay preserves FIFO order on a clean link;
+// the fault plane, when configured, may drop, duplicate, reorder, or
+// further delay individual messages.
 func (n *Network) run(l *link, to string) {
 	for {
 		select {
 		case <-l.stop:
 			return
 		case tm := <-l.ch:
-			simtime.Sleep(time.Until(tm.due))
-			simtime.Sleep(n.msgCost)
-			n.mu.Lock()
-			ep, ok := n.eps[to]
-			cut := n.cut[pairKey(tm.m.From, to)]
-			n.mu.Unlock()
-			if !ok || cut || ep.closed.Load() {
-				n.dropped.Add(1)
-				continue
+			if !n.deliverFaulty(l, to, tm, true) {
+				return // link stopped while holding a reordered message
 			}
-			n.msgs.Add(1)
-			ep.dispatch(tm.m)
 		}
+	}
+}
+
+// deliverFaulty rolls one message's fault decisions on the link's RNG and
+// delivers it accordingly. Decisions are drawn in a fixed order per
+// message, so for a given seed, fault configuration, and message sequence
+// the outcome replays. allowReorder is false for a message already
+// overtaking a held-back one (reordering would recurse); it still rolls
+// its own drop/dup/jitter. Returns false if the link stopped mid-hold.
+func (n *Network) deliverFaulty(l *link, to string, tm timedMsg, allowReorder bool) bool {
+	f := n.faultsFor(tm.m.From, to)
+	if f == (LinkFaults{}) {
+		n.deliver(to, tm, 0, false)
+		return true
+	}
+	drop := l.rng.Float64() < f.DropProb
+	dup := l.rng.Float64() < f.DupProb
+	reorder := allowReorder && l.rng.Float64() < f.ReorderProb
+	var jitter time.Duration
+	if f.Jitter > 0 {
+		jitter = time.Duration(l.rng.Int63n(int64(f.Jitter)))
+	}
+	if drop {
+		n.dropped.Add(1)
+		return true
+	}
+	if reorder {
+		// Hold this message back so its successor (if one arrives in
+		// time) overtakes it; the successor rolls its own faults.
+		select {
+		case next := <-l.ch:
+			if !n.deliverFaulty(l, to, next, false) {
+				return false
+			}
+			n.deliver(to, tm, jitter, dup)
+		case <-time.After(ReorderHold):
+			n.deliver(to, tm, jitter, dup)
+		case <-l.stop:
+			return false
+		}
+		return true
+	}
+	n.deliver(to, tm, jitter, dup)
+	return true
+}
+
+// deliver waits out a message's due time (plus fault jitter) and the
+// per-message cost, then dispatches it — twice when the duplication fault
+// fired — unless the destination is gone or partitioned away.
+func (n *Network) deliver(to string, tm timedMsg, jitter time.Duration, dup bool) {
+	simtime.Sleep(time.Until(tm.due) + jitter)
+	simtime.Sleep(n.msgCost)
+	n.mu.Lock()
+	ep, ok := n.eps[to]
+	cut := n.cutLocked(tm.m.From, to)
+	n.mu.Unlock()
+	if !ok || cut || ep.closed.Load() {
+		n.dropped.Add(1)
+		return
+	}
+	n.msgs.Add(1)
+	ep.dispatch(tm.m)
+	if dup {
+		n.msgs.Add(1)
+		ep.dispatch(tm.m)
 	}
 }
 
@@ -187,7 +267,7 @@ func (e *LocalEndpoint) Send(m Message) error {
 	m.From = e.id
 	e.net.mu.Lock()
 	_, known := e.net.eps[m.To]
-	cut := e.net.cut[pairKey(e.id, m.To)]
+	cut := e.net.cutLocked(e.id, m.To)
 	e.net.mu.Unlock()
 	if !known {
 		return fmt.Errorf("%w: %s", ErrUnknownNode, m.To)
@@ -255,7 +335,13 @@ func (e *LocalEndpoint) dispatch(m Message) {
 		ch, ok := e.pending[m.ID]
 		e.mu.Unlock()
 		if ok {
-			ch <- m
+			// Non-blocking: a duplicated reply (fault plane) or one
+			// racing the call's timeout must not wedge the link's
+			// delivery goroutine on the full one-slot buffer.
+			select {
+			case ch <- m:
+			default:
+			}
 		}
 		return
 	}

@@ -31,6 +31,7 @@ import (
 
 	"spinnaker/internal/core"
 	"spinnaker/internal/sim"
+	"spinnaker/internal/transport"
 	"spinnaker/internal/wal"
 )
 
@@ -55,8 +56,13 @@ var (
 	// column's current version differs from the one supplied.
 	ErrVersionMismatch = core.ErrVersionMismatch
 	// ErrUnavailable reports that the key's cohort has no majority alive
-	// (or is mid-takeover).
+	// (or is mid-takeover). The operation took no effect.
 	ErrUnavailable = core.ErrUnavailable
+	// ErrAmbiguous reports a write whose outcome is unknown: it reached
+	// the leader and was sequenced, but its commit was never confirmed
+	// (partition or failover mid-write). It may or may not take effect;
+	// readers that must know should re-read and compare versions.
+	ErrAmbiguous = core.ErrAmbiguous
 )
 
 // LogDevice names a simulated logging-device latency profile.
@@ -118,6 +124,31 @@ type Options struct {
 	// ReadyTimeout bounds the wait for initial leader elections
 	// (default 30s).
 	ReadyTimeout time.Duration
+	// FaultSeed seeds the simulated network's per-link fault RNGs; with
+	// the same seed and LinkFaults, the fault decision stream replays.
+	FaultSeed int64
+	// LinkFaults configures a fault plane on every node↔node link of
+	// the simulated network: message drops, duplication, reordering, and
+	// jittered delay beneath the replication protocol. The zero value is
+	// clean TCP-like delivery. Client↔node links are never degraded
+	// (client RPCs are not idempotent; in a real deployment TCP hides
+	// sub-connection faults from them).
+	LinkFaults LinkFaults
+}
+
+// LinkFaults configures the per-link fault plane; see the fields of
+// transport.LinkFaults. All probabilities are per message.
+type LinkFaults struct {
+	// DropProb is the probability a message is silently dropped.
+	DropProb float64
+	// DupProb is the probability a message is delivered twice.
+	DupProb float64
+	// ReorderProb is the probability a message is overtaken by its
+	// successor on the link.
+	ReorderProb float64
+	// Jitter adds a uniformly random extra delay in [0, Jitter) per
+	// message.
+	Jitter time.Duration
 }
 
 // Cluster is an embedded multi-node Spinnaker deployment.
@@ -140,6 +171,13 @@ func NewCluster(opts Options) (*Cluster, error) {
 		CommitPeriod:            opts.CommitPeriod,
 		PiggybackCommits:        opts.PiggybackCommits,
 		DisableProposalBatching: opts.DisableProposalBatching,
+		FaultSeed:               opts.FaultSeed,
+		LinkFaults: transport.LinkFaults{
+			DropProb:    opts.LinkFaults.DropProb,
+			DupProb:     opts.LinkFaults.DupProb,
+			ReorderProb: opts.LinkFaults.ReorderProb,
+			Jitter:      opts.LinkFaults.Jitter,
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -187,6 +225,19 @@ func (c *Cluster) FailDisk(id string) { c.sc.FailDisk(id) }
 // RestartNode restarts a crashed node over its surviving storage; it runs
 // local recovery and catches up before rejoining its cohorts.
 func (c *Cluster) RestartNode(id string) error { return c.sc.RestartNode(id) }
+
+// PartitionNodes cuts every network link between the two groups, in both
+// directions; nodes within a group keep full connectivity. Cohorts whose
+// majority sits on one side remain available there; the minority side
+// refuses writes rather than diverge (§8.1).
+func (c *Cluster) PartitionNodes(a, b []string) { c.sc.PartitionNodes(a, b) }
+
+// Isolate cuts a node off from every other endpoint, clients included —
+// the dead-switch-port failure. Heal with HealAll.
+func (c *Cluster) Isolate(id string) { c.sc.Isolate(id) }
+
+// HealAll removes every network partition.
+func (c *Cluster) HealAll() { c.sc.HealAll() }
 
 // Close shuts the cluster down.
 func (c *Cluster) Close() { c.sc.Stop() }

@@ -161,6 +161,85 @@ func TestOptionsValidation(t *testing.T) {
 	}
 }
 
+func TestPublicAPIPartitionAndHeal(t *testing.T) {
+	cluster := newCluster(t, Options{Nodes: 3, CommitPeriod: 5 * time.Millisecond})
+	client := cluster.NewClient()
+
+	if _, err := client.Put("part", "c", []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	// Cut the row's leader off from the rest of its cohort: without a
+	// quorum the write must fail rather than diverge (§8.1).
+	leader := cluster.LeaderOf("part")
+	if leader == "" {
+		t.Fatal("no leader registered")
+	}
+	var rest []string
+	for _, id := range cluster.Nodes() {
+		if id != leader {
+			rest = append(rest, id)
+		}
+	}
+	cluster.PartitionNodes([]string{leader}, rest)
+	if _, err := client.Put("part", "c", []byte("split")); err == nil {
+		t.Fatal("write committed across a partition without a quorum")
+	}
+
+	// Heal: the cohort must become available again and still serve the
+	// last committed value.
+	cluster.HealAll()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := client.Put("part", "c", []byte("after")); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cohort never recovered after HealAll")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	val, _, err := client.Get("part", "c", Strong)
+	if err != nil || string(val) != "after" {
+		t.Fatalf("after heal: %q, %v", val, err)
+	}
+
+	// Isolate composes with HealAll the same way.
+	cluster.Isolate(leader)
+	cluster.HealAll()
+	if _, err := client.Put("part", "c", []byte("final")); err != nil {
+		t.Fatalf("write after Isolate+HealAll: %v", err)
+	}
+}
+
+func TestPublicAPILinkFaults(t *testing.T) {
+	// A lossy, duplicating, reordering network between nodes: the
+	// replication protocol must ride through it and the API must stay
+	// correct, if slower.
+	cluster := newCluster(t, Options{
+		Nodes:        3,
+		CommitPeriod: 5 * time.Millisecond,
+		FaultSeed:    7,
+		LinkFaults: LinkFaults{
+			DropProb:    0.02,
+			DupProb:     0.02,
+			ReorderProb: 0.05,
+			Jitter:      time.Millisecond,
+		},
+	})
+	client := cluster.NewClient()
+	for i := 0; i < 40; i++ {
+		row := cluster.Key(i * 1000)
+		want := []byte{byte(i)}
+		if _, err := client.Put(row, "c", want); err != nil {
+			t.Fatalf("Put %d over lossy links: %v", i, err)
+		}
+		got, _, err := client.Get(row, "c", Strong)
+		if err != nil || string(got) != string(want) {
+			t.Fatalf("Get %d over lossy links: %q, %v", i, got, err)
+		}
+	}
+}
+
 func TestPublicAPIAsyncAndBatch(t *testing.T) {
 	cluster := newCluster(t, Options{Nodes: 3})
 	client := cluster.NewClient()
