@@ -103,3 +103,7 @@ func BenchmarkAblationParallelPropose(b *testing.B) { runExperiment(b, "ablation
 // replication path against the paper's per-write protocol at 1/4/16/64
 // concurrent writers.
 func BenchmarkAblationProposalBatching(b *testing.B) { runExperiment(b, "ablation-batching") }
+
+// BenchmarkScaleOut measures write throughput while the same running
+// cluster grows live from 3 to 5 to 7 nodes via AddNode + Rebalance.
+func BenchmarkScaleOut(b *testing.B) { runExperiment(b, "scale-out") }

@@ -49,12 +49,22 @@ func main() {
 		for _, f := range sim.AllFaults {
 			fmt.Println(string(f))
 		}
+		fmt.Println("rebalance")
 		return
 	}
 
 	name := *scenario
 	faults := sim.AllFaults
-	if name != "all" {
+	rebalance := false
+	switch name {
+	case "all":
+	case "rebalance":
+		// Live reconfiguration (AddNode + Rebalance) composed with
+		// leader isolation and crash-restart — the scale-out acceptance
+		// scenario.
+		rebalance = true
+		faults = []sim.NemesisFault{sim.FaultIsolateLeader, sim.FaultCrashRestart}
+	default:
 		faults = nil
 		for _, f := range sim.AllFaults {
 			if string(f) == name {
@@ -71,12 +81,13 @@ func main() {
 	for i := 0; i < *sweep; i++ {
 		s := *seed + int64(i)
 		opts := sim.ScenarioOptions{
-			Seed:     s,
-			Nodes:    *nodes,
-			Writers:  *writers,
-			Keys:     *keys,
-			Duration: *duration,
-			Faults:   faults,
+			Seed:      s,
+			Nodes:     *nodes,
+			Writers:   *writers,
+			Keys:      *keys,
+			Duration:  *duration,
+			Faults:    faults,
+			Rebalance: rebalance,
 			LinkFaults: transport.LinkFaults{
 				DropProb:    *drop,
 				DupProb:     *dup,

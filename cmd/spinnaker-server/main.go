@@ -110,6 +110,14 @@ func newServer(dir string, nodeCount int, commitPeriod time.Duration, noBatch bo
 			DisableProposalBatching: noBatch,
 		},
 	}
+	// Publish the layout: nodes follow the published version (the same
+	// mechanism the embedded cluster uses for live reconfiguration).
+	pubSess := s.coordSvc.Connect()
+	err = core.PublishLayout(pubSess, layout)
+	pubSess.Close()
+	if err != nil {
+		return nil, err
+	}
 	for _, name := range names {
 		stores, err := core.NewFileStores(filepath.Join(dir, name))
 		if err != nil {
@@ -124,7 +132,7 @@ func newServer(dir string, nodeCount int, commitPeriod time.Duration, noBatch bo
 	deadline := time.Now().Add(30 * time.Second)
 	sess := s.coordSvc.Connect()
 	defer sess.Close()
-	for r := 0; r < layout.NumRanges(); r++ {
+	for _, r := range layout.RangeIDs() {
 		for {
 			if _, err := sess.Get(fmt.Sprintf("/ranges/%d/leader", r)); err == nil {
 				break

@@ -229,7 +229,7 @@ var Names = []string{
 	"figure13", "figure14", "figure15", "figure16",
 	"ablation-groupcommit", "ablation-piggyback",
 	"ablation-staleness", "ablation-parallelpropose",
-	"ablation-batching",
+	"ablation-batching", "scale-out",
 }
 
 // Run executes one named experiment.
@@ -263,6 +263,8 @@ func Run(name string, cfg Config) (Table, error) {
 		return AblationParallelPropose(cfg)
 	case "ablation-batching":
 		return AblationProposalBatching(cfg)
+	case "scale-out":
+		return ScaleOut(cfg)
 	default:
 		return Table{}, fmt.Errorf("bench: unknown experiment %q (have %v)", name, Names)
 	}

@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Encode serializes the layout for publication through the coordination
+// service (the /cluster/layout znode every node and client follows).
+func (l *Layout) Encode() []byte {
+	var s [8]byte
+	var buf []byte
+	put16 := func(v int) {
+		binary.LittleEndian.PutUint16(s[:2], uint16(v))
+		buf = append(buf, s[:2]...)
+	}
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(s[:4], v)
+		buf = append(buf, s[:4]...)
+	}
+	putStr := func(str string) {
+		put16(len(str))
+		buf = append(buf, str...)
+	}
+	binary.LittleEndian.PutUint64(s[:8], l.version)
+	buf = append(buf, s[:8]...)
+	put32(l.nextID)
+	put16(l.n)
+	put16(len(l.nodes))
+	for _, n := range l.nodes {
+		putStr(n)
+	}
+	put32(uint32(len(l.ranges)))
+	for _, r := range l.ranges {
+		put32(r.ID)
+		if r.HasOrigin {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		put32(r.Origin)
+		putStr(r.Low)
+		put16(len(r.Cohort))
+		for _, n := range r.Cohort {
+			putStr(n)
+		}
+	}
+	return buf
+}
+
+// Decode parses a layout previously produced by Encode and validates its
+// invariants (sorted distinct lows starting at "", cohorts drawn from the
+// node set, unique range ids below nextID).
+func Decode(b []byte) (*Layout, error) {
+	off := 0
+	need := func(n int) error {
+		if len(b)-off < n {
+			return fmt.Errorf("cluster: layout truncated at %d", off)
+		}
+		return nil
+	}
+	get16 := func() (int, error) {
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		v := int(binary.LittleEndian.Uint16(b[off:]))
+		off += 2
+		return v, nil
+	}
+	get32 := func() (uint32, error) {
+		if err := need(4); err != nil {
+			return 0, err
+		}
+		v := binary.LittleEndian.Uint32(b[off:])
+		off += 4
+		return v, nil
+	}
+	getStr := func() (string, error) {
+		n, err := get16()
+		if err != nil {
+			return "", err
+		}
+		if err := need(n); err != nil {
+			return "", err
+		}
+		v := string(b[off : off+n])
+		off += n
+		return v, nil
+	}
+
+	if err := need(8); err != nil {
+		return nil, err
+	}
+	l := &Layout{version: binary.LittleEndian.Uint64(b[off:])}
+	off += 8
+	var err error
+	if l.nextID, err = get32(); err != nil {
+		return nil, err
+	}
+	if l.n, err = get16(); err != nil {
+		return nil, err
+	}
+	numNodes, err := get16()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < numNodes; i++ {
+		n, err := getStr()
+		if err != nil {
+			return nil, err
+		}
+		l.nodes = append(l.nodes, n)
+	}
+	numRanges, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < numRanges; i++ {
+		var r Range
+		if r.ID, err = get32(); err != nil {
+			return nil, err
+		}
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		r.HasOrigin = b[off] == 1
+		off++
+		if r.Origin, err = get32(); err != nil {
+			return nil, err
+		}
+		if r.Low, err = getStr(); err != nil {
+			return nil, err
+		}
+		cohortLen, err := get16()
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < cohortLen; j++ {
+			n, err := getStr()
+			if err != nil {
+				return nil, err
+			}
+			r.Cohort = append(r.Cohort, n)
+		}
+		l.ranges = append(l.ranges, r)
+	}
+	if err := l.validate(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// validate checks the structural invariants a decoded layout must satisfy.
+func (l *Layout) validate() error {
+	if len(l.nodes) == 0 {
+		return fmt.Errorf("cluster: layout has no nodes")
+	}
+	if len(l.ranges) == 0 {
+		return fmt.Errorf("cluster: layout has no ranges")
+	}
+	if l.ranges[0].Low != "" {
+		return fmt.Errorf("cluster: first range low bound %q, want empty", l.ranges[0].Low)
+	}
+	seenID := make(map[uint32]bool)
+	for i, r := range l.ranges {
+		if i > 0 && l.ranges[i-1].Low >= r.Low {
+			return fmt.Errorf("cluster: range lows not strictly sorted at %d", i)
+		}
+		if seenID[r.ID] {
+			return fmt.Errorf("cluster: duplicate range id %d", r.ID)
+		}
+		seenID[r.ID] = true
+		if r.ID >= l.nextID {
+			return fmt.Errorf("cluster: range id %d >= nextID %d", r.ID, l.nextID)
+		}
+		if len(r.Cohort) == 0 {
+			return fmt.Errorf("cluster: range %d has an empty cohort", r.ID)
+		}
+		seenNode := make(map[string]bool, len(r.Cohort))
+		for _, n := range r.Cohort {
+			if !l.HasNode(n) {
+				return fmt.Errorf("cluster: range %d cohort node %s not in layout", r.ID, n)
+			}
+			if seenNode[n] {
+				return fmt.Errorf("cluster: range %d duplicate cohort node %s", r.ID, n)
+			}
+			seenNode[n] = true
+		}
+	}
+	return nil
+}

@@ -1,0 +1,304 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustUniform(t *testing.T, nodes, width, repl int) *Layout {
+	t.Helper()
+	names := make([]string, nodes)
+	for i := range names {
+		names[i] = fmt.Sprintf("node%03d", i)
+	}
+	l, err := Uniform(names, width, repl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestMutatorsAdvanceVersion(t *testing.T) {
+	l := mustUniform(t, 3, 4, 3)
+	if l.Version() != 1 {
+		t.Fatalf("bootstrap version %d, want 1", l.Version())
+	}
+	l2, err := l.WithNode("node003")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l3, newID, err := l2.WithSplit(0, "1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l4, err := l3.WithCohort(newID, append(l3.Cohort(newID), "node003"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, li := range []*Layout{l, l2, l3, l4} {
+		if got, want := li.Version(), uint64(i+1); got != want {
+			t.Errorf("layout %d version %d, want %d", i, got, want)
+		}
+	}
+	// The original layout is unchanged (mutators clone).
+	if l.NumRanges() != 3 || len(l.Nodes()) != 3 {
+		t.Errorf("bootstrap layout mutated: %d ranges, %d nodes", l.NumRanges(), len(l.Nodes()))
+	}
+}
+
+func TestSplitPreservesCohortAndBounds(t *testing.T) {
+	l := mustUniform(t, 5, 4, 3)
+	target := l.RangeIDs()[2]
+	low, high := l.Bounds(target)
+	wantCohort := l.Cohort(target)
+
+	l2, newID, err := l.WithSplit(target, "5000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotLow, gotMid := l2.Bounds(target)
+	gotMid2, gotHigh := l2.Bounds(newID)
+	if gotLow != low || gotMid != "5000" || gotMid2 != "5000" || gotHigh != high {
+		t.Fatalf("split bounds: [%q,%q) + [%q,%q), want [%q,\"5000\") + [\"5000\",%q)",
+			gotLow, gotMid, gotMid2, gotHigh, low, high)
+	}
+	newCohort := l2.Cohort(newID)
+	if len(newCohort) != len(wantCohort) {
+		t.Fatalf("split cohort %v, want %v", newCohort, wantCohort)
+	}
+	for i := range wantCohort {
+		if newCohort[i] != wantCohort[i] {
+			t.Fatalf("split cohort %v, want %v", newCohort, wantCohort)
+		}
+	}
+	if origin, ok := l2.Origin(newID); !ok || origin != target {
+		t.Fatalf("origin of %d = %d,%t; want %d,true", newID, origin, ok, target)
+	}
+	if _, ok := l2.Origin(target); ok {
+		t.Fatalf("original range %d unexpectedly has an origin", target)
+	}
+
+	// Out-of-bounds and boundary split keys are rejected.
+	for _, bad := range []string{low, high, "0000", "9999zzz"} {
+		if bad == "" {
+			continue
+		}
+		if _, _, err := l2.WithSplit(target, bad); err == nil {
+			lo, hi := l2.Bounds(target)
+			t.Errorf("split of [%q,%q) at %q unexpectedly allowed", lo, hi, bad)
+		}
+	}
+}
+
+func TestWithCohortSingleMemberDiscipline(t *testing.T) {
+	l := mustUniform(t, 5, 4, 3)
+	id := l.RangeIDs()[0]
+	cohort := l.Cohort(id)
+
+	// Expanding by one is fine.
+	if _, err := l.WithCohort(id, append(cohort[:3:3], "node004")); err != nil {
+		t.Fatalf("expand by one: %v", err)
+	}
+	// Shrinking by one is fine.
+	if _, err := l.WithCohort(id, cohort[:2]); err != nil {
+		t.Fatalf("shrink by one: %v", err)
+	}
+	// Swapping a member in one step (delta 2) must be refused: it would
+	// break quorum intersection between consecutive layouts.
+	swap := append(cohort[:2:2], "node004")
+	if _, err := l.WithCohort(id, swap); err == nil {
+		t.Fatal("two-member change unexpectedly allowed")
+	}
+	// Unknown and duplicate nodes are refused.
+	if _, err := l.WithCohort(id, append(cohort[:3:3], "ghost")); err == nil {
+		t.Fatal("unknown cohort node unexpectedly allowed")
+	}
+	if _, err := l.WithCohort(id, []string{cohort[0], cohort[0], cohort[1]}); err == nil {
+		t.Fatal("duplicate cohort node unexpectedly allowed")
+	}
+}
+
+// TestEveryKeyOwnedByExactlyOneRange is the ownership quickcheck: across a
+// random sequence of splits and cohort moves, every key is owned by exactly
+// one range at every layout version — the partition function stays total
+// and unambiguous.
+func TestEveryKeyOwnedByExactlyOneRange(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := mustUniform(t, 3, 4, 3)
+		versions := []*Layout{l}
+		// Random mutation walk: splits, node additions, single-member
+		// cohort changes.
+		for step := 0; step < 12; step++ {
+			switch rng.Intn(3) {
+			case 0:
+				node := fmt.Sprintf("extra%02d", rng.Intn(8))
+				if next, err := l.WithNode(node); err == nil {
+					l = next
+				}
+			case 1:
+				ids := l.RangeIDs()
+				id := ids[rng.Intn(len(ids))]
+				key := fmt.Sprintf("%04d", rng.Intn(10000))
+				if next, _, err := l.WithSplit(id, key); err == nil {
+					l = next
+				}
+			default:
+				ids := l.RangeIDs()
+				id := ids[rng.Intn(len(ids))]
+				cohort := l.Cohort(id)
+				nodes := l.Nodes()
+				if len(cohort) > 1 && rng.Intn(2) == 0 {
+					cohort = append(cohort[:0:0], cohort[1:]...)
+				} else {
+					add := nodes[rng.Intn(len(nodes))]
+					if !containsNode(cohort, add) {
+						cohort = append(append([]string(nil), cohort...), add)
+					}
+				}
+				if next, err := l.WithCohort(id, cohort); err == nil {
+					l = next
+				}
+			}
+			versions = append(versions, l)
+		}
+		// At every version, every probe key resolves to exactly one
+		// range whose bounds contain it, and ranges tile the space.
+		for _, v := range versions {
+			for probe := 0; probe < 64; probe++ {
+				key := fmt.Sprintf("%04d", rng.Intn(10000))
+				id := v.RangeOf(key)
+				owners := 0
+				for _, rid := range v.RangeIDs() {
+					low, high := v.Bounds(rid)
+					if key >= low && (high == "" || key < high) {
+						owners++
+						if rid != id {
+							t.Logf("seed %d v%d: key %q owned by %d but routed to %d", seed, v.Version(), key, rid, id)
+							return false
+						}
+					}
+				}
+				if owners != 1 {
+					t.Logf("seed %d v%d: key %q has %d owners", seed, v.Version(), key, owners)
+					return false
+				}
+			}
+			// Tiling: first range starts at "", lows strictly ascend.
+			ids := v.RangeIDs()
+			prevLow := ""
+			for i, rid := range ids {
+				low, _ := v.Bounds(rid)
+				if i == 0 && low != "" {
+					return false
+				}
+				if i > 0 && low <= prevLow {
+					return false
+				}
+				prevLow = low
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func containsNode(set []string, n string) bool {
+	for _, s := range set {
+		if s == n {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCohortOverlapAfterMutations verifies the placement invariants the
+// replication layer depends on, after splits and moves: every cohort is
+// drawn from the node set without duplicates, quorum is a true majority,
+// and RangesOf/CohortContains agree with Cohort.
+func TestCohortOverlapAfterMutations(t *testing.T) {
+	l := mustUniform(t, 5, 4, 3)
+	var err error
+	if l, err = l.WithNode("node005"); err != nil {
+		t.Fatal(err)
+	}
+	var newID uint32
+	if l, newID, err = l.WithSplit(l.RangeIDs()[1], "3333"); err != nil {
+		t.Fatal(err)
+	}
+	if l, err = l.WithCohort(newID, append(l.Cohort(newID), "node005")); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range l.RangeIDs() {
+		cohort := l.Cohort(id)
+		seen := map[string]bool{}
+		for _, n := range cohort {
+			if !l.HasNode(n) {
+				t.Errorf("range %d cohort node %s not in layout", id, n)
+			}
+			if seen[n] {
+				t.Errorf("range %d duplicate cohort member %s", id, n)
+			}
+			seen[n] = true
+			if !l.CohortContains(id, n) {
+				t.Errorf("CohortContains(%d, %s) = false", id, n)
+			}
+			found := false
+			for _, rid := range l.RangesOf(n) {
+				if rid == id {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("RangesOf(%s) misses range %d", n, id)
+			}
+		}
+		if q := l.Quorum(id); q != len(cohort)/2+1 {
+			t.Errorf("Quorum(%d) = %d for cohort size %d", id, q, len(cohort))
+		}
+		if l.HomeNode(id) != cohort[0] {
+			t.Errorf("HomeNode(%d) = %s, cohort[0] = %s", id, l.HomeNode(id), cohort[0])
+		}
+	}
+}
+
+func TestLayoutCodecRoundTrip(t *testing.T) {
+	l := mustUniform(t, 4, 6, 3)
+	var err error
+	if l, err = l.WithNode("spare"); err != nil {
+		t.Fatal(err)
+	}
+	var newID uint32
+	if l, newID, err = l.WithSplit(2, "600000"); err != nil {
+		t.Fatal(err)
+	}
+	if l, err = l.WithCohort(newID, append(l.Cohort(newID), "spare")); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := Decode(l.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Encode(), l.Encode()) {
+		t.Fatal("codec round trip not identical")
+	}
+	if got.Version() != l.Version() || got.NumRanges() != l.NumRanges() {
+		t.Fatalf("round trip: v%d/%d ranges, want v%d/%d", got.Version(), got.NumRanges(), l.Version(), l.NumRanges())
+	}
+	if origin, ok := got.Origin(newID); !ok || origin != 2 {
+		t.Fatalf("round trip lost origin: %d,%t", origin, ok)
+	}
+	// Corrupt payloads fail validation, not panic.
+	enc := l.Encode()
+	for cut := 0; cut < len(enc); cut += 7 {
+		if _, err := Decode(enc[:cut]); err == nil && cut < len(enc) {
+			t.Fatalf("truncated layout at %d decoded successfully", cut)
+		}
+	}
+}

@@ -101,9 +101,21 @@ type Service struct {
 	root     *znode
 	sessions map[int64]*Session
 	nextSess int64
+	verSeq   uint64 // global version counter; see nextVersionLocked
 	timeout  time.Duration
 	stopCh   chan struct{}
 	stopOnce sync.Once
+}
+
+// nextVersionLocked allocates a globally unique, monotonically increasing
+// znode version. Versions are assigned from one counter (at creation and on
+// every data change) rather than per-znode increments so that a znode
+// deleted and re-created never repeats a version — which is what makes
+// version-guarded operations (CompareAndSet, DeleteVersion) safe against
+// delete/re-create races, not just against data changes. Callers hold s.mu.
+func (s *Service) nextVersionLocked() uint64 {
+	s.verSeq++
+	return s.verSeq
 }
 
 // NewService returns a service whose sessions expire when not heartbeated
@@ -269,6 +281,7 @@ func (c *Session) Create(path string, data []byte, flags Flags) (string, error) 
 		return "", fmt.Errorf("%w: %s", ErrNodeExists, path)
 	}
 	n := newZnode()
+	n.version = c.svc.nextVersionLocked()
 	n.data = append([]byte(nil), data...)
 	n.seqNo = seqNo
 	if flags&FlagEphemeral != 0 {
@@ -313,6 +326,41 @@ func (c *Session) Delete(path string) error {
 	if !ok {
 		c.svc.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrNoNode, path)
+	}
+	if len(n.children) > 0 {
+		c.svc.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotEmpty, path)
+	}
+	delete(parent.children, name)
+	events := c.svc.collectEventsLocked(path, EventDeleted)
+	c.svc.mu.Unlock()
+	deliver(events)
+	return nil
+}
+
+// DeleteVersion removes the znode at path only if its version matches —
+// the delete-side companion of CompareAndSet. Guarded deletes close
+// get-then-delete races: releasing a leader claim must not remove a znode
+// some other session re-created in between.
+func (c *Session) DeleteVersion(path string, version uint64) error {
+	c.svc.mu.Lock()
+	if c.closed {
+		c.svc.mu.Unlock()
+		return ErrSessionClosed
+	}
+	parent, name, err := c.svc.parentAndName(path)
+	if err != nil {
+		c.svc.mu.Unlock()
+		return err
+	}
+	n, ok := parent.children[name]
+	if !ok {
+		c.svc.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNoNode, path)
+	}
+	if n.version != version {
+		c.svc.mu.Unlock()
+		return fmt.Errorf("%w: %s at %d, want %d", ErrBadVersion, path, n.version, version)
 	}
 	if len(n.children) > 0 {
 		c.svc.mu.Unlock()
@@ -376,7 +424,7 @@ func (c *Session) Set(path string, data []byte) error {
 		return err
 	}
 	n.data = append([]byte(nil), data...)
-	n.version++
+	n.version = c.svc.nextVersionLocked()
 	events := c.svc.collectEventsLocked(path, EventDataChanged)
 	c.svc.mu.Unlock()
 	deliver(events)
@@ -402,7 +450,7 @@ func (c *Session) CompareAndSet(path string, data []byte, version uint64) (uint6
 		return 0, fmt.Errorf("%w: %s at %d, want %d", ErrBadVersion, path, n.version, version)
 	}
 	n.data = append([]byte(nil), data...)
-	n.version++
+	n.version = c.svc.nextVersionLocked()
 	newV := n.version
 	events := c.svc.collectEventsLocked(path, EventDataChanged)
 	c.svc.mu.Unlock()

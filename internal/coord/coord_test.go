@@ -416,3 +416,43 @@ func TestEventTypeString(t *testing.T) {
 		}
 	}
 }
+
+func TestDeleteVersionGuard(t *testing.T) {
+	svc := NewService(0)
+	defer svc.Stop()
+	c := svc.Connect()
+	defer c.Close()
+
+	if _, err := c.Create("/claim", []byte("a"), 0); err != nil {
+		t.Fatal(err)
+	}
+	_, v1, err := c.GetVersion("/claim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A delete guarded by a stale version must fail after the data moved.
+	if err := c.Set("/claim", []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeleteVersion("/claim", v1); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("stale-version delete: %v, want ErrBadVersion", err)
+	}
+	// Re-creation after delete must not reuse a version, so a guard held
+	// across delete+recreate can never remove the new incarnation.
+	_, v2, err := c.GetVersion("/claim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeleteVersion("/claim", v2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Create("/claim", []byte("c"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeleteVersion("/claim", v2); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("delete of re-created znode with old version: %v, want ErrBadVersion", err)
+	}
+	if ok, _ := c.Exists("/claim"); !ok {
+		t.Fatal("guarded delete removed the re-created znode")
+	}
+}

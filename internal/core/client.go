@@ -20,7 +20,6 @@ import (
 // (learned from the coordination service and cached); timeline reads go to
 // a random cohort member in exchange for better performance.
 type Client struct {
-	layout   *cluster.Layout
 	ep       transport.Endpoint
 	sess     *coord.Session
 	rng      *rand.Rand
@@ -36,6 +35,7 @@ type Client struct {
 	strictWrites bool
 
 	mu      sync.Mutex
+	layout  *cluster.Layout // refreshed from coord on StatusWrongLayout
 	leaders map[uint32]string
 }
 
@@ -60,6 +60,32 @@ func NewClient(layout *cluster.Layout, ep transport.Endpoint, coordSvc *coord.Se
 func (c *Client) Close() {
 	c.sess.Close()
 	c.ep.Close()
+}
+
+// rangeOf routes a row under the client's current view of the layout.
+func (c *Client) rangeOf(row string) uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.layout.RangeOf(row)
+}
+
+// refreshLayout re-reads the published layout from the coordination
+// service, adopting it if newer. Called when a node replies
+// StatusWrongLayout (the range moved or split) or when leader resolution
+// fails for a range that may no longer exist.
+func (c *Client) refreshLayout() {
+	l, err := FetchLayout(c.sess)
+	if err != nil {
+		return // nothing published (static deployments); keep what we have
+	}
+	c.mu.Lock()
+	if l.Version() > c.layout.Version() {
+		c.layout = l
+		// Leadership of moved ranges changes with the layout; drop the
+		// whole cache rather than track which moved.
+		c.leaders = make(map[uint32]string)
+	}
+	c.mu.Unlock()
 }
 
 // leader resolves (with caching) the leader of a range.
@@ -88,11 +114,15 @@ func (c *Client) forgetLeader(rangeID uint32) {
 	c.mu.Unlock()
 }
 
-// anyReplica picks a random cohort member for timeline reads.
+// anyReplica picks a random cohort member for timeline reads; it returns
+// "" when the range is unknown under the current layout (stale view).
 func (c *Client) anyReplica(rangeID uint32) string {
-	cohort := c.layout.Cohort(rangeID)
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	cohort := c.layout.Cohort(rangeID)
+	if len(cohort) == 0 {
+		return ""
+	}
 	return cohort[c.rng.Intn(len(cohort))]
 }
 
@@ -105,16 +135,21 @@ const writeRetries = 8
 const retryBackoff = 25 * time.Millisecond
 
 // write routes a WriteOp to the range leader, retrying through leader
-// changes, and returns the assigned versions.
+// changes and layout changes (the row's range is re-resolved on every
+// attempt, so a refresh after StatusWrongLayout re-routes the next try),
+// and returns the assigned versions.
 func (c *Client) write(op WriteOp) ([]uint64, error) {
-	rangeID := c.layout.RangeOf(op.Row)
 	var lastErr error
 	for attempt := 0; attempt < writeRetries; attempt++ {
 		if attempt > 0 {
 			time.Sleep(retryBackoff)
 		}
+		rangeID := c.rangeOf(op.Row)
 		leader, err := c.leader(rangeID)
 		if err != nil {
+			// The range may no longer exist (stale layout after a
+			// split); refresh before the next attempt re-routes.
+			c.refreshLayout()
 			lastErr = err
 			continue
 		}
@@ -144,6 +179,13 @@ func (c *Client) write(op WriteOp) ([]uint64, error) {
 		case StatusNotLeader, StatusUnavailable:
 			// Definite no-effect failures: always safe to retry.
 			c.forgetLeader(rangeID)
+			lastErr = StatusError(res.Status, res.Detail)
+			continue
+		case StatusWrongLayout:
+			// Routing miss under a stale layout (no effect): refresh
+			// and re-route.
+			c.forgetLeader(rangeID)
+			c.refreshLayout()
 			lastErr = StatusError(res.Status, res.Detail)
 			continue
 		case StatusAmbiguous:
@@ -338,22 +380,25 @@ func (c *Client) ConditionalMultiPut(row string, cols []Column, versions []uint6
 // (timeline consistency) reads any replica and may return a stale value in
 // exchange for better performance.
 func (c *Client) Get(row, col string, consistent bool) ([]byte, uint64, error) {
-	rangeID := c.layout.RangeOf(row)
 	req := encodeGetReq(getReq{Row: row, Col: col, Consistent: consistent})
 	var lastErr error
 	for attempt := 0; attempt < writeRetries; attempt++ {
 		if attempt > 0 {
 			time.Sleep(retryBackoff)
 		}
+		rangeID := c.rangeOf(row)
 		var target string
 		if consistent {
 			var err error
 			if target, err = c.leader(rangeID); err != nil {
+				c.refreshLayout()
 				lastErr = err
 				continue
 			}
-		} else {
-			target = c.anyReplica(rangeID)
+		} else if target = c.anyReplica(rangeID); target == "" {
+			c.refreshLayout()
+			lastErr = ErrUnavailable
+			continue
 		}
 		resp, err := c.ep.Call(transport.Message{To: target, Kind: MsgGet, Cohort: rangeID, Payload: req})
 		if err != nil {
@@ -378,6 +423,13 @@ func (c *Client) Get(row, col string, consistent bool) ([]byte, uint64, error) {
 			c.forgetLeader(rangeID)
 			lastErr = StatusError(res.Status, "")
 			continue
+		case StatusWrongLayout:
+			// The range moved or split; refresh the layout and
+			// re-route.
+			c.forgetLeader(rangeID)
+			c.refreshLayout()
+			lastErr = StatusError(res.Status, "")
+			continue
 		default:
 			return nil, 0, StatusError(res.Status, "")
 		}
@@ -390,22 +442,25 @@ func (c *Client) Get(row, col string, consistent bool) ([]byte, uint64, error) {
 
 // GetRow reads every live column of a row with the chosen consistency.
 func (c *Client) GetRow(row string, consistent bool) ([]kv.Entry, error) {
-	rangeID := c.layout.RangeOf(row)
 	req := encodeGetReq(getReq{Row: row, Consistent: consistent})
 	var lastErr error
 	for attempt := 0; attempt < writeRetries; attempt++ {
 		if attempt > 0 {
 			time.Sleep(retryBackoff)
 		}
+		rangeID := c.rangeOf(row)
 		var target string
 		if consistent {
 			var err error
 			if target, err = c.leader(rangeID); err != nil {
+				c.refreshLayout()
 				lastErr = err
 				continue
 			}
-		} else {
-			target = c.anyReplica(rangeID)
+		} else if target = c.anyReplica(rangeID); target == "" {
+			c.refreshLayout()
+			lastErr = ErrUnavailable
+			continue
 		}
 		resp, err := c.ep.Call(transport.Message{To: target, Kind: MsgGetRow, Cohort: rangeID, Payload: req})
 		if err != nil {
@@ -426,6 +481,11 @@ func (c *Client) GetRow(row string, consistent bool) ([]kv.Entry, error) {
 			return nil, ErrNotFound
 		case StatusNotLeader, StatusUnavailable:
 			c.forgetLeader(rangeID)
+			lastErr = StatusError(res.Status, "")
+			continue
+		case StatusWrongLayout:
+			c.forgetLeader(rangeID)
+			c.refreshLayout()
 			lastErr = StatusError(res.Status, "")
 			continue
 		default:

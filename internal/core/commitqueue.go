@@ -185,12 +185,24 @@ func (q *commitQueue) markAckedThrough(from string, lsn wal.LSN) {
 	}
 }
 
-// ackCountLocked returns the number of distinct peers that acknowledge lsn,
-// by per-write ack or by cumulative watermark; callers hold q.mu.
-func (q *commitQueue) ackCountLocked(p *pendingWrite) int {
-	n := len(p.ackFrom)
+// ackCountLocked returns the number of distinct peers among the allowed set
+// that acknowledge lsn, by per-write ack or by cumulative watermark; a nil
+// allowed set admits every peer. Callers hold q.mu. The filter exists for
+// live cohort reconfiguration: a member that has been moved out of the
+// cohort may logically truncate what it acked, so its acks stop counting
+// toward quorum the moment the leader adopts the new membership.
+func (q *commitQueue) ackCountLocked(p *pendingWrite, allowed map[string]bool) int {
+	n := 0
+	for peer := range p.ackFrom {
+		if allowed == nil || allowed[peer] {
+			n++
+		}
+	}
 	for peer, through := range q.peerAcked {
 		if through < p.lsn {
+			continue
+		}
+		if allowed != nil && !allowed[peer] {
 			continue
 		}
 		if _, dup := p.ackFrom[peer]; !dup {
@@ -202,16 +214,24 @@ func (q *commitQueue) ackCountLocked(p *pendingWrite) int {
 
 // popCommittable removes and returns, in LSN order, the maximal prefix of
 // the queue where every write has been locally forced and acknowledged by
-// at least quorum-1 distinct followers (the leader's own log force is its
-// vote, §8.1: a write commits once it is on 2 of 3 logs). With cumulative
-// acks this commits the whole quorum-acked prefix in one pass.
-func (q *commitQueue) popCommittable(quorum int) []*pendingWrite {
+// at least quorum-1 distinct followers drawn from peers (the leader's own
+// log force is its vote, §8.1: a write commits once it is on 2 of 3 logs).
+// With cumulative acks this commits the whole quorum-acked prefix in one
+// pass. A nil peers slice counts acks from any sender (tests).
+func (q *commitQueue) popCommittable(quorum int, peers []string) []*pendingWrite {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	var allowed map[string]bool
+	if peers != nil {
+		allowed = make(map[string]bool, len(peers))
+		for _, p := range peers {
+			allowed[p] = true
+		}
+	}
 	var out []*pendingWrite
 	for len(q.order) > 0 {
 		p := q.byLSN[q.order[0]]
-		if !p.selfForced || 1+q.ackCountLocked(p) < quorum {
+		if !p.selfForced || 1+q.ackCountLocked(p, allowed) < quorum {
 			break
 		}
 		out = append(out, p)
@@ -313,6 +333,21 @@ func (q *commitQueue) drain() []*pendingWrite {
 	q.keyLSNs = make(map[kv.Key][]wal.LSN)
 	q.peerAcked = make(map[string]wal.LSN)
 	return out
+}
+
+// hasPendingRowIn reports whether any pending write touches a row in
+// [low, high); high == "" means the top of the key space. The origin leader
+// of a split uses it to drain in-flight writes to the moved sub-range
+// before serving a split pull.
+func (q *commitQueue) hasPendingRowIn(low, high string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for k := range q.keyLSNs {
+		if keyInRange(k.Row, low, high) {
+			return true
+		}
+	}
+	return false
 }
 
 // latestPending returns the newest pending write for key, if any. The

@@ -34,19 +34,19 @@ func TestCommitQueuePopCommittableInOrder(t *testing.T) {
 		q.add(pw(seq, "r", "c"))
 	}
 	// Nothing is committable before forces/acks.
-	if got := q.popCommittable(2); len(got) != 0 {
+	if got := q.popCommittable(2, nil); len(got) != 0 {
 		t.Fatalf("popped %d writes with no acks", len(got))
 	}
 	// LSN 2 satisfied first: commits must still wait for LSN 1 (writes
 	// execute in LSN order within a cohort, §5.1).
 	q.markForced(wal.MakeLSN(1, 2))
 	q.markAck("f1", wal.MakeLSN(1, 2))
-	if got := q.popCommittable(2); len(got) != 0 {
+	if got := q.popCommittable(2, nil); len(got) != 0 {
 		t.Fatalf("LSN 2 committed ahead of LSN 1")
 	}
 	q.markForced(wal.MakeLSN(1, 1))
 	q.markAck("f1", wal.MakeLSN(1, 1))
-	got := q.popCommittable(2)
+	got := q.popCommittable(2, nil)
 	if len(got) != 2 || got[0].lsn != wal.MakeLSN(1, 1) || got[1].lsn != wal.MakeLSN(1, 2) {
 		t.Fatalf("popped %d writes, want [1.1 1.2]", len(got))
 	}
@@ -62,11 +62,11 @@ func TestCommitQueueQuorumRule(t *testing.T) {
 	// An ack without the local force is not enough (the commit rule is
 	// 2-of-3 logs *including* the leader's, §8.1).
 	q.markAck("f1", wal.MakeLSN(1, 1))
-	if got := q.popCommittable(2); len(got) != 0 {
+	if got := q.popCommittable(2, nil); len(got) != 0 {
 		t.Fatal("committed without local force")
 	}
 	q.markForced(wal.MakeLSN(1, 1))
-	if got := q.popCommittable(2); len(got) != 1 {
+	if got := q.popCommittable(2, nil); len(got) != 1 {
 		t.Fatal("not committed with force + 1 ack")
 	}
 }
@@ -233,7 +233,7 @@ func TestCommitQueueCumulativeAckCommitsPrefix(t *testing.T) {
 		q.markForced(wal.MakeLSN(1, seq))
 	}
 	q.markAckedThrough("f1", wal.MakeLSN(1, 4))
-	got := q.popCommittable(2)
+	got := q.popCommittable(2, nil)
 	if len(got) != 4 || got[0].lsn != wal.MakeLSN(1, 1) || got[3].lsn != wal.MakeLSN(1, 4) {
 		t.Fatalf("popped %d writes, want the 4-write prefix", len(got))
 	}
@@ -252,7 +252,7 @@ func TestCommitQueueCumulativeAckOutOfOrder(t *testing.T) {
 	}
 	q.markAckedThrough("f1", wal.MakeLSN(1, 5))
 	q.markAckedThrough("f1", wal.MakeLSN(1, 2)) // stale, reordered: ignored
-	got := q.popCommittable(2)
+	got := q.popCommittable(2, nil)
 	if len(got) != 5 {
 		t.Fatalf("popped %d writes after reordered acks, want 5", len(got))
 	}
@@ -265,11 +265,11 @@ func TestCommitQueueCumulativeAckStaleEpoch(t *testing.T) {
 	q.add(pwAt(2, 7, "r", "c"))
 	q.markForced(wal.MakeLSN(2, 7))
 	q.markAckedThrough("f1", wal.MakeLSN(1, 99)) // epoch 1 watermark
-	if got := q.popCommittable(2); len(got) != 0 {
+	if got := q.popCommittable(2, nil); len(got) != 0 {
 		t.Fatalf("committed %d writes on a prior-epoch ack", len(got))
 	}
 	q.markAckedThrough("f1", wal.MakeLSN(2, 7))
-	if got := q.popCommittable(2); len(got) != 1 {
+	if got := q.popCommittable(2, nil); len(got) != 1 {
 		t.Fatal("not committed after current-epoch ack")
 	}
 }
@@ -304,25 +304,25 @@ func TestCommitQueueQuorumAckFromStaleLeaderEpoch(t *testing.T) {
 	// claiming old-epoch watermarks (f2's even covers 1.6 again).
 	q.markAckedThrough("f1", wal.MakeLSN(1, 6))
 	q.markAckedThrough("f2", wal.MakeLSN(1, 6))
-	got := q.popCommittable(2)
+	got := q.popCommittable(2, nil)
 	// The re-proposed old-epoch writes commit — these acks are fresh
 	// answers to the re-proposals and genuinely cover 1.5 and 1.6 — but
 	// the epoch-2 write must NOT ride along on old-epoch watermarks.
 	if len(got) != 2 || got[0].lsn != wal.MakeLSN(1, 5) || got[1].lsn != wal.MakeLSN(1, 6) {
 		t.Fatalf("popped %d writes, want the two re-proposed 1.x writes", len(got))
 	}
-	if got := q.popCommittable(2); len(got) != 0 {
+	if got := q.popCommittable(2, nil); len(got) != 0 {
 		t.Fatal("epoch-2 write committed on a quorum of stale-epoch acks")
 	}
 	// A per-write ack for an LSN that is no longer pending (logically
 	// truncated on another branch) is a no-op.
 	q.markAck("f1", wal.MakeLSN(1, 99))
-	if got := q.popCommittable(2); len(got) != 0 {
+	if got := q.popCommittable(2, nil); len(got) != 0 {
 		t.Fatal("ack for a truncated LSN committed something")
 	}
 	// Only a current-epoch acknowledgement commits the epoch-2 write.
 	q.markAckedThrough("f1", wal.MakeLSN(2, 7))
-	if got := q.popCommittable(2); len(got) != 1 || got[0].lsn != wal.MakeLSN(2, 7) {
+	if got := q.popCommittable(2, nil); len(got) != 1 || got[0].lsn != wal.MakeLSN(2, 7) {
 		t.Fatal("epoch-2 write did not commit on its own epoch's ack")
 	}
 }
@@ -361,11 +361,11 @@ func TestCommitQueueCumulativeAckForceInterleavings(t *testing.T) {
 	q := newCommitQueue()
 	q.add(pw(1, "r", "c"))
 	q.markAckedThrough("f1", lsn)
-	if got := q.popCommittable(2); len(got) != 0 {
+	if got := q.popCommittable(2, nil); len(got) != 0 {
 		t.Fatal("committed without the local force")
 	}
 	q.markForced(lsn)
-	if got := q.popCommittable(2); len(got) != 1 {
+	if got := q.popCommittable(2, nil); len(got) != 1 {
 		t.Fatal("not committed after force joined the ack")
 	}
 
@@ -373,11 +373,11 @@ func TestCommitQueueCumulativeAckForceInterleavings(t *testing.T) {
 	q = newCommitQueue()
 	q.add(pw(1, "r", "c"))
 	q.markForced(lsn)
-	if got := q.popCommittable(2); len(got) != 0 {
+	if got := q.popCommittable(2, nil); len(got) != 0 {
 		t.Fatal("committed without any follower ack")
 	}
 	q.markAckedThrough("f1", lsn)
-	if got := q.popCommittable(2); len(got) != 1 {
+	if got := q.popCommittable(2, nil); len(got) != 1 {
 		t.Fatal("not committed after ack joined the force")
 	}
 }
@@ -392,11 +392,11 @@ func TestCommitQueueDistinctPeerQuorum(t *testing.T) {
 	q.markForced(lsn)
 	q.markAck("f1", lsn)
 	q.markAckedThrough("f1", lsn)
-	if got := q.popCommittable(3); len(got) != 0 {
+	if got := q.popCommittable(3, nil); len(got) != 0 {
 		t.Fatal("one peer double-counted toward a 3-quorum")
 	}
 	q.markAckedThrough("f2", lsn)
-	if got := q.popCommittable(3); len(got) != 1 {
+	if got := q.popCommittable(3, nil); len(got) != 1 {
 		t.Fatal("two distinct peers + leader should commit at quorum 3")
 	}
 }
@@ -412,11 +412,11 @@ func TestCommitQueueResetAcksOnStepDown(t *testing.T) {
 	q.markAck("f1", lsn)
 	q.markAckedThrough("f2", lsn)
 	q.resetAcks()
-	if got := q.popCommittable(2); len(got) != 0 {
+	if got := q.popCommittable(2, nil); len(got) != 0 {
 		t.Fatal("stale acks survived resetAcks")
 	}
 	q.markAckedThrough("f1", lsn)
-	if got := q.popCommittable(2); len(got) != 1 {
+	if got := q.popCommittable(2, nil); len(got) != 1 {
 		t.Fatal("fresh ack after reset did not commit")
 	}
 }
@@ -431,7 +431,7 @@ func TestCommitQueueDrainClearsWatermarks(t *testing.T) {
 	q.drain()
 	q.add(pw(2, "r", "c"))
 	q.markForced(wal.MakeLSN(1, 2))
-	if got := q.popCommittable(2); len(got) != 0 {
+	if got := q.popCommittable(2, nil); len(got) != 0 {
 		t.Fatal("watermark survived drain")
 	}
 }

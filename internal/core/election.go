@@ -38,12 +38,12 @@ func (r *replica) electionLoop() {
 	}
 	_, _ = sess.Create(epochPath(r.rangeID), encodeEpoch(0), 0)
 
-	for !r.n.stopped() {
+	for !r.exiting() {
 		leaderWatch, err := sess.Watch(leaderPath(r.rangeID))
 		if err != nil {
 			return // session gone; node is shutting down
 		}
-		data, err := sess.Get(leaderPath(r.rangeID))
+		data, ver, err := sess.GetVersion(leaderPath(r.rangeID))
 		switch {
 		case err == nil:
 			leader := string(data)
@@ -54,10 +54,18 @@ func (r *replica) electionLoop() {
 				isLeader := r.role == RoleLeader
 				r.mu.Unlock()
 				if !isLeader {
-					// A previous incarnation's znode; it is
-					// ephemeral and our session is new, so
-					// this cannot be ours. Wait it out.
-					r.waitEvent(leaderWatch)
+					// The znode carries our id but we are not
+					// leading: either a previous incarnation's
+					// entry (its session is dead; the znode
+					// just has not expired yet) or our own
+					// claim orphaned by a mid-takeover
+					// demotion. Waiting it out deadlocks the
+					// cohort — every other member sees a live
+					// leader znode and follows it. Delete it —
+					// version-guarded, so a rival's claim
+					// created in between is never the one
+					// removed — and re-elect.
+					_ = sess.DeleteVersion(leaderPath(r.rangeID), ver)
 					continue
 				}
 			} else {
@@ -77,11 +85,13 @@ func (r *replica) electionLoop() {
 	}
 }
 
-// waitEvent blocks on a watch channel until it fires or the node stops.
+// waitEvent blocks on a watch channel until it fires, the node stops, or
+// the replica retires.
 func (r *replica) waitEvent(ch <-chan coord.Event) {
 	select {
 	case <-ch:
 	case <-r.n.stopCh:
+	case <-r.stopCh:
 	case <-r.electionNudge:
 	}
 }
@@ -115,6 +125,35 @@ func (r *replica) becomeFollower(leader string) {
 // leader has failed or after local recovery on a restart.
 func (r *replica) runElection() {
 	sess := r.n.coordSess
+
+	r.mu.Lock()
+	mustPull := r.mustPull
+	abstain := r.abstain
+	r.abstain = false
+	r.mu.Unlock()
+	if mustPull {
+		// A fresh replica of a split-created range holds none of the
+		// range's data yet; standing for election could elect an empty
+		// leader and lose the moved rows. Pull from the origin first.
+		r.n.nudgeCatchup(r)
+		select {
+		case <-time.After(r.n.cfg.ElectionTimeout):
+		case <-r.n.stopCh:
+		case <-r.stopCh:
+		case <-r.electionNudge:
+		}
+		return
+	}
+	if abstain {
+		// Leadership transfer: sit out one round so another member can
+		// win; if nobody does, the next pass participates normally.
+		select {
+		case <-time.After(2 * r.n.cfg.ElectionTimeout):
+		case <-r.n.stopCh:
+		case <-r.stopCh:
+		}
+		return
+	}
 
 	// Line 1: clean up our stale state from previous rounds.
 	kids, err := sess.Children(candidatesPath(r.rangeID))
@@ -150,7 +189,7 @@ func (r *replica) runElection() {
 	}
 	myName := myPath[strings.LastIndex(myPath, "/")+1:]
 
-	for !r.n.stopped() {
+	for !r.exiting() {
 		// Line 5: set a watch and wait for a majority of current-round
 		// candidacies.
 		watch, err := sess.WatchChildren(candidatesPath(r.rangeID))
@@ -193,11 +232,17 @@ func (r *replica) runElection() {
 				electorate = append(electorate, kid)
 			}
 		}
-		if len(electorate) < r.quorum {
+		r.mu.Lock()
+		quorum := r.quorum
+		home := r.home
+		r.mu.Unlock()
+		if len(electorate) < quorum {
 			select {
 			case <-watch:
 				continue
 			case <-r.n.stopCh:
+				return
+			case <-r.stopCh:
 				return
 			case <-time.After(r.n.cfg.ElectionTimeout):
 				continue
@@ -205,12 +250,20 @@ func (r *replica) runElection() {
 		}
 
 		// Line 6: the new leader is the current-round candidate with the
-		// max n.lst, with znode sequence numbers breaking ties.
+		// max n.lst. Ties prefer the layout's home node (so leadership
+		// lands on the preferred placement after a rebalance), then fall
+		// back to znode sequence numbers. Every node evaluates the same
+		// rule over the same candidacy data, so the choice agrees; in
+		// the rare window where nodes disagree on the home (a layout
+		// adoption in flight), the leader znode create arbitrates.
 		winner := electorate[0]
 		_, winnerLSN := decodeCandidacy(electorate[0].Data)
 		for _, kid := range electorate[1:] {
 			_, lsn := decodeCandidacy(kid.Data)
-			if lsn > winnerLSN || (lsn == winnerLSN && kid.Seq < winner.Seq) {
+			switch {
+			case lsn > winnerLSN:
+				winner, winnerLSN = kid, lsn
+			case lsn == winnerLSN && candidateBeats(kid, winner, home):
 				winner, winnerLSN = kid, lsn
 			}
 		}
@@ -252,8 +305,34 @@ func (r *replica) runElection() {
 		case <-time.After(r.n.cfg.ElectionTimeout):
 		case <-r.n.stopCh:
 			return
+		case <-r.stopCh:
+			return
 		}
 	}
+}
+
+// candidateNode extracts the node id from a candidate znode name
+// ("c:<node>:<seq digits>").
+func candidateNode(name string) string {
+	if !strings.HasPrefix(name, "c:") {
+		return ""
+	}
+	i := strings.LastIndex(name, ":")
+	if i < 2 {
+		return ""
+	}
+	return name[2:i]
+}
+
+// candidateBeats breaks an equal-lst tie between candidates a and b: the
+// layout's home node wins, else the lower znode sequence (Fig 7 line 6).
+func candidateBeats(a, b coord.ChildInfo, home string) bool {
+	aHome := candidateNode(a.Name) == home
+	bHome := candidateNode(b.Name) == home
+	if aHome != bHome {
+		return aHome
+	}
+	return a.Seq < b.Seq
 }
 
 // takeover is Figure 6: bring at least one follower up to our last
@@ -263,8 +342,17 @@ func (r *replica) runElection() {
 func (r *replica) takeover() bool {
 	// Allocate the next epoch through the coordination service (App. B:
 	// "a new epoch number is stored in Zookeeper before the leader
-	// accepts any new writes").
+	// accepts any new writes"). A split-created range starts its epoch
+	// znode at zero while its pulled data carries the origin range's
+	// epochs, so keep bumping until the new epoch exceeds every LSN we
+	// hold — LSN monotonicity across leaderships depends on it.
+	r.mu.Lock()
+	lLst := r.lastLSN
+	r.mu.Unlock()
 	newEpoch, err := r.n.bumpEpoch(r.rangeID)
+	for err == nil && newEpoch <= lLst.Epoch() {
+		newEpoch, err = r.n.bumpEpoch(r.rangeID)
+	}
 	if err != nil {
 		return false
 	}
@@ -274,26 +362,27 @@ func (r *replica) takeover() bool {
 	r.open = false
 	r.leaderID = r.n.cfg.ID
 	lCmt := r.lastCommitted
-	lLst := r.lastLSN
+	lLst = r.lastLSN
+	peers := append([]string(nil), r.peers...)
 	r.mu.Unlock()
 
 	// Lines 3-7: catch up each follower to l.cmt, in parallel; line 8:
 	// wait until at least one is caught up. (With 3-way replication one
 	// success gives the quorum of 2, counting ourselves.)
-	results := make(chan bool, len(r.peers))
-	for _, peer := range r.peers {
+	results := make(chan bool, len(peers))
+	for _, peer := range peers {
 		go func(peer string) { results <- r.syncFollower(peer, lCmt, lLst) }(peer)
 	}
 	deadline := time.After(r.n.cfg.TakeoverTimeout)
 	caughtUp := 0
-	for i := 0; i < len(r.peers) && caughtUp == 0; i++ {
+	for i := 0; i < len(peers) && caughtUp == 0; i++ {
 		select {
 		case ok := <-results:
 			if ok {
 				caughtUp++
 			}
 		case <-deadline:
-			i = len(r.peers)
+			i = len(peers)
 		case <-r.n.stopCh:
 			return false
 		}
@@ -347,12 +436,23 @@ func (r *replica) takeover() bool {
 	// Line 10: open the cohort for writes, with LSNs above anything
 	// previously used (epoch bump + continuing sequence numbers, App. B).
 	r.mu.Lock()
+	if r.role != RoleLeader || r.retired {
+		// Demoted mid-takeover: a rival's late takeover sync (it lost
+		// the znode race after sending) or a layout change that retired
+		// us. Opening now would leave a non-leader serving strong
+		// reads; fail instead, release the claim, and re-elect.
+		r.mu.Unlock()
+		return false
+	}
 	r.epoch = newEpoch
 	if s := r.lastLSN.Seq(); s >= r.nextSeq {
 		r.nextSeq = s + 1
 	}
 	r.open = true
 	r.mu.Unlock()
+	// An open leader is by definition caught up; publish the marker the
+	// reconfiguration executor waits on.
+	r.n.markCurrent(r.rangeID)
 	return true
 }
 

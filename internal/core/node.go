@@ -108,7 +108,11 @@ func (s *Stores) Fail() {
 type Config struct {
 	// ID is the node's identity in the cluster layout and on the network.
 	ID string
-	// Layout is the cluster's static partitioning.
+	// Layout is the bootstrap partitioning. If a newer layout has been
+	// published through the coordination service (PublishLayout), the
+	// node adopts it at startup and follows every subsequent version
+	// live — creating, retiring, and re-membering replicas as cohorts
+	// move (elastic scale-out).
 	Layout *cluster.Layout
 	// CommitPeriod is the interval between the leader's asynchronous
 	// commit messages (§5). The paper uses 1s in production settings and
@@ -200,7 +204,12 @@ type Node struct {
 	coordSess *coord.Session
 	log       *wal.Log
 	meta      wal.MetaStore
-	replicas  map[uint32]*replica
+
+	// layoutMu guards the current layout and the replica map, both of
+	// which change when a published layout is adopted live.
+	layoutMu sync.RWMutex
+	layout   *cluster.Layout
+	replicas map[uint32]*replica
 
 	stopCh   chan struct{}
 	stopOnce sync.Once
@@ -210,6 +219,34 @@ type Node struct {
 	catchupMu  sync.Mutex
 	catchupSet map[uint32]bool
 	catchupCh  chan *replica
+}
+
+// getReplica returns the replica serving rangeID, if any.
+func (n *Node) getReplica(rangeID uint32) *replica {
+	n.layoutMu.RLock()
+	defer n.layoutMu.RUnlock()
+	return n.replicas[rangeID]
+}
+
+// replicaList snapshots the current replicas.
+func (n *Node) replicaList() []*replica {
+	n.layoutMu.RLock()
+	defer n.layoutMu.RUnlock()
+	out := make([]*replica, 0, len(n.replicas))
+	for _, r := range n.replicas {
+		out = append(out, r)
+	}
+	return out
+}
+
+// layoutVersion returns the version of the layout the node currently runs.
+func (n *Node) layoutVersion() uint64 {
+	n.layoutMu.RLock()
+	defer n.layoutMu.RUnlock()
+	if n.layout == nil {
+		return 0
+	}
+	return n.layout.Version()
 }
 
 // readGate charges the simulated per-read CPU cost (see Config).
@@ -250,39 +287,219 @@ func NewNode(cfg Config, stores *Stores, ep transport.Endpoint, coordSvc *coord.
 		catchupSet: make(map[uint32]bool),
 		catchupCh:  make(chan *replica, 64),
 	}
+	n.layout = cfg.Layout
 	for _, rangeID := range cfg.Layout.RangesOf(cfg.ID) {
-		tables, err := stores.Tables(rangeID)
+		r, err := n.buildReplica(cfg.Layout, rangeID)
 		if err != nil {
 			return nil, err
 		}
-		engine, err := storage.Open(storage.Config{
-			Tables:     tables,
-			Meta:       stores.Meta,
-			Cohort:     rangeID,
-			FlushBytes: cfg.FlushBytes,
-			MaxTables:  cfg.MaxTables,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("core: open engine for range %d: %w", rangeID, err)
-		}
-		var peers []string
-		for _, member := range cfg.Layout.Cohort(rangeID) {
-			if member != cfg.ID {
-				peers = append(peers, member)
+		// If this node once left the range's cohort, the durable
+		// departed marker survives any crash in the rejoin window
+		// (e.g. after the re-adding layout was published but before
+		// adoptLayout ran): the local state is pre-departure and must
+		// be discarded exactly as a live adoption would discard it.
+		if data, ok, err := n.meta.Get(departedKey(rangeID)); err == nil && ok && len(data) > 0 {
+			if err := n.resetRejoinState(r); err != nil {
+				return nil, fmt.Errorf("core: reset rejoined range %d: %w", rangeID, err)
 			}
 		}
-		n.replicas[rangeID] = &replica{
-			n:             n,
-			rangeID:       rangeID,
-			peers:         peers,
-			quorum:        cfg.Layout.Replication()/2 + 1,
-			skipped:       wal.NewSkippedLSNs(),
-			queue:         newCommitQueue(),
-			engine:        engine,
-			electionNudge: make(chan struct{}, 1),
-		}
+		n.replicas[rangeID] = r
 	}
 	return n, nil
+}
+
+// departedKey is the metadata key of the durable "this node left range r's
+// cohort" marker; see retire and resetRejoinState.
+func departedKey(r uint32) string { return fmt.Sprintf("departed/%d", r) }
+
+// resetRejoinState discards a (re-)joining replica's stale pre-departure
+// state: the engine is durably wiped, a RecResetCohort marker makes local
+// recovery discard the old-era log records, and the departed marker is
+// cleared. Without this, keys deleted cluster-wide while the node was out
+// of the cohort — whose tombstones were then compacted away, so catch-up
+// can never mention them — would resurrect from the node's old SSTables or
+// log records.
+func (n *Node) resetRejoinState(r *replica) error {
+	if err := r.engine.Wipe(); err != nil {
+		return err
+	}
+	end, err := n.log.Append(wal.Record{Cohort: r.rangeID, Type: wal.RecResetCohort})
+	if err != nil {
+		return err
+	}
+	if err := n.log.ForceTo(end); err != nil {
+		return err
+	}
+	return n.meta.Delete(departedKey(r.rangeID))
+}
+
+// buildReplica constructs (without starting) this node's replica of one
+// range of layout l: its storage engine plus the membership-derived fields
+// (peers, quorum, bounds, home node, split origin).
+func (n *Node) buildReplica(l *cluster.Layout, rangeID uint32) (*replica, error) {
+	tables, err := n.stores.Tables(rangeID)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := storage.Open(storage.Config{
+		Tables:     tables,
+		Meta:       n.stores.Meta,
+		Cohort:     rangeID,
+		FlushBytes: n.cfg.FlushBytes,
+		MaxTables:  n.cfg.MaxTables,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: open engine for range %d: %w", rangeID, err)
+	}
+	var peers []string
+	for _, member := range l.Cohort(rangeID) {
+		if member != n.cfg.ID {
+			peers = append(peers, member)
+		}
+	}
+	low, high := l.Bounds(rangeID)
+	r := &replica{
+		n:             n,
+		rangeID:       rangeID,
+		peers:         peers,
+		quorum:        l.Quorum(rangeID),
+		low:           low,
+		high:          high,
+		home:          l.HomeNode(rangeID),
+		skipped:       wal.NewSkippedLSNs(),
+		queue:         newCommitQueue(),
+		engine:        engine,
+		electionNudge: make(chan struct{}, 1),
+		stopCh:        make(chan struct{}),
+	}
+	if origin, ok := l.Origin(rangeID); ok {
+		r.origin, r.hasOrigin = origin, true
+	}
+	return r, nil
+}
+
+// adoptLayout switches the node to a newer published layout: replicas for
+// ranges this node no longer serves retire, replicas for newly assigned
+// ranges are created (recovering; they earn currency through catch-up or a
+// split pull before serving), and retained replicas update their bounds and
+// cohort membership in place. It reports whether adoption completed; on a
+// transient storage failure the recorded layout version is NOT advanced, so
+// the caller retries (adoption is idempotent: retired replicas stay gone,
+// kept replicas re-apply, only the missing ones are rebuilt).
+func (n *Node) adoptLayout(l *cluster.Layout) bool {
+	n.layoutMu.RLock()
+	if n.layout != nil && l.Version() <= n.layout.Version() {
+		n.layoutMu.RUnlock()
+		return true
+	}
+	have := make(map[uint32]bool, len(n.replicas))
+	for id := range n.replicas {
+		have[id] = true
+	}
+	n.layoutMu.RUnlock()
+
+	desired := make(map[uint32]bool)
+	for _, id := range l.RangesOf(n.cfg.ID) {
+		desired[id] = true
+	}
+
+	// Build new replicas outside layoutMu: storage.Open hits the disk on
+	// file-backed deployments, and holding the write lock would stall
+	// every replica's message dispatch for the duration. Only layoutLoop
+	// mutates the replica map, so the have-snapshot cannot go stale.
+	complete := true
+	built := make(map[uint32]*replica)
+	for id := range desired {
+		if have[id] {
+			continue
+		}
+		r, err := n.buildReplica(l, id)
+		if err != nil {
+			complete = false // storage failure; the caller retries
+			continue
+		}
+		// This node is (re-)joining the cohort from outside: discard
+		// any stale pre-departure state (see resetRejoinState; a crash
+		// before this point is covered by the durable departed marker,
+		// which routes the restart through the same reset in NewNode).
+		if err := n.resetRejoinState(r); err != nil {
+			complete = false
+			continue
+		}
+		r.role = RoleRecovering
+		if r.hasOrigin {
+			// A split-created range: its data lives with the origin
+			// range's cohort. Do not stand for election (an empty
+			// candidate could win an empty leadership and the moved
+			// rows would be lost) until the first pull succeeds.
+			r.mustPull = true
+		}
+		built[id] = r
+	}
+
+	n.layoutMu.Lock()
+	var retired, added, kept []*replica
+	for id, r := range n.replicas {
+		if !desired[id] {
+			retired = append(retired, r)
+			delete(n.replicas, id)
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	for id, r := range built {
+		n.replicas[id] = r
+		added = append(added, r)
+	}
+	if complete {
+		n.layout = l
+	}
+	n.layoutMu.Unlock()
+
+	for _, r := range retired {
+		r.retire()
+	}
+	for _, r := range kept {
+		r.applyLayout(l)
+	}
+	for _, r := range added {
+		r := r
+		n.goLoop(func() { r.electionLoop() })
+		n.nudgeCatchup(r)
+	}
+	return complete
+}
+
+// layoutLoop follows the published layout znode for the life of the node,
+// adopting every newer version; incomplete adoptions (transient storage
+// failures) are retried on a timer rather than waiting for the next
+// publication, which may never come.
+func (n *Node) layoutLoop() {
+	sess := n.coordSess
+	for !n.stopped() {
+		watch, err := sess.Watch(LayoutPath)
+		if err != nil {
+			return // session gone; node is shutting down
+		}
+		complete := true
+		if l, err := FetchLayout(sess); err == nil {
+			complete = n.adoptLayout(l)
+		}
+		if complete {
+			select {
+			case <-watch:
+			case <-n.stopCh:
+				return
+			}
+			continue
+		}
+		select {
+		case <-watch:
+		case <-time.After(10 * n.cfg.RetryInterval):
+		case <-n.stopCh:
+			return
+		}
+	}
 }
 
 // Start runs local recovery (one shared scan of the log feeding all
@@ -313,6 +530,9 @@ func (n *Node) Start() error {
 	n.goLoop(n.flushLoop)
 	n.goLoop(n.heartbeatLoop)
 	n.goLoop(n.catchupWorker)
+	// layoutLoop immediately adopts the published layout if it is newer
+	// than the bootstrap one, then follows every subsequent version.
+	n.goLoop(n.layoutLoop)
 	return nil
 }
 
@@ -327,16 +547,23 @@ func (n *Node) goLoop(fn func()) {
 // handle dispatches inbound messages. It runs on per-sender link
 // goroutines, so messages from one peer are processed in order.
 func (n *Node) handle(m transport.Message) {
-	r, ok := n.replicas[m.Cohort]
-	if !ok {
+	r := n.getReplica(m.Cohort)
+	if r == nil {
+		// Client operations for a range this node does not serve are a
+		// routing miss: under live reconfiguration the client's layout
+		// may be stale (the range moved away, or was retired by a
+		// split), so tell it to refresh rather than to give up.
+		detail := fmt.Sprintf("node does not serve range %d (layout v%d)", m.Cohort, n.layoutVersion())
 		switch m.Kind {
 		case MsgGet:
-			n.reply(m, transport.Message{Payload: encodeGetResp(getResp{Status: StatusBadRequest})})
+			n.reply(m, transport.Message{Payload: encodeGetResp(getResp{Status: StatusWrongLayout})})
 		case MsgGetRow:
-			n.reply(m, transport.Message{Payload: encodeRowResp(rowResp{Status: StatusBadRequest})})
+			n.reply(m, transport.Message{Payload: encodeRowResp(rowResp{Status: StatusWrongLayout})})
 		case MsgWrite:
 			n.reply(m, transport.Message{Payload: encodeWriteResult(writeResult{
-				Status: StatusBadRequest, Detail: "node does not serve this range"})})
+				Status: StatusWrongLayout, Detail: detail})})
+		case MsgCatchupReq:
+			n.reply(m, transport.Message{Payload: encodeCatchupResp(catchupResp{Status: StatusNotLeader})})
 		}
 		return
 	}
@@ -401,7 +628,7 @@ func (n *Node) commitTimer() {
 		case <-n.stopCh:
 			return
 		case <-t.C:
-			for _, r := range n.replicas {
+			for _, r := range n.replicaList() {
 				r.sendCommitMessages()
 			}
 		}
@@ -419,13 +646,14 @@ func (n *Node) flushLoop() {
 		case <-n.stopCh:
 			return
 		case <-t.C:
-			captured := make(map[uint32]wal.LSN, len(n.replicas))
-			for rangeID, r := range n.replicas {
+			replicas := n.replicaList()
+			captured := make(map[uint32]wal.LSN, len(replicas))
+			for _, r := range replicas {
 				if _, err := r.engine.MaybeFlush(); err != nil {
 					continue
 				}
 				cp := r.engine.Checkpoint()
-				captured[rangeID] = cp
+				captured[r.rangeID] = cp
 				r.mu.Lock()
 				r.skipped.GC(cp)
 				r.mu.Unlock()
@@ -553,17 +781,34 @@ func (n *Node) ID() string { return n.cfg.ID }
 
 // Ranges returns the ids of the ranges this node replicates.
 func (n *Node) Ranges() []uint32 {
-	out := make([]uint32, 0, len(n.replicas))
-	for r := range n.replicas {
-		out = append(out, r)
+	replicas := n.replicaList()
+	out := make([]uint32, 0, len(replicas))
+	for _, r := range replicas {
+		out = append(out, r.rangeID)
 	}
 	return out
 }
 
+// LayoutVersion returns the version of the cluster layout the node runs.
+func (n *Node) LayoutVersion() uint64 { return n.layoutVersion() }
+
+// StepDown asks this node to relinquish leadership of rangeID (leadership
+// transfer during rebalancing): the replica closes for writes, releases the
+// leader znode, and abstains from the next election round so another cohort
+// member — preferentially the layout's home node, via the election
+// tie-break — can take over. It reports whether the node was the leader.
+func (n *Node) StepDown(rangeID uint32) bool {
+	r := n.getReplica(rangeID)
+	if r == nil {
+		return false
+	}
+	return r.stepDown()
+}
+
 // ReplicaStats reports a replica's protocol state (tests and tooling).
 func (n *Node) ReplicaStats(rangeID uint32) (ReplicaStats, bool) {
-	r, ok := n.replicas[rangeID]
-	if !ok {
+	r := n.getReplica(rangeID)
+	if r == nil {
 		return ReplicaStats{}, false
 	}
 	return r.stats(), true

@@ -3,6 +3,16 @@
 // storage engines, the coordination service, and the messaging layer into
 // the Paxos-derived replication protocol of §5, the recovery procedures of
 // §6, and the leader election protocol of §7.
+//
+// Two ways this implementation goes beyond the paper's figures as drawn:
+// the default write path is a batched, pipelined proposal stream (leaders
+// coalesce concurrently sequenced writes into one MsgProposeBatch per peer
+// and followers reply with one cumulative acked-through LSN; the literal
+// one-propose-one-ack-per-write protocol of Figure 4 survives as the
+// DisableProposalBatching ablation), and cluster membership is live: nodes
+// follow the versioned layout published through the coordination service,
+// creating, retiring, and re-membering cohort replicas as ranges split and
+// move (elastic scale-out, §4's placement made dynamic).
 package core
 
 import (
@@ -53,6 +63,12 @@ const (
 	// no effect — a blind retry after StatusAmbiguous can execute the
 	// write twice.
 	StatusAmbiguous
+	// StatusWrongLayout reports that the contacted node does not serve
+	// the requested key under the current cluster layout: the client
+	// routed with a stale layout version (a range was split or moved).
+	// The operation took no effect; the client should refresh the layout
+	// from the coordination service and re-route.
+	StatusWrongLayout
 )
 
 // StatusError converts a non-OK status into an error.
@@ -70,6 +86,8 @@ func StatusError(status uint8, detail string) error {
 		return fmt.Errorf("%w: %s", ErrUnavailable, detail)
 	case StatusAmbiguous:
 		return fmt.Errorf("%w: %s", ErrAmbiguous, detail)
+	case StatusWrongLayout:
+		return fmt.Errorf("%w: %s", ErrWrongLayout, detail)
 	default:
 		return fmt.Errorf("core: %s", detail)
 	}
@@ -93,6 +111,10 @@ var (
 	// not take effect. Returned by strict-write clients instead of
 	// retrying (a retry could apply the write twice).
 	ErrAmbiguous = fmt.Errorf("core: write outcome ambiguous")
+	// ErrWrongLayout reports routing with a stale cluster layout; the
+	// client refreshes the layout and retries, so it only surfaces when
+	// the refreshed layout still cannot route the operation.
+	ErrWrongLayout = fmt.Errorf("core: stale cluster layout")
 )
 
 // ColWrite is one column mutation within a WriteOp.
@@ -355,13 +377,35 @@ func decodeLSNs(b []byte) ([]wal.LSN, int, error) {
 // committed LSN plus the LSNs of its ambiguous log suffix (f.cmt, f.lst],
 // which the leader intersects with its own log so the follower can
 // logically truncate the rest (§6.1.1).
+//
+// The split-pull variant (SplitPull set) is sent by a replica of a freshly
+// split range to the leader of the range it was split from: the origin
+// leader replies with its committed state restricted to [FilterLow,
+// FilterHigh) — the moved sub-range — once it has adopted the shrunk
+// bounds and drained its in-flight writes to those rows.
 type catchupReq struct {
-	Cmt       wal.LSN
-	Ambiguous []wal.LSN
+	Cmt        wal.LSN
+	Ambiguous  []wal.LSN
+	SplitPull  bool
+	FilterLow  string
+	FilterHigh string
 }
 
 func encodeCatchupReq(r catchupReq) []byte {
-	return append(encodeLSN(r.Cmt), encodeLSNs(r.Ambiguous)...)
+	buf := append(encodeLSN(r.Cmt), encodeLSNs(r.Ambiguous)...)
+	if r.SplitPull {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	var s [2]byte
+	binary.LittleEndian.PutUint16(s[:], uint16(len(r.FilterLow)))
+	buf = append(buf, s[:]...)
+	buf = append(buf, r.FilterLow...)
+	binary.LittleEndian.PutUint16(s[:], uint16(len(r.FilterHigh)))
+	buf = append(buf, s[:]...)
+	buf = append(buf, r.FilterHigh...)
+	return buf
 }
 
 func decodeCatchupReq(b []byte) (catchupReq, error) {
@@ -370,8 +414,37 @@ func decodeCatchupReq(b []byte) (catchupReq, error) {
 	if r.Cmt, err = decodeLSN(b); err != nil {
 		return r, err
 	}
-	r.Ambiguous, _, err = decodeLSNs(b[8:])
-	return r, err
+	lsns, n, err := decodeLSNs(b[8:])
+	if err != nil {
+		return r, err
+	}
+	r.Ambiguous = lsns
+	off := 8 + n
+	if len(b)-off < 1+2 {
+		return r, fmt.Errorf("core: catchup req flags truncated")
+	}
+	r.SplitPull = b[off] == 1
+	off++
+	ll := int(binary.LittleEndian.Uint16(b[off:]))
+	off += 2
+	if len(b)-off < ll+2 {
+		return r, fmt.Errorf("core: catchup req filter truncated")
+	}
+	r.FilterLow = string(b[off : off+ll])
+	off += ll
+	hl := int(binary.LittleEndian.Uint16(b[off:]))
+	off += 2
+	if len(b)-off < hl {
+		return r, fmt.Errorf("core: catchup req filter truncated")
+	}
+	r.FilterHigh = string(b[off : off+hl])
+	return r, nil
+}
+
+// keyInRange reports whether row falls in [low, high); high == "" means the
+// top of the key space.
+func keyInRange(row, low, high string) bool {
+	return row >= low && (high == "" || row < high)
 }
 
 // catchupResp carries the committed state the follower is missing. Entries

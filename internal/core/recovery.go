@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"spinnaker/internal/kv"
 	"spinnaker/internal/transport"
 	"spinnaker/internal/wal"
 )
@@ -46,6 +47,13 @@ func (r *replica) localRecover(recs []wal.Record) error {
 			if rec.LSN > cmt {
 				cmt = rec.LSN
 			}
+		case wal.RecResetCohort:
+			// The node re-joined this cohort after a membership
+			// departure: everything logged before this point belongs
+			// to the stale pre-departure era (the engine was wiped
+			// when the marker was written) and must not be replayed.
+			writes = make(map[wal.LSN]WriteOp)
+			cmt, lst = 0, 0
 		}
 	}
 	if cmt > lst {
@@ -86,6 +94,12 @@ func (r *replica) localRecover(recs []wal.Record) error {
 	}
 	r.nextSeq = lst.Seq() + 1
 	r.role = RoleRecovering
+	if r.hasOrigin && lst.IsZero() && cmt.IsZero() {
+		// A split-created range with no durable state yet (a restart
+		// before the first pull completed): the range's data lives with
+		// the origin cohort, so gate elections until a pull succeeds.
+		r.mustPull = true
+	}
 	r.mu.Unlock()
 	return nil
 }
@@ -202,8 +216,95 @@ func (r *replica) absorbCatchup(cr catchupResp, ambiguous []wal.LSN) error {
 		r.epoch = e
 	}
 	r.nextSeq = r.lastLSN.Seq() + 1
+	// Every absorb source (range leader, takeover, split pull) delivers
+	// the complete committed state through the leader's cmt, so a
+	// split-created replica now holds its range's data and may stand for
+	// election.
+	r.mustPull = false
 	r.mu.Unlock()
 	return nil
+}
+
+// splitPull seeds a fresh replica of a split-created range. If the range
+// already has a leader, ordinary catch-up against it delivers everything.
+// Otherwise the state still lives with the origin range's cohort: pull the
+// origin leader's committed rows in our bounds (served only once the origin
+// has adopted the shrunk bounds and drained in-flight writes to those rows,
+// so the pull is complete by construction).
+func (r *replica) splitPull() error {
+	if leader := r.n.readLeader(r.rangeID); leader != "" && leader != r.n.cfg.ID {
+		if err := r.catchUp(leader); err == nil {
+			return nil
+		}
+	}
+	r.mu.Lock()
+	low, high := r.low, r.high
+	r.mu.Unlock()
+	if !r.hasOrigin {
+		return fmt.Errorf("core: range %d has no origin to pull from", r.rangeID)
+	}
+	leader := r.n.readLeader(r.origin)
+	if leader == "" {
+		return fmt.Errorf("core: origin range %d has no leader", r.origin)
+	}
+	var cr catchupResp
+	if leader == r.n.cfg.ID {
+		// This node leads the origin range; serve the pull locally.
+		or := r.n.getReplica(r.origin)
+		if or == nil {
+			return fmt.Errorf("core: origin range %d not served here", r.origin)
+		}
+		var ok bool
+		cr, ok = or.serveSplitPull(low, high)
+		if !ok {
+			return fmt.Errorf("core: origin range %d not ready for split pull", r.origin)
+		}
+	} else {
+		resp, err := r.n.call(leader, transport.Message{
+			Kind: MsgCatchupReq, Cohort: r.origin,
+			Payload: encodeCatchupReq(catchupReq{SplitPull: true, FilterLow: low, FilterHigh: high}),
+		})
+		if err != nil {
+			return fmt.Errorf("core: split pull call: %w", err)
+		}
+		if cr, err = decodeCatchupResp(resp.Payload); err != nil {
+			return err
+		}
+		if cr.Status != StatusOK {
+			return fmt.Errorf("core: split pull refused: status %d", cr.Status)
+		}
+	}
+	return r.absorbCatchup(cr, nil)
+}
+
+// serveSplitPull is the origin leader's side of a split pull: once we have
+// adopted the shrunk bounds (so no new writes enter [low, high)) and every
+// in-flight write to those rows has resolved, our engine holds the moved
+// sub-range's complete committed state.
+func (r *replica) serveSplitPull(low, high string) (catchupResp, bool) {
+	r.mu.Lock()
+	if r.role != RoleLeader || !(r.high != "" && r.high <= low) {
+		r.mu.Unlock()
+		return catchupResp{}, false // not leading, or the shrink has not reached us
+	}
+	if r.queue.hasPendingRowIn(low, high) {
+		r.mu.Unlock()
+		return catchupResp{}, false // drain in-flight writes first
+	}
+	cmt := r.lastCommitted
+	r.mu.Unlock()
+
+	// Scan outside r.mu: the full-engine walk is slow on a hot range and
+	// would stall the whole write path. The filtered result is stable
+	// without the lock — after the shrink + drain above, no write to
+	// [low, high) can enter this engine again.
+	var entries []kv.Entry
+	for _, e := range r.engine.EntriesSince(0) {
+		if keyInRange(e.Key.Row, low, high) {
+			entries = append(entries, e)
+		}
+	}
+	return catchupResp{Status: StatusOK, Cmt: cmt, Entries: entries}, true
 }
 
 // onCatchupReq is the leader's side of catch-up (§6.1): send every
@@ -219,6 +320,23 @@ func (r *replica) absorbCatchup(cr catchupResp, ambiguous []wal.LSN) error {
 func (r *replica) onCatchupReq(m transport.Message) {
 	req, err := decodeCatchupReq(m.Payload)
 	if err != nil {
+		return
+	}
+	if req.SplitPull {
+		resp, ok := r.serveSplitPull(req.FilterLow, req.FilterHigh)
+		if !ok {
+			r.mu.Lock()
+			isLeader := r.role == RoleLeader
+			r.mu.Unlock()
+			status := StatusUnavailable // not shrunk or not drained yet; retry
+			if !isLeader {
+				status = StatusNotLeader
+			}
+			r.n.reply(m, transport.Message{Cohort: r.rangeID,
+				Payload: encodeCatchupResp(catchupResp{Status: status})})
+			return
+		}
+		r.n.reply(m, transport.Message{Cohort: r.rangeID, Payload: encodeCatchupResp(resp)})
 		return
 	}
 	r.mu.Lock()
@@ -293,6 +411,7 @@ func (r *replica) onTakeover(m transport.Message) {
 	r.mu.Lock()
 	cmt := r.lastCommitted
 	r.mu.Unlock()
+	r.n.markCurrent(r.rangeID)
 	r.n.reply(m, transport.Message{Cohort: r.rangeID, Payload: encodeLSN(cmt)})
 }
 
@@ -302,6 +421,14 @@ func (r *replica) demoteLocked(newLeader string) {
 	r.role = RoleFollower
 	r.open = false
 	r.leaderID = newLeader
+	// Wake the election loop: it may be blocked watching our own leader
+	// znode (which will never change by itself). On waking it finds the
+	// znode held-but-not-led and deletes it so a real election can run;
+	// without the nudge the whole cohort waits on the orphan forever.
+	select {
+	case r.electionNudge <- struct{}{}:
+	default:
+	}
 	// Drop any proposals still waiting in the batcher: the new leader
 	// owns the replication stream now (followers would reject them as
 	// stale-epoch anyway).
@@ -322,15 +449,36 @@ func (r *replica) demoteLocked(newLeader string) {
 // restart with an existing leader).
 func (r *replica) runCatchupLoop() {
 	for attempt := 0; ; attempt++ {
-		if r.n.stopped() {
+		if r.exiting() {
 			return
 		}
 		r.mu.Lock()
 		leader := r.leaderID
 		role := r.role
+		mustPull := r.mustPull
 		r.mu.Unlock()
 		if role == RoleLeader {
 			return
+		}
+		if mustPull {
+			// Split-created and still empty: seed from the origin
+			// cohort (or the range's own leader once one exists). The
+			// election gate re-nudges this loop until a pull succeeds,
+			// so bounded attempts here never strand the replica.
+			if err := r.splitPull(); err == nil {
+				r.mu.Lock()
+				if r.role == RoleRecovering {
+					r.role = RoleFollower
+				}
+				r.mu.Unlock()
+				r.n.markCurrent(r.rangeID)
+				return
+			}
+			if attempt > 10 {
+				return
+			}
+			time.Sleep(r.n.cfg.RetryInterval)
+			continue
 		}
 		if leader == "" || leader == r.n.cfg.ID {
 			leader = r.n.readLeader(r.rangeID)
@@ -348,6 +496,7 @@ func (r *replica) runCatchupLoop() {
 				r.role = RoleFollower
 			}
 			r.mu.Unlock()
+			r.n.markCurrent(r.rangeID)
 			return
 		}
 		if errors.Is(err, ErrNotLeader) {

@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
+	"spinnaker/internal/cluster"
 	"spinnaker/internal/kv"
 	"spinnaker/internal/storage"
 	"spinnaker/internal/transport"
@@ -42,13 +44,33 @@ func (r Role) String() string {
 
 // replica is one node's participation in one cohort (key range). A node in
 // a 3-way replicated cluster runs 3 replicas over a shared log (§4.1).
+// Under live reconfiguration the cohort membership, bounds, and quorum are
+// no longer fixed: applyLayout updates them in place when a newer layout is
+// adopted, and retire ends the replica when this node leaves the cohort.
 type replica struct {
 	n       *Node
 	rangeID uint32
-	peers   []string // the other cohort members
-	quorum  int      // majority of the cohort, counting ourselves
 
-	mu            sync.Mutex
+	// origin is the range this one was split from (layout metadata): a
+	// fresh replica of a split-created range must pull its initial state
+	// from the origin range's leader before standing for election.
+	origin    uint32
+	hasOrigin bool
+
+	// stopCh ends this replica's loops when it retires (the node-level
+	// stopCh still covers shutdown).
+	stopCh chan struct{}
+
+	mu       sync.Mutex
+	peers    []string // the other cohort members (layout-managed)
+	quorum   int      // majority of the cohort, counting ourselves
+	low      string   // serving bounds: [low, high), high=="" means top
+	high     string
+	home     string // the layout's preferred leader (election tie-break)
+	mustPull bool   // split-created and not yet seeded from the origin
+	abstain  bool   // sit out the next election round (leadership transfer)
+	retired  bool
+
 	role          Role
 	open          bool // leader only: cohort open for writes (Fig 6 line 10)
 	epoch         uint32
@@ -84,6 +106,141 @@ type replica struct {
 // (on unless the DisableProposalBatching ablation is set).
 func (r *replica) batched() bool { return !r.n.cfg.DisableProposalBatching }
 
+// membership snapshots the cohort membership (peers and quorum) under lock;
+// both change when a newer layout is adopted mid-flight.
+func (r *replica) membership() (peers []string, quorum int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.peers...), r.quorum
+}
+
+// inBoundsLocked reports whether this replica currently serves row; callers
+// hold r.mu. Bounds shrink when the range splits: rows that moved to the
+// new range are refused with StatusWrongLayout so clients re-route.
+func (r *replica) inBoundsLocked(row string) bool {
+	return keyInRange(row, r.low, r.high)
+}
+
+// applyLayout updates the replica's bounds and cohort membership to a newer
+// layout. On the leader, acks from members that left the cohort stop
+// counting toward quorum immediately (tryCommit filters by current peers),
+// and the next retransmission sweep re-proposes pending writes to the new
+// membership.
+func (r *replica) applyLayout(l *cluster.Layout) {
+	low, high := l.Bounds(r.rangeID)
+	var peers []string
+	for _, member := range l.Cohort(r.rangeID) {
+		if member != r.n.cfg.ID {
+			peers = append(peers, member)
+		}
+	}
+	r.mu.Lock()
+	r.low, r.high = low, high
+	r.peers = peers
+	r.quorum = l.Quorum(r.rangeID)
+	r.home = l.HomeNode(r.rangeID)
+	isLeader := r.role == RoleLeader
+	r.mu.Unlock()
+	if isLeader {
+		// Quorum or membership may have changed; re-evaluate pending
+		// writes under the new rules.
+		r.tryCommit()
+	}
+}
+
+// retire ends this node's participation in the cohort: the node is no
+// longer a member under the current layout. Loops stop, a held leadership
+// is released (triggering an election among the remaining members), our
+// election and catch-up markers are withdrawn, and waiting clients are
+// failed with an ambiguous outcome (their writes may still commit through
+// the surviving members, which hold them in their durable logs).
+func (r *replica) retire() {
+	r.mu.Lock()
+	if r.retired {
+		r.mu.Unlock()
+		return
+	}
+	r.retired = true
+	r.role = RoleFollower
+	r.open = false
+	r.leaderID = ""
+	r.batchBuf = nil
+	r.batchEnd = 0
+	for _, lsn := range r.queue.snapshotOrder() {
+		if p, ok := r.queue.get(lsn); ok {
+			p.finish(writeOutcome{status: StatusAmbiguous, detail: "cohort membership changed mid-replication"})
+		}
+	}
+	r.mu.Unlock()
+	close(r.stopCh)
+
+	// Durably record the departure: local state for this range is stale
+	// from this point on, and a future re-join — even one interrupted by
+	// a crash before the live adoption path runs — must discard it (see
+	// Node.resetRejoinState).
+	_ = r.n.meta.Put(departedKey(r.rangeID), []byte{1})
+
+	sess := r.n.coordSess
+	// Release the leader znode whenever it carries our id — not only when
+	// we still believe we lead. A mid-takeover demotion can leave us
+	// holding the znode with a follower role; once this replica is gone,
+	// nobody else can clean it up, and the remaining members would wait
+	// on it forever. Version-guarded so a claim created between the read
+	// and the delete is never the one removed.
+	if data, ver, err := sess.GetVersion(leaderPath(r.rangeID)); err == nil && string(data) == r.n.cfg.ID {
+		_ = sess.DeleteVersion(leaderPath(r.rangeID), ver)
+	}
+	if kids, err := sess.Children(candidatesPath(r.rangeID)); err == nil {
+		for _, kid := range kids {
+			if strings.HasPrefix(kid.Name, "c:"+r.n.cfg.ID+":") {
+				_ = sess.Delete(candidatesPath(r.rangeID) + "/" + kid.Name)
+			}
+		}
+	}
+	r.n.dropCurrent(r.rangeID)
+}
+
+// stepDown relinquishes leadership for a leadership transfer; see
+// Node.StepDown.
+func (r *replica) stepDown() bool {
+	r.mu.Lock()
+	if r.role != RoleLeader {
+		r.mu.Unlock()
+		return false
+	}
+	r.abstain = true
+	r.demoteLocked("")
+	r.mu.Unlock()
+	// Guarded release, exactly as in retire and the election loop's
+	// orphan cleanup: the demote nudge may already have woken the
+	// election loop, which can delete the znode and let a rival claim
+	// leadership before this line runs — an unguarded delete here would
+	// remove the rival's claim and open a dual-leader window.
+	sess := r.n.coordSess
+	if data, ver, err := sess.GetVersion(leaderPath(r.rangeID)); err == nil && string(data) == r.n.cfg.ID {
+		_ = sess.DeleteVersion(leaderPath(r.rangeID), ver)
+	}
+	select {
+	case r.electionNudge <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// exiting reports whether the replica's loops should stop (node shutdown or
+// replica retirement).
+func (r *replica) exiting() bool {
+	if r.n.stopped() {
+		return true
+	}
+	select {
+	case <-r.stopCh:
+		return true
+	default:
+		return false
+	}
+}
+
 func (r *replica) loggerPrefix() string {
 	return fmt.Sprintf("%s/r%d", r.n.cfg.ID, r.rangeID)
 }
@@ -106,6 +263,11 @@ func (r *replica) snapshotState() (role Role, cmt, lst wal.LSN, leader string) {
 // uses submitWriteAsync instead.
 func (r *replica) submitWrite(op WriteOp) writeOutcome {
 	r.mu.Lock()
+	if !r.inBoundsLocked(op.Row) {
+		r.mu.Unlock()
+		return writeOutcome{status: StatusWrongLayout,
+			detail: fmt.Sprintf("row outside range %d under layout v%d", r.rangeID, r.n.layoutVersion())}
+	}
 	if r.role != RoleLeader || !r.open {
 		leader := r.leaderID
 		r.mu.Unlock()
@@ -167,8 +329,9 @@ func (r *replica) submitWrite(op WriteOp) writeOutcome {
 	// sequence gaps.
 	payload := encodePropose(proposePayload{LSN: lsn, CommittedThrough: committedThrough, Op: op})
 	r.queue.touchPropose(lsn)
+	peers := append([]string(nil), r.peers...)
 	propose := func() {
-		for _, peer := range r.peers {
+		for _, peer := range peers {
 			r.n.send(peer, transport.Message{Kind: MsgPropose, Cohort: r.rangeID, Payload: payload})
 		}
 	}
@@ -208,6 +371,12 @@ func (r *replica) submitWrite(op WriteOp) writeOutcome {
 // enforced by the commit timer's sweep of staleResponders.
 func (r *replica) submitWriteAsync(op WriteOp, respond func(writeOutcome)) {
 	r.mu.Lock()
+	if !r.inBoundsLocked(op.Row) {
+		r.mu.Unlock()
+		respond(writeOutcome{status: StatusWrongLayout,
+			detail: fmt.Sprintf("row outside range %d under layout v%d", r.rangeID, r.n.layoutVersion())})
+		return
+	}
 	if r.role != RoleLeader || !r.open {
 		leader := r.leaderID
 		r.mu.Unlock()
@@ -381,12 +550,13 @@ func (r *replica) drainProposals() {
 		if r.n.cfg.PiggybackCommits {
 			committedThrough = r.lastCommitted
 		}
+		peers := append([]string(nil), r.peers...)
 		r.mu.Unlock()
 		payload := encodeProposeBatch(proposeBatchPayload{
 			CommittedThrough: committedThrough, Recs: recs,
 		})
 		send := func() {
-			for _, peer := range r.peers {
+			for _, peer := range peers {
 				r.n.send(peer, transport.Message{
 					Kind: MsgProposeBatch, Cohort: r.rangeID, Payload: payload,
 				})
@@ -427,7 +597,7 @@ func (r *replica) drainProposals() {
 // observe a write in neither place.
 func (r *replica) tryCommit() {
 	r.mu.Lock()
-	committed := r.queue.popCommittable(r.quorum)
+	committed := r.queue.popCommittable(r.quorum, r.peers)
 	if len(committed) == 0 {
 		r.mu.Unlock()
 		return
@@ -514,6 +684,15 @@ func (r *replica) onPropose(m transport.Message) {
 			// the batched path does): catch-up recovers the committed
 			// prefix, and the leader's retransmission sweep re-proposes
 			// the pending tail in LSN order, refilling the hole.
+			r.gapped = true
+			r.mu.Unlock()
+			r.n.nudgeCatchup(r)
+			return
+		}
+		if !r.inBoundsLocked(p.Op.Row) {
+			// Out-of-bounds proposal from a leader that has not
+			// adopted a range split; refuse the ack (see the batched
+			// path for the split-brain this prevents).
 			r.gapped = true
 			r.mu.Unlock()
 			r.n.nudgeCatchup(r)
@@ -611,6 +790,16 @@ func (r *replica) onProposeBatch(m transport.Message) {
 		// follower that accepted a mid-stream batch would cumulatively
 		// ack a prefix it never received.
 		if rec.LSN.Seq() > r.lastLSN.Seq()+1 {
+			gap = true
+			break
+		}
+		// A proposal for a row outside our bounds comes from a leader
+		// that has not adopted a range split yet. Refusing to append
+		// (and so to ack) means a stale-layout leader can never gather
+		// a quorum that includes split-adopted members — which is what
+		// keeps it from committing writes to rows the split-off range's
+		// new leader is already serving.
+		if !r.inBoundsLocked(rec.Op.Row) {
 			gap = true
 			break
 		}
@@ -764,10 +953,11 @@ func (r *replica) sendCommitMessages() {
 		return
 	}
 	lsn := r.lastCommitted
+	peers := append([]string(nil), r.peers...)
 	r.mu.Unlock()
 	if !lsn.IsZero() {
 		payload := encodeLSN(lsn)
-		for _, peer := range r.peers {
+		for _, peer := range peers {
 			r.n.send(peer, transport.Message{Kind: MsgCommit, Cohort: r.rangeID, Payload: payload})
 		}
 		_, _ = r.n.log.Append(wal.Record{Cohort: r.rangeID, Type: wal.RecLastCommitted, LSN: lsn})
@@ -790,16 +980,17 @@ func (r *replica) sendCommitMessages() {
 // followers either hold them already (deduped by LSN) or hit them as the
 // contiguous continuation of their log.
 func (r *replica) reproposeRecs(recs []proposeRec) {
+	peers, _ := r.membership()
 	if r.batched() {
 		payload := encodeProposeBatch(proposeBatchPayload{Recs: recs})
-		for _, peer := range r.peers {
+		for _, peer := range peers {
 			r.n.send(peer, transport.Message{Kind: MsgProposeBatch, Cohort: r.rangeID, Payload: payload})
 		}
 		return
 	}
 	for _, rec := range recs {
 		payload := encodePropose(proposePayload{LSN: rec.LSN, Op: rec.Op})
-		for _, peer := range r.peers {
+		for _, peer := range peers {
 			r.n.send(peer, transport.Message{Kind: MsgPropose, Cohort: r.rangeID, Payload: payload})
 		}
 	}
@@ -815,18 +1006,32 @@ func (r *replica) reproposeRecs(recs []proposeRec) {
 // reads are served by any replica and may be stale by up to one commit
 // period.
 func (r *replica) get(req getReq) getResp {
+	r.mu.Lock()
+	inBounds := r.inBoundsLocked(req.Row)
+	isLeader := r.role == RoleLeader
+	recovering := r.role == RoleRecovering || r.mustPull
+	open := r.open
+	leader := r.leaderID
+	r.mu.Unlock()
+	if !inBounds {
+		// The row moved to another range (split/rebalance); even a
+		// timeline read must not serve it from our engine, where it may
+		// linger arbitrarily stale.
+		return getResp{Status: StatusWrongLayout}
+	}
 	if req.Consistent {
-		r.mu.Lock()
-		isLeader := r.role == RoleLeader
-		open := r.open
-		leader := r.leaderID
-		r.mu.Unlock()
 		if !isLeader {
 			return getResp{Status: StatusNotLeader, Value: []byte(leader)}
 		}
 		if !open {
 			return getResp{Status: StatusUnavailable}
 		}
+	} else if recovering {
+		// A joining member that has not finished catch-up holds an
+		// empty (or partial) engine: serving a timeline read here would
+		// answer "not found" for long-committed rows — worse than
+		// stale. Let the client retry another cohort member.
+		return getResp{Status: StatusUnavailable}
 	}
 	r.n.readGate()
 	cell, ok := r.engine.Get(kv.Key{Row: req.Row, Col: req.Col})
@@ -838,17 +1043,25 @@ func (r *replica) get(req getReq) getResp {
 
 // getRow serves a whole-row read with the same consistency rules.
 func (r *replica) getRow(req getReq) rowResp {
+	r.mu.Lock()
+	inBounds := r.inBoundsLocked(req.Row)
+	isLeader := r.role == RoleLeader
+	recovering := r.role == RoleRecovering || r.mustPull
+	open := r.open
+	r.mu.Unlock()
+	if !inBounds {
+		return rowResp{Status: StatusWrongLayout}
+	}
 	if req.Consistent {
-		r.mu.Lock()
-		isLeader := r.role == RoleLeader
-		open := r.open
-		r.mu.Unlock()
 		if !isLeader {
 			return rowResp{Status: StatusNotLeader}
 		}
 		if !open {
 			return rowResp{Status: StatusUnavailable}
 		}
+	} else if recovering {
+		// See get: a mid-catch-up engine must not answer timeline reads.
+		return rowResp{Status: StatusUnavailable}
 	}
 	entries := r.engine.GetRow(req.Row)
 	if len(entries) == 0 {
@@ -876,6 +1089,9 @@ type ReplicaStats struct {
 	Pending       int
 	Leader        string
 	Open          bool
+	Quorum        int
+	Peers         []string
+	Low, High     string
 }
 
 func (r *replica) stats() ReplicaStats {
@@ -890,6 +1106,10 @@ func (r *replica) stats() ReplicaStats {
 		Pending:       r.queue.len(),
 		Leader:        r.leaderID,
 		Open:          r.open,
+		Quorum:        r.quorum,
+		Peers:         append([]string(nil), r.peers...),
+		Low:           r.low,
+		High:          r.high,
 	}
 }
 

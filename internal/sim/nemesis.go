@@ -79,6 +79,14 @@ type ScenarioOptions struct {
 	LinkFaults transport.LinkFaults
 	// CheckTimeout bounds the linearizability search (default 60s).
 	CheckTimeout time.Duration
+	// Rebalance runs live reconfiguration concurrently with the fault
+	// schedule: a new node is added partway into the run and the cluster
+	// rebalances onto it (splits, cohort moves, leadership transfers)
+	// while the workload executes and faults fire. With Rebalance set
+	// the decision *draw* stream stays seed-deterministic, but resolved
+	// fault targets can differ between runs (the range set changes with
+	// reconfiguration timing).
+	Rebalance bool
 }
 
 func (o *ScenarioOptions) fillDefaults() {
@@ -186,13 +194,49 @@ func RunScenario(opts ScenarioOptions) (*ScenarioResult, error) {
 		rng:     rand.New(rand.NewSource(opts.Seed)),
 		crashed: make(map[string]bool),
 	}
+
+	// Live reconfiguration under the fault schedule: add a node partway
+	// in, then rebalance the grown ring while faults keep firing. The
+	// executor retries through fault windows; the generous deadline lets
+	// it converge after the final heal.
+	var rebalErr error
+	rebalDone := make(chan struct{})
+	if opts.Rebalance {
+		go func() {
+			defer close(rebalDone)
+			time.Sleep(opts.Duration / 5)
+			id, err := sc.AddNode("")
+			if err != nil {
+				rebalErr = err
+				return
+			}
+			rec.Note("nemesis: add node %s", id)
+			if err := sc.Rebalance(opts.Duration + 60*time.Second); err != nil {
+				rebalErr = err
+				return
+			}
+			rec.Note("nemesis: rebalanced onto %s (%d ranges)", id, sc.CurrentLayout().NumRanges())
+		}()
+	} else {
+		close(rebalDone)
+	}
+
+	// bail tears the run down on an infrastructure error: the workload
+	// stops, and the rebalance goroutine — which still touches the
+	// cluster and the recorder — must finish before the caller's
+	// deferred Stop races it.
+	bail := func(err error) (*ScenarioResult, error) {
+		close(stop)
+		wg.Wait()
+		<-rebalDone
+		return nil, err
+	}
+
 	deadline := time.Now().Add(opts.Duration)
 	for time.Now().Before(deadline) {
 		fault := opts.Faults[nem.rng.Intn(len(opts.Faults))]
 		if err := nem.apply(fault); err != nil {
-			close(stop)
-			wg.Wait()
-			return nil, err
+			return bail(err)
 		}
 		nem.sleep(50, 200) // recovery gap between faults
 	}
@@ -202,11 +246,15 @@ func RunScenario(opts ScenarioOptions) (*ScenarioResult, error) {
 	rec.Note("nemesis: heal-all")
 	for id := range nem.crashed {
 		if err := sc.RestartNode(id); err != nil {
-			close(stop)
-			wg.Wait()
-			return nil, err
+			return bail(err)
 		}
 		rec.Note("nemesis: restart %s", id)
+	}
+	// An in-flight rebalance finishes against the healed cluster before
+	// the workload stops observing it.
+	<-rebalDone
+	if rebalErr != nil {
+		return bail(fmt.Errorf("sim: seed %d: rebalance under faults: %w", opts.Seed, rebalErr))
 	}
 	time.Sleep(500 * time.Millisecond)
 	close(stop)
@@ -268,9 +316,14 @@ func (n *nemesis) sleep(lo, hi int) {
 func (n *nemesis) apply(fault NemesisFault) error {
 	switch fault {
 	case FaultIsolateLeader:
-		r := uint32(n.rng.Intn(n.sc.Layout.NumRanges()))
+		// Draw raw so the decision stream is a pure function of the
+		// seed, then resolve against the current layout (under live
+		// reconfiguration the range set changes mid-run).
+		raw := n.rng.Intn(1 << 30)
 		hold := n.draw(150, 450)
-		n.decide("isolate-leader r%d hold=%v", r, hold)
+		ids := n.sc.CurrentLayout().RangeIDs()
+		r := ids[raw%len(ids)]
+		n.decide("isolate-leader draw=%d hold=%v", raw, hold)
 		leader := n.sc.LeaderOf(r)
 		if leader == "" {
 			return nil // mid-election; the decision was drawn, skip the action
@@ -281,12 +334,17 @@ func (n *nemesis) apply(fault NemesisFault) error {
 		n.sc.HealAll()
 		n.note("heal")
 	case FaultSplitMajority:
-		r := uint32(n.rng.Intn(n.sc.Layout.NumRanges()))
-		cohort := append([]string(nil), n.sc.Layout.Cohort(r)...)
-		n.rng.Shuffle(len(cohort), func(i, j int) { cohort[i], cohort[j] = cohort[j], cohort[i] })
+		raw := n.rng.Intn(1 << 30)
+		perm := n.rng.Intn(1 << 30)
 		hold := n.draw(150, 450)
-		minority, majority := cohort[:1], cohort[1:]
-		n.decide("split r%d minority=%s hold=%v", r, minority[0], hold)
+		l := n.sc.CurrentLayout()
+		ids := l.RangeIDs()
+		r := ids[raw%len(ids)]
+		cohort := append([]string(nil), l.Cohort(r)...)
+		minorityIdx := perm % len(cohort)
+		minority := []string{cohort[minorityIdx]}
+		majority := append(append([]string(nil), cohort[:minorityIdx]...), cohort[minorityIdx+1:]...)
+		n.decide("split draw=%d perm=%d hold=%v", raw, perm, hold)
 		n.note("split range %d: %v | %v for %v", r, minority, majority, hold)
 		n.sc.PartitionNodes(minority, majority)
 		time.Sleep(hold)

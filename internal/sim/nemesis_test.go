@@ -107,6 +107,21 @@ func TestNemesisComposedFullFaultSpace(t *testing.T) {
 	})
 }
 
+// TestNemesisRebalanceUnderFaults is the scale-out acceptance scenario:
+// live reconfiguration (node addition, range splits, cohort moves,
+// leadership transfers) runs concurrently with leader isolation and
+// crash-restart faults and a strict-write multi-writer workload, and the
+// whole history must stay per-key linearizable.
+func TestNemesisRebalanceUnderFaults(t *testing.T) {
+	runNemesis(t, ScenarioOptions{
+		Seed:      606,
+		Writers:   4,
+		Duration:  scenarioDuration(t),
+		Faults:    []NemesisFault{FaultIsolateLeader, FaultCrashRestart},
+		Rebalance: true,
+	})
+}
+
 // TestNemesisSeededScheduleReproducible pins the replay contract: the
 // same seed and options produce the same nemesis action schedule.
 func TestNemesisSeededScheduleReproducible(t *testing.T) {

@@ -1,0 +1,469 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"spinnaker/internal/cluster"
+	"spinnaker/internal/core"
+	"spinnaker/internal/transport"
+)
+
+// This file is the reconfiguration executor: the orchestration side of
+// elastic scale-out. Mutations go through the published layout (the
+// /cluster/layout znode): the executor derives a successor layout, publishes
+// it, and waits for the cluster to converge — nodes adopt the layout live
+// (creating, retiring, and re-membering replicas), joining members earn
+// catch-up markers, and split-created ranges elect leaders once seeded.
+// Membership changes one member at a time, so every old quorum intersects
+// every new quorum and no joint-consensus machinery is needed.
+
+// reconfigPoll paces the executor's convergence polling.
+const reconfigPoll = 5 * time.Millisecond
+
+// mutateLayout applies f to the current published layout and publishes the
+// result, retrying on publication races.
+func (sc *SpinnakerCluster) mutateLayout(f func(*cluster.Layout) (*cluster.Layout, error)) (*cluster.Layout, error) {
+	for i := 0; ; i++ {
+		next, err := f(sc.CurrentLayout())
+		if err != nil {
+			return nil, err
+		}
+		sess := sc.Coord.Connect()
+		err = core.PublishLayout(sess, next)
+		sess.Close()
+		if err == nil {
+			return next, nil
+		}
+		if !errors.Is(err, core.ErrLayoutConflict) || i > 16 {
+			return nil, err
+		}
+	}
+}
+
+// AddNode starts a new, empty node and adds it to the cluster ring. With
+// id == "" the next free node name is generated. The node serves no ranges
+// until Rebalance (or explicit MoveRange/SplitRange calls) assigns it some.
+func (sc *SpinnakerCluster) AddNode(id string) (string, error) {
+	sc.nodeMu.Lock()
+	if id == "" {
+		for i := 0; ; i++ {
+			candidate := fmt.Sprintf("node%03d", i)
+			if _, ok := sc.stores[candidate]; !ok {
+				id = candidate
+				break
+			}
+		}
+	} else if _, ok := sc.stores[id]; ok {
+		sc.nodeMu.Unlock()
+		return "", fmt.Errorf("sim: node %s already exists", id)
+	}
+	sc.stores[id] = core.NewMemStores(sc.opts.Device)
+	existing := make([]string, 0, len(sc.stores))
+	for name := range sc.stores {
+		if name != id {
+			existing = append(existing, name)
+		}
+	}
+	sc.nodeMu.Unlock()
+
+	// The background fault plane covers the new node's links too.
+	if sc.opts.LinkFaults != (transport.LinkFaults{}) {
+		for _, other := range existing {
+			sc.Net.SetLinkFaults(id, other, sc.opts.LinkFaults)
+			sc.Net.SetLinkFaults(other, id, sc.opts.LinkFaults)
+		}
+	}
+
+	if _, err := sc.mutateLayout(func(l *cluster.Layout) (*cluster.Layout, error) {
+		return l.WithNode(id)
+	}); err != nil {
+		return "", err
+	}
+	if err := sc.startNode(id); err != nil {
+		return "", err
+	}
+	return id, nil
+}
+
+// waitAdopted blocks until every listed member that is currently running
+// reports a layout version of at least version. Quorum intersection between
+// consecutive layouts only holds for members at most one version behind, so
+// a cohort mutation must not be published while a member of the previous
+// cohort still operates under an older view (a leader two versions behind
+// could commit under a quorum that no longer intersects the new one). A
+// member that is down is safe to skip: on restart it bootstraps from the
+// currently published layout, which is at least this version.
+func (sc *SpinnakerCluster) waitAdopted(version uint64, members []string, deadline time.Time) error {
+	for _, m := range members {
+		for {
+			n, ok := sc.Node(m)
+			if !ok {
+				break // down; restart bootstraps from >= version
+			}
+			if n.LayoutVersion() >= version {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("sim: node %s did not adopt layout v%d in time", m, version)
+			}
+			time.Sleep(reconfigPoll)
+		}
+	}
+	return nil
+}
+
+// waitCurrent blocks until node holds the catch-up marker for range r: it
+// has completed catch-up (or a split pull) within its current session, so
+// its log and engine hold the range's committed prefix.
+func (sc *SpinnakerCluster) waitCurrent(r uint32, node string, deadline time.Time) error {
+	sess := sc.Coord.Connect()
+	defer sess.Close()
+	for {
+		members, err := core.CurrentMembers(sess, r)
+		if err == nil {
+			for _, m := range members {
+				if m == node {
+					return nil
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("sim: node %s did not catch up on range %d in time", node, r)
+		}
+		time.Sleep(reconfigPoll)
+	}
+}
+
+// waitOpenLeader blocks until range r has an elected leader that is open
+// for writes.
+func (sc *SpinnakerCluster) waitOpenLeader(r uint32, deadline time.Time) error {
+	for {
+		if leader := sc.LeaderOf(r); leader != "" {
+			if n, ok := sc.Node(leader); ok {
+				if st, ok := n.ReplicaStats(r); ok && st.Role == core.RoleLeader && st.Open {
+					return nil
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("sim: range %d has no open leader in time", r)
+		}
+		time.Sleep(reconfigPoll)
+	}
+}
+
+// SplitRange splits range id at key: the published layout gains a new range
+// [key, high) with the same cohort, whose replicas seed themselves from the
+// origin leader (split pull) and elect a leader. Blocks until the new range
+// is open for writes; returns its id.
+func (sc *SpinnakerCluster) SplitRange(id uint32, key string, timeout time.Duration) (uint32, error) {
+	var newID uint32
+	if _, err := sc.mutateLayout(func(l *cluster.Layout) (*cluster.Layout, error) {
+		next, nid, err := l.WithSplit(id, key)
+		newID = nid
+		return next, err
+	}); err != nil {
+		return 0, err
+	}
+	deadline := time.Now().Add(timeout)
+	if err := sc.waitOpenLeader(newID, deadline); err != nil {
+		return newID, err
+	}
+	return newID, nil
+}
+
+// MoveRange moves range id's membership from node `from` to node `to` in
+// two published steps: expand the cohort with `to` (quorum grows by the
+// usual majority rule), wait until `to` has caught up via catch-up data
+// shipping, then shrink `from` out (it retires the replica and, if it led,
+// triggers an election among the new membership). Blocks until the range
+// has an open leader under the final membership.
+func (sc *SpinnakerCluster) MoveRange(id uint32, from, to string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	cur := sc.CurrentLayout().Cohort(id)
+	if cur == nil {
+		return fmt.Errorf("sim: no range %d", id)
+	}
+	if !containsStr(cur, from) {
+		return fmt.Errorf("sim: node %s is not in range %d's cohort", from, id)
+	}
+	if containsStr(cur, to) {
+		return fmt.Errorf("sim: node %s is already in range %d's cohort", to, id)
+	}
+	// Phase 1: expand.
+	expanded, err := sc.mutateLayout(func(l *cluster.Layout) (*cluster.Layout, error) {
+		cohort := l.Cohort(id)
+		if cohort == nil {
+			return nil, fmt.Errorf("sim: range %d vanished", id)
+		}
+		if containsStr(cohort, to) {
+			return nil, errNoChange
+		}
+		return l.WithCohort(id, append(cohort, to))
+	})
+	if err != nil && !errors.Is(err, errNoChange) {
+		return err
+	}
+	// Adoption barrier: every old member must operate under the expanded
+	// view before the next mutation, or quorum intersection across the
+	// two steps is lost (see waitAdopted).
+	if expanded != nil {
+		if err := sc.waitAdopted(expanded.Version(), expanded.Cohort(id), deadline); err != nil {
+			return err
+		}
+	}
+	// Admission gate: `to` joins the quorum math as a full member only
+	// once it holds the committed prefix.
+	if err := sc.waitCurrent(id, to, deadline); err != nil {
+		return err
+	}
+	// Phase 2: shrink the old member out.
+	shrunk, err := sc.mutateLayout(func(l *cluster.Layout) (*cluster.Layout, error) {
+		cohort := l.Cohort(id)
+		if cohort == nil {
+			return nil, fmt.Errorf("sim: range %d vanished", id)
+		}
+		out := cohort[:0:0]
+		for _, n := range cohort {
+			if n != from {
+				out = append(out, n)
+			}
+		}
+		if len(out) == len(cohort) {
+			return nil, errNoChange
+		}
+		return l.WithCohort(id, out)
+	})
+	if err != nil && !errors.Is(err, errNoChange) {
+		return err
+	}
+	if shrunk != nil {
+		// The barrier includes `from`: until it adopts the shrink (and
+		// retires) it can still commit under the expanded quorum, so a
+		// further mutation must wait for it too.
+		if err := sc.waitAdopted(shrunk.Version(), append(shrunk.Cohort(id), from), deadline); err != nil {
+			return err
+		}
+	}
+	return sc.waitOpenLeader(id, deadline)
+}
+
+// errNoChange short-circuits an idempotent mutation retry.
+var errNoChange = errors.New("sim: layout already reflects the change")
+
+func containsStr(set []string, s string) bool {
+	for _, x := range set {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// midKey returns the numeric midpoint of [low, high) in the cluster's
+// fixed-width decimal key space, or "" when the range is too narrow to
+// split.
+func (sc *SpinnakerCluster) midKey(low, high string) string {
+	width := sc.opts.KeyWidth
+	top := 1
+	for i := 0; i < width; i++ {
+		top *= 10
+	}
+	lo := 0
+	if low != "" {
+		v, err := strconv.Atoi(low)
+		if err != nil {
+			return ""
+		}
+		lo = v
+	}
+	hi := top
+	if high != "" {
+		v, err := strconv.Atoi(high)
+		if err != nil {
+			return ""
+		}
+		hi = v
+	}
+	mid := lo + (hi-lo)/2
+	if mid <= lo || mid >= hi {
+		return ""
+	}
+	return fmt.Sprintf("%0*d", width, mid)
+}
+
+// Rebalance spreads the key space over the current ring (paper §4's
+// placement, recomputed for the grown cluster): wide ranges are split until
+// there is at least one range per node, every cohort is morphed — one
+// member at a time — onto the ring placement over all nodes, and
+// leadership is transferred toward each range's home node. Runs safely
+// while a workload is executing; writes to affected ranges see bounded
+// unavailability (re-routes and elections), never inconsistency.
+func (sc *SpinnakerCluster) Rebalance(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+
+	// Phase 1: split until there is a range per node.
+	for {
+		l := sc.CurrentLayout()
+		nodes := l.Nodes()
+		if l.NumRanges() >= len(nodes) {
+			break
+		}
+		// Split the numerically widest range.
+		var widest uint32
+		widestSpan := -1
+		var widestKey string
+		for _, id := range l.RangeIDs() {
+			low, high := l.Bounds(id)
+			key := sc.midKey(low, high)
+			if key == "" {
+				continue
+			}
+			loV, hiV := 0, 0
+			if low != "" {
+				loV, _ = strconv.Atoi(low)
+			}
+			if high != "" {
+				hiV, _ = strconv.Atoi(high)
+			} else {
+				top := 1
+				for i := 0; i < sc.opts.KeyWidth; i++ {
+					top *= 10
+				}
+				hiV = top
+			}
+			if hiV-loV > widestSpan {
+				widest, widestSpan, widestKey = id, hiV-loV, key
+			}
+		}
+		if widestKey == "" {
+			break // nothing splittable
+		}
+		if _, err := sc.SplitRange(widest, widestKey, time.Until(deadline)); err != nil {
+			return fmt.Errorf("sim: rebalance split: %w", err)
+		}
+	}
+
+	// Phase 2: morph each cohort onto the ring placement over all nodes.
+	l := sc.CurrentLayout()
+	nodes := l.Nodes()
+	n := l.Replication()
+	if n > len(nodes) {
+		n = len(nodes)
+	}
+	ids := l.RangeIDs()
+	for i, id := range ids {
+		target := make([]string, 0, n)
+		for j := 0; j < n; j++ {
+			target = append(target, nodes[(i+j)%len(nodes)])
+		}
+		for {
+			cur := sc.CurrentLayout().Cohort(id)
+			if cur == nil {
+				return fmt.Errorf("sim: range %d vanished during rebalance", id)
+			}
+			var add, rm string
+			for _, t := range target {
+				if !containsStr(cur, t) {
+					add = t
+					break
+				}
+			}
+			for _, c := range cur {
+				if !containsStr(target, c) {
+					rm = c
+					break
+				}
+			}
+			if add == "" && rm == "" {
+				break
+			}
+			if add != "" && rm != "" {
+				if err := sc.MoveRange(id, rm, add, time.Until(deadline)); err != nil {
+					return fmt.Errorf("sim: rebalance move r%d %s->%s: %w", id, rm, add, err)
+				}
+				continue
+			}
+			// Pure expand or shrink (cohort size differs from target).
+			next := append([]string(nil), cur...)
+			if add != "" {
+				next = append(next, add)
+			} else {
+				out := next[:0]
+				for _, c := range next {
+					if c != rm {
+						out = append(out, c)
+					}
+				}
+				next = out
+			}
+			published, err := sc.mutateLayout(func(l *cluster.Layout) (*cluster.Layout, error) {
+				return l.WithCohort(id, next)
+			})
+			if err != nil {
+				return fmt.Errorf("sim: rebalance recohort r%d: %w", id, err)
+			}
+			// Adoption barrier over old and new members alike; see
+			// waitAdopted.
+			if err := sc.waitAdopted(published.Version(), append(published.Cohort(id), cur...), deadline); err != nil {
+				return err
+			}
+			if add != "" {
+				if err := sc.waitCurrent(id, add, deadline); err != nil {
+					return err
+				}
+			}
+			if err := sc.waitOpenLeader(id, deadline); err != nil {
+				return err
+			}
+		}
+		// Order the target cohort home-first in the published layout so
+		// elections prefer the intended placement.
+		if _, err := sc.mutateLayout(func(l *cluster.Layout) (*cluster.Layout, error) {
+			cur := l.Cohort(id)
+			if cur == nil || !sameMembers(cur, target) || cur[0] == target[0] {
+				return nil, errNoChange
+			}
+			return l.WithCohort(id, target)
+		}); err != nil && !errors.Is(err, errNoChange) {
+			return err
+		}
+	}
+
+	// Phase 3: transfer leadership toward each range's home node so load
+	// actually spreads onto the new members. The home preference is an
+	// equal-lst election tie-break, so under live load the old leader can
+	// re-win a round; retry a few times, then accept whoever leads — the
+	// transfer is an optimization, not a correctness requirement.
+	for i, id := range ids {
+		home := nodes[i%len(nodes)]
+		for attempt := 0; attempt < 3; attempt++ {
+			leader := sc.LeaderOf(id)
+			if leader == "" || leader == home {
+				break
+			}
+			if ln, ok := sc.Node(leader); ok {
+				ln.StepDown(id)
+			}
+			if err := sc.waitOpenLeader(id, deadline); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func sameMembers(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for _, x := range a {
+		if !containsStr(b, x) {
+			return false
+		}
+	}
+	return true
+}

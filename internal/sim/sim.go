@@ -4,6 +4,14 @@
 // (§9, Appendices C and D). A sim cluster runs real Spinnaker (or baseline)
 // nodes over the simulated network and logging devices, reproducing the
 // paper's 10-node testbed on one box at ~10× reduced latency scale.
+//
+// On top of the harness live the two adversarial drivers: the nemesis
+// (nemesis.go) composes seeded fault schedules — partitions, isolation,
+// link faults, crash/restart, disk failure — against concurrent workloads
+// whose histories are checked for per-key linearizability, and the
+// reconfiguration executor (reconfig.go) grows and rebalances a running
+// cluster live (AddNode, SplitRange, MoveRange, Rebalance), optionally
+// under the nemesis.
 package sim
 
 import (
@@ -104,18 +112,33 @@ func nodeNames(n int) []string {
 
 // SpinnakerCluster is an in-process Spinnaker deployment.
 type SpinnakerCluster struct {
-	Net    *transport.Network
-	Coord  *coord.Service
+	Net   *transport.Network
+	Coord *coord.Service
+	// Layout is the bootstrap layout. Under live reconfiguration
+	// (AddNode / SplitRange / MoveRange / Rebalance) the authoritative
+	// layout lives in the coordination service; read it with
+	// CurrentLayout.
 	Layout *cluster.Layout
 
-	opts   Options
-	cfg    core.Config
+	opts Options
+	cfg  core.Config
+
+	nodeMu sync.Mutex // guards stores/nodes (nemesis and executor race)
 	stores map[string]*core.Stores
 	nodes  map[string]*core.Node
 
 	cliMu   sync.Mutex // guards clients/nextCli (NewClient is concurrency-safe)
 	clients []*core.Client
 	nextCli int
+
+	// layoutCache memoizes the published layout by znode version behind
+	// one long-lived session: CurrentLayout sits in the executor's
+	// polling loops, and a fresh session + full decode per call would
+	// hammer the coordination service during a rebalance.
+	layoutCacheMu  sync.Mutex
+	layoutSess     *coord.Session
+	layoutCache    *cluster.Layout
+	layoutCacheVer uint64
 }
 
 // NewSpinnakerCluster builds and starts a cluster.
@@ -161,6 +184,14 @@ func NewSpinnakerCluster(opts Options) (*SpinnakerCluster, error) {
 		SegmentBytes:            opts.SegmentBytes,
 		FlushInterval:           opts.FlushInterval,
 	}
+	// Publish the bootstrap layout before any node starts: nodes and
+	// clients follow the published layout for live reconfiguration.
+	sess := sc.Coord.Connect()
+	err = core.PublishLayout(sess, layout)
+	sess.Close()
+	if err != nil {
+		return nil, err
+	}
 	for _, name := range names {
 		sc.stores[name] = core.NewMemStores(opts.Device)
 		if err := sc.startNode(name); err != nil {
@@ -171,9 +202,42 @@ func NewSpinnakerCluster(opts Options) (*SpinnakerCluster, error) {
 	return sc, nil
 }
 
+// CurrentLayout returns the layout published in the coordination service
+// (the authoritative one under live reconfiguration), falling back to the
+// bootstrap layout. Decodes are memoized by znode version.
+func (sc *SpinnakerCluster) CurrentLayout() *cluster.Layout {
+	sc.layoutCacheMu.Lock()
+	defer sc.layoutCacheMu.Unlock()
+	if sc.layoutSess == nil || sc.layoutSess.Closed() {
+		sc.layoutSess = sc.Coord.Connect()
+	}
+	data, ver, err := sc.layoutSess.GetVersion(core.LayoutPath)
+	if err != nil {
+		if sc.layoutCache != nil {
+			return sc.layoutCache
+		}
+		return sc.Layout
+	}
+	if sc.layoutCache != nil && ver == sc.layoutCacheVer {
+		return sc.layoutCache
+	}
+	l, err := cluster.Decode(data)
+	if err != nil {
+		return sc.Layout
+	}
+	sc.layoutCache, sc.layoutCacheVer = l, ver
+	return l
+}
+
 func (sc *SpinnakerCluster) startNode(name string) error {
 	cfg := sc.cfg
 	cfg.ID = name
+	// Bootstrap from the current published layout: a node restarting
+	// after a reconfiguration must recover the ranges it serves *now*,
+	// not the ones from the original layout.
+	cfg.Layout = sc.CurrentLayout()
+	sc.nodeMu.Lock()
+	defer sc.nodeMu.Unlock()
 	n, err := core.NewNode(cfg, sc.stores[name], sc.Net.Join(name), sc.Coord)
 	if err != nil {
 		return err
@@ -185,14 +249,15 @@ func (sc *SpinnakerCluster) startNode(name string) error {
 	return nil
 }
 
-// WaitReady blocks until every range has an open leader.
+// WaitReady blocks until every range of the current layout has an open
+// leader.
 func (sc *SpinnakerCluster) WaitReady(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
-	for r := 0; r < sc.Layout.NumRanges(); r++ {
+	for _, r := range sc.CurrentLayout().RangeIDs() {
 		for {
-			if leader := sc.LeaderOf(uint32(r)); leader != "" {
-				if n, ok := sc.nodes[leader]; ok {
-					if st, ok := n.ReplicaStats(uint32(r)); ok && st.Role == core.RoleLeader && st.Open {
+			if leader := sc.LeaderOf(r); leader != "" {
+				if n, ok := sc.Node(leader); ok {
+					if st, ok := n.ReplicaStats(r); ok && st.Role == core.RoleLeader && st.Open {
 						break
 					}
 				}
@@ -230,19 +295,23 @@ func (sc *SpinnakerCluster) NewClient() *core.Client {
 	sc.nextCli++
 	ep := sc.Net.Join(fmt.Sprintf("sp-client-%d", sc.nextCli))
 	ep.SetCallTimeout(clientCallTimeout)
-	c := core.NewClient(sc.Layout, ep, sc.Coord, int64(sc.nextCli))
+	c := core.NewClient(sc.CurrentLayout(), ep, sc.Coord, int64(sc.nextCli))
 	sc.clients = append(sc.clients, c)
 	return c
 }
 
 // Node returns a running node by id.
 func (sc *SpinnakerCluster) Node(id string) (*core.Node, bool) {
+	sc.nodeMu.Lock()
+	defer sc.nodeMu.Unlock()
 	n, ok := sc.nodes[id]
 	return n, ok
 }
 
 // Nodes lists running node ids.
 func (sc *SpinnakerCluster) Nodes() []string {
+	sc.nodeMu.Lock()
+	defer sc.nodeMu.Unlock()
 	out := make([]string, 0, len(sc.nodes))
 	for name := range sc.nodes {
 		out = append(out, name)
@@ -271,25 +340,32 @@ func (sc *SpinnakerCluster) HealAll() { sc.Net.HealAll() }
 
 // CrashNode fails a node: process crash plus loss of the unforced log tail.
 func (sc *SpinnakerCluster) CrashNode(id string) error {
+	sc.nodeMu.Lock()
 	n, ok := sc.nodes[id]
 	if !ok {
+		sc.nodeMu.Unlock()
 		return fmt.Errorf("sim: node %s is not running", id)
 	}
-	n.Crash()
-	sc.stores[id].Crash()
 	delete(sc.nodes, id)
+	stores := sc.stores[id]
+	sc.nodeMu.Unlock()
+	n.Crash()
+	stores.Crash()
 	return nil
 }
 
 // FailDisk destroys a crashed node's stable storage (§6.1 disk failure).
 func (sc *SpinnakerCluster) FailDisk(id string) {
-	sc.stores[id].Fail()
+	sc.nodeMu.Lock()
+	stores := sc.stores[id]
+	sc.nodeMu.Unlock()
+	stores.Fail()
 }
 
 // RestartNode restarts a crashed node over its surviving stores; it will
 // run local recovery and catch up.
 func (sc *SpinnakerCluster) RestartNode(id string) error {
-	if _, ok := sc.nodes[id]; ok {
+	if _, ok := sc.Node(id); ok {
 		return fmt.Errorf("sim: node %s already running", id)
 	}
 	return sc.startNode(id)
@@ -309,9 +385,20 @@ func (sc *SpinnakerCluster) Stop() {
 	for _, c := range clients {
 		c.Close()
 	}
+	sc.nodeMu.Lock()
+	nodes := make([]*core.Node, 0, len(sc.nodes))
 	for _, n := range sc.nodes {
+		nodes = append(nodes, n)
+	}
+	sc.nodeMu.Unlock()
+	for _, n := range nodes {
 		n.Stop()
 	}
+	sc.layoutCacheMu.Lock()
+	if sc.layoutSess != nil {
+		sc.layoutSess.Close()
+	}
+	sc.layoutCacheMu.Unlock()
 	sc.Coord.Stop()
 }
 

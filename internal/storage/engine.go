@@ -384,6 +384,31 @@ func (e *Engine) Stats() (flushes, compacts int64, tables int) {
 	return e.flushes, e.compacts, len(e.tables)
 }
 
+// Wipe discards the engine's entire contents — memtable, SSTables, and
+// checkpoint — and durably persists the empty manifest. A node re-joining a
+// cohort it previously left calls this before catching up from scratch:
+// the engine's pre-departure state is stale (deletes that happened while
+// the node was out may have had their tombstones compacted away
+// cluster-wide, so catch-up cannot mention them) and must not survive.
+func (e *Engine) Wipe() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	old := e.tables
+	e.tables = nil
+	e.mem = memtable.New()
+	e.checkpoint = 0
+	e.appliedLSN = 0
+	if err := e.saveManifestLocked(); err != nil {
+		return err
+	}
+	for _, t := range old {
+		if err := e.cfg.Tables.Remove(t.ID()); err != nil {
+			return fmt.Errorf("storage: wipe remove %d: %w", t.ID(), err)
+		}
+	}
+	return nil
+}
+
 // DropMemtable simulates the crash of the volatile state: everything not
 // yet flushed is lost, and appliedLSN falls back to the checkpoint. Node
 // recovery then replays the log from the checkpoint (paper §6.1).

@@ -4,12 +4,20 @@
 // sockets to simplify its replication protocol" — in contrast to basic
 // Multi-Paxos, which assumes an unreliable message layer.
 //
-// Two implementations are provided: a simulated in-process network with
-// configurable one-way latency, partitions, and crash injection (used by
-// the test suite and by the benchmark harness to reproduce the paper's
-// cluster on one box), and a real TCP transport used by
-// cmd/spinnaker-server. Both guarantee in-order delivery per sender →
-// receiver link, like a TCP connection.
+// Two implementations are provided: a simulated in-process network (used
+// by the test suite and by the benchmark harness to reproduce the paper's
+// cluster on one box) and a real TCP transport used by cmd/spinnaker-server.
+// Both guarantee in-order delivery per sender → receiver link, like a TCP
+// connection.
+//
+// Beneath that TCP-like base, the simulated network carries a seeded
+// per-link fault plane for the nemesis harness: per-message drops,
+// duplication, reordering, and jittered delay (LinkFaults), plus symmetric
+// partitions, one-way partitions (PartitionOneWay), whole-node isolation,
+// a per-message delivery cost that bounds per-link message rate
+// (SetMessageCost), and crash injection via endpoint replacement. Fault
+// decisions derive from per-link RNGs seeded from a single run seed, so a
+// failing schedule replays exactly.
 package transport
 
 import (

@@ -23,6 +23,14 @@ const (
 	// have been captured in SSTables; local recovery replays from the
 	// most recent checkpoint (paper §6.1).
 	RecCheckpoint
+	// RecResetCohort marks a cohort re-join after a membership departure:
+	// every record of the cohort before this point (and the storage
+	// engine's pre-departure contents) is stale state from an earlier
+	// membership and must be discarded by local recovery. Without it, a
+	// key deleted cluster-wide while the node was out of the cohort —
+	// whose tombstone was then compacted away — would resurrect from the
+	// node's old SSTables or log records when it rejoins.
+	RecResetCohort
 )
 
 // String implements fmt.Stringer for diagnostics.
@@ -34,6 +42,8 @@ func (t RecType) String() string {
 		return "lastCommitted"
 	case RecCheckpoint:
 		return "checkpoint"
+	case RecResetCohort:
+		return "resetCohort"
 	default:
 		return fmt.Sprintf("RecType(%d)", uint8(t))
 	}

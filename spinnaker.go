@@ -7,6 +7,12 @@
 // write-ahead log and recovery, with leader election and epochs managed
 // through a Zookeeper-like coordination service.
 //
+// The cluster is elastic: AddNode and Rebalance grow a running deployment
+// live — ranges split, joining replicas catch up via data shipping before
+// old members retire, and leadership spreads onto the new nodes — while
+// clients follow the published layout automatically and reads and writes
+// stay linearizable throughout (the nemesis suite checks exactly this).
+//
 // The package runs a full multi-node cluster in process, over a simulated
 // network and simulated logging devices, which is how the paper's entire
 // evaluation is reproduced on one machine (see bench_test.go and
@@ -203,14 +209,38 @@ func (c *Cluster) NewClient() *Client {
 // Nodes lists the ids of the running nodes.
 func (c *Cluster) Nodes() []string { return c.sc.Nodes() }
 
+// AddNode starts a new, empty node and adds it to the cluster ring (§4's
+// placement, made elastic). The node serves no key ranges until Rebalance
+// moves some onto it. The generated node id is returned.
+func (c *Cluster) AddNode() (string, error) { return c.sc.AddNode("") }
+
+// Rebalance spreads the key space over the current ring: wide ranges are
+// split until there is at least one per node (new replicas seed themselves
+// from the split origin's leader), cohort membership is morphed one member
+// at a time onto the ring placement (joining members catch up via data
+// shipping before old members retire), and leadership transfers toward each
+// range's home node. Safe to run while traffic executes: affected ranges
+// see brief unavailability windows (elections, re-routes), never
+// inconsistency, and clients follow the published layout automatically.
+func (c *Cluster) Rebalance() error { return c.sc.Rebalance(5 * time.Minute) }
+
+// NumRanges reports the number of key ranges under the current layout.
+func (c *Cluster) NumRanges() int { return c.sc.CurrentLayout().NumRanges() }
+
+// LayoutVersion reports the current published cluster layout version; it
+// advances with every reconfiguration step.
+func (c *Cluster) LayoutVersion() uint64 { return c.sc.CurrentLayout().Version() }
+
 // Key formats a numeric row key at the cluster's key width; workloads that
 // sweep numeric keys use it to hit every partition.
 func (c *Cluster) Key(i int) string { return c.sc.Key(i) }
 
 // LeaderOf returns the node currently leading the cohort for row's key
-// range, as registered in the coordination service.
+// range, as registered in the coordination service. The row is resolved
+// under the current published layout, so the answer tracks splits and
+// moves.
 func (c *Cluster) LeaderOf(row string) string {
-	return c.sc.LeaderOf(c.sc.Layout.RangeOf(row))
+	return c.sc.LeaderOf(c.sc.CurrentLayout().RangeOf(row))
 }
 
 // CrashNode simulates a node crash: the process dies and the unforced tail

@@ -309,3 +309,56 @@ func TestPublicAPIAsyncAndBatch(t *testing.T) {
 		t.Errorf("async delete: %v", err)
 	}
 }
+
+func TestPublicAPIScaleOut(t *testing.T) {
+	cluster := newCluster(t, Options{Nodes: 3})
+	client := cluster.NewClient()
+
+	// Preload keys across the whole key domain so every range has data.
+	const n = 24
+	for i := 0; i < n; i++ {
+		if _, err := client.Put(cluster.Key(i*100000000/n), "v", []byte{byte(i)}); err != nil {
+			t.Fatalf("preload %d: %v", i, err)
+		}
+	}
+	v0 := cluster.LayoutVersion()
+
+	// Grow live: two new nodes, then rebalance onto them while the
+	// cluster keeps serving.
+	for i := 0; i < 2; i++ {
+		id, err := cluster.AddNode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id == "" {
+			t.Fatal("AddNode returned an empty id")
+		}
+	}
+	if err := cluster.Rebalance(); err != nil {
+		t.Fatalf("rebalance: %v", err)
+	}
+	if got := len(cluster.Nodes()); got != 5 {
+		t.Fatalf("nodes after scale-out: %d, want 5", got)
+	}
+	if cluster.NumRanges() < 5 {
+		t.Fatalf("ranges after scale-out: %d, want >= 5", cluster.NumRanges())
+	}
+	if cluster.LayoutVersion() <= v0 {
+		t.Fatalf("layout version did not advance: %d -> %d", v0, cluster.LayoutVersion())
+	}
+
+	// All data survives the reconfiguration, for old and new clients.
+	fresh := cluster.NewClient()
+	for i := 0; i < n; i++ {
+		key := cluster.Key(i * 100000000 / n)
+		for _, cl := range []*Client{client, fresh} {
+			val, _, err := cl.Get(key, "v", Strong)
+			if err != nil || len(val) != 1 || val[0] != byte(i) {
+				t.Fatalf("read %s after scale-out: %v %v", key, val, err)
+			}
+		}
+	}
+	if _, err := client.Put(cluster.Key(1), "v", []byte("post")); err != nil {
+		t.Fatalf("write after scale-out: %v", err)
+	}
+}
