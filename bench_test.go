@@ -107,3 +107,9 @@ func BenchmarkAblationProposalBatching(b *testing.B) { runExperiment(b, "ablatio
 // BenchmarkScaleOut measures write throughput while the same running
 // cluster grows live from 3 to 5 to 7 nodes via AddNode + Rebalance.
 func BenchmarkScaleOut(b *testing.B) { runExperiment(b, "scale-out") }
+
+// BenchmarkStorageMaintenance measures strong-read latency under a
+// sustained update stream with LSM maintenance off vs churning
+// (compaction-under-load; see also the microbenchmarks in
+// internal/storage).
+func BenchmarkStorageMaintenance(b *testing.B) { runExperiment(b, "storage-maintenance") }

@@ -55,11 +55,13 @@ type server struct {
 
 func main() {
 	var (
-		dir     = flag.String("dir", "", "data directory (required; created if missing)")
-		nodes   = flag.Int("nodes", 3, "number of nodes")
-		listen  = flag.String("listen", "127.0.0.1:7070", "client listen address")
-		commit  = flag.Duration("commit-period", 100*time.Millisecond, "commit message period")
-		noBatch = flag.Bool("no-proposal-batching", false, "disable the batched replication pipeline (ablation)")
+		dir        = flag.String("dir", "", "data directory (required; created if missing)")
+		nodes      = flag.Int("nodes", 3, "number of nodes")
+		listen     = flag.String("listen", "127.0.0.1:7070", "client listen address")
+		commit     = flag.Duration("commit-period", 100*time.Millisecond, "commit message period")
+		noBatch    = flag.Bool("no-proposal-batching", false, "disable the batched replication pipeline (ablation)")
+		flushBytes = flag.Int64("flush-bytes", 0, "memtable size in bytes that triggers a flush (0 = default 4MiB)")
+		maxTbls    = flag.Int("max-tables", 0, "table count that triggers a compaction round (0 = default 8)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -67,7 +69,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	s, err := newServer(*dir, *nodes, *commit, *noBatch)
+	s, err := newServer(*dir, *nodes, *commit, *noBatch, *flushBytes, *maxTbls)
 	if err != nil {
 		log.Fatalf("start cluster: %v", err)
 	}
@@ -85,7 +87,7 @@ func main() {
 	}
 }
 
-func newServer(dir string, nodeCount int, commitPeriod time.Duration, noBatch bool) (*server, error) {
+func newServer(dir string, nodeCount int, commitPeriod time.Duration, noBatch bool, flushBytes int64, maxTables int) (*server, error) {
 	names := make([]string, nodeCount)
 	for i := range names {
 		names[i] = fmt.Sprintf("node%03d", i)
@@ -108,6 +110,8 @@ func newServer(dir string, nodeCount int, commitPeriod time.Duration, noBatch bo
 			Layout:                  layout,
 			CommitPeriod:            commitPeriod,
 			DisableProposalBatching: noBatch,
+			FlushBytes:              flushBytes,
+			MaxTables:               maxTables,
 		},
 	}
 	// Publish the layout: nodes follow the published version (the same

@@ -229,7 +229,7 @@ var Names = []string{
 	"figure13", "figure14", "figure15", "figure16",
 	"ablation-groupcommit", "ablation-piggyback",
 	"ablation-staleness", "ablation-parallelpropose",
-	"ablation-batching", "scale-out",
+	"ablation-batching", "scale-out", "storage-maintenance",
 }
 
 // Run executes one named experiment.
@@ -265,6 +265,8 @@ func Run(name string, cfg Config) (Table, error) {
 		return AblationProposalBatching(cfg)
 	case "scale-out":
 		return ScaleOut(cfg)
+	case "storage-maintenance":
+		return StorageMaintenance(cfg)
 	default:
 		return Table{}, fmt.Errorf("bench: unknown experiment %q (have %v)", name, Names)
 	}

@@ -471,7 +471,11 @@ func (r *replica) syncFollower(peer string, lCmt, lLst wal.LSN) bool {
 
 	r.mu.Lock()
 	// Present covers the follower's whole possible ambiguous range so it
-	// can logically truncate its dead branches in one step.
+	// can logically truncate its dead branches in one step. EntriesSince
+	// is complete for fCmt — deletes included — because the follower's
+	// advertised cmt never drops below its durable floor, and no engine
+	// in the cohort compacts tombstones above the minimum of those floors
+	// (the tombstone-GC watermark).
 	present := r.logLSNsInRangeLocked(fCmt, lLst)
 	entries := r.engine.EntriesSince(fCmt)
 	r.mu.Unlock()

@@ -369,6 +369,7 @@ func (n *Node) buildReplica(l *cluster.Layout, rangeID uint32) (*replica, error)
 		skipped:       wal.NewSkippedLSNs(),
 		queue:         newCommitQueue(),
 		engine:        engine,
+		peerFloors:    make(map[string]wal.LSN),
 		electionNudge: make(chan struct{}, 1),
 		stopCh:        make(chan struct{}),
 	}
@@ -636,8 +637,9 @@ func (n *Node) commitTimer() {
 }
 
 // flushLoop runs background storage maintenance: memtable flushes, SSTable
-// compaction, shared-log truncation once every cohort's writes are captured
-// (§6.1), and skipped-LSN list garbage collection (§6.1.1).
+// compaction (gated by the cohort tombstone-GC watermark), shared-log
+// truncation once every cohort's writes are captured (§6.1), and
+// skipped-LSN list garbage collection (§6.1.1).
 func (n *Node) flushLoop() {
 	t := time.NewTicker(n.cfg.FlushInterval)
 	defer t.Stop()
@@ -649,9 +651,14 @@ func (n *Node) flushLoop() {
 			replicas := n.replicaList()
 			captured := make(map[uint32]wal.LSN, len(replicas))
 			for _, r := range replicas {
-				if _, err := r.engine.MaybeFlush(); err != nil {
-					continue
-				}
+				// A maintenance error is retried next tick; the
+				// accounting below still runs — a flush that
+				// succeeded before its compaction failed advanced
+				// the checkpoint, and skipping the truncation
+				// bookkeeping for it would pin the shared log (and
+				// the skipped-LSN list) on a replica whose state
+				// was in fact captured.
+				_, _, _ = r.engine.MaybeFlush(r.tombstoneGC())
 				cp := r.engine.Checkpoint()
 				captured[r.rangeID] = cp
 				r.mu.Lock()
@@ -812,6 +819,17 @@ func (n *Node) ReplicaStats(rangeID uint32) (ReplicaStats, bool) {
 		return ReplicaStats{}, false
 	}
 	return r.stats(), true
+}
+
+// StorageStats reports a replica engine's maintenance counters (flushes,
+// compaction rounds, live tables) for tests, benchmarks, and tooling.
+func (n *Node) StorageStats(rangeID uint32) (flushes, compacts int64, tables int, ok bool) {
+	r := n.getReplica(rangeID)
+	if r == nil {
+		return 0, 0, 0, false
+	}
+	flushes, compacts, tables = r.engine.Stats()
+	return flushes, compacts, tables, true
 }
 
 // LogStats exposes the shared log's append/force counters.

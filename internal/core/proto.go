@@ -336,6 +336,54 @@ func decodeProposeBatch(b []byte) (proposeBatchPayload, error) {
 	return p, nil
 }
 
+// ackPayload is the body of MsgAck and MsgAckBatch: the acked LSN (per-write
+// ack) or the cumulative acked-through watermark (batch ack), plus the
+// follower's durable tombstone-GC floor — its storage checkpoint, below
+// which every write is captured in SSTables and survives any crash. The
+// leader takes the minimum floor across cohort members as the tombstone-GC
+// watermark: compaction may only drop tombstones at or below it, because a
+// member can never advertise a catch-up f.cmt below its own floor (local
+// recovery raises f.cmt to the checkpoint), so EntriesSince stays complete.
+func encodeAck(lsn, floor wal.LSN) []byte {
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[0:8], uint64(lsn))
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(floor))
+	return buf[:]
+}
+
+func decodeAck(b []byte) (lsn, floor wal.LSN, err error) {
+	if len(b) < 8 {
+		return 0, 0, fmt.Errorf("core: ack payload truncated")
+	}
+	lsn = wal.LSN(binary.LittleEndian.Uint64(b[0:8]))
+	if len(b) >= 16 {
+		floor = wal.LSN(binary.LittleEndian.Uint64(b[8:16]))
+	}
+	return lsn, floor, nil
+}
+
+// commitMsgPayload is the body of MsgCommit: the commit LSN (§5) plus the
+// leader's cohort tombstone-GC watermark, which followers adopt to gate
+// their own compactions (every replica compacts its own engine; any of
+// them may later lead and serve SSTable-based catch-up from it).
+func encodeCommitMsg(cmt, gc wal.LSN) []byte {
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[0:8], uint64(cmt))
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(gc))
+	return buf[:]
+}
+
+func decodeCommitMsg(b []byte) (cmt, gc wal.LSN, err error) {
+	if len(b) < 8 {
+		return 0, 0, fmt.Errorf("core: commit payload truncated")
+	}
+	cmt = wal.LSN(binary.LittleEndian.Uint64(b[0:8]))
+	if len(b) >= 16 {
+		gc = wal.LSN(binary.LittleEndian.Uint64(b[8:16]))
+	}
+	return cmt, gc, nil
+}
+
 func encodeLSN(l wal.LSN) []byte {
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], uint64(l))

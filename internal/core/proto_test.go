@@ -10,6 +10,38 @@ import (
 	"spinnaker/internal/wal"
 )
 
+func TestAckPayloadRoundTrip(t *testing.T) {
+	lsn, floor := wal.MakeLSN(3, 77), wal.MakeLSN(3, 41)
+	gotLSN, gotFloor, err := decodeAck(encodeAck(lsn, floor))
+	if err != nil || gotLSN != lsn || gotFloor != floor {
+		t.Fatalf("decodeAck = %s,%s,%v want %s,%s", gotLSN, gotFloor, err, lsn, floor)
+	}
+	// A legacy 8-byte payload (LSN only) decodes with a zero floor —
+	// conservative: an unknown floor never advances the GC watermark.
+	gotLSN, gotFloor, err = decodeAck(encodeLSN(lsn))
+	if err != nil || gotLSN != lsn || !gotFloor.IsZero() {
+		t.Fatalf("legacy decodeAck = %s,%s,%v", gotLSN, gotFloor, err)
+	}
+	if _, _, err := decodeAck([]byte{1, 2, 3}); err == nil {
+		t.Error("truncated ack accepted")
+	}
+}
+
+func TestCommitMsgPayloadRoundTrip(t *testing.T) {
+	cmt, gc := wal.MakeLSN(2, 900), wal.MakeLSN(2, 850)
+	gotCmt, gotGC, err := decodeCommitMsg(encodeCommitMsg(cmt, gc))
+	if err != nil || gotCmt != cmt || gotGC != gc {
+		t.Fatalf("decodeCommitMsg = %s,%s,%v want %s,%s", gotCmt, gotGC, err, cmt, gc)
+	}
+	gotCmt, gotGC, err = decodeCommitMsg(encodeLSN(cmt))
+	if err != nil || gotCmt != cmt || !gotGC.IsZero() {
+		t.Fatalf("legacy decodeCommitMsg = %s,%s,%v", gotCmt, gotGC, err)
+	}
+	if _, _, err := decodeCommitMsg(nil); err == nil {
+		t.Error("empty commit payload accepted")
+	}
+}
+
 func TestWriteOpRoundTrip(t *testing.T) {
 	op := WriteOp{
 		Row: "user:42",

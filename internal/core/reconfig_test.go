@@ -7,6 +7,7 @@ import (
 
 	"spinnaker/internal/cluster"
 	"spinnaker/internal/kv"
+	"spinnaker/internal/sstable"
 	"spinnaker/internal/transport"
 	"spinnaker/internal/wal"
 )
@@ -365,7 +366,7 @@ func TestRejoinDoesNotResurrectCompactedDeletes(t *testing.T) {
 			if err := mr.engine.Flush(); err != nil {
 				t.Fatal(err)
 			}
-			if err := mr.engine.CompactAll(); err != nil {
+			if err := mr.engine.CompactAll(sstable.DropAllTombstones); err != nil {
 				t.Fatal(err)
 			}
 			for _, e := range mr.engine.EntriesSince(0) {
@@ -512,7 +513,7 @@ func TestRejoinAfterCrashDoesNotResurrect(t *testing.T) {
 			if err := mr.engine.Flush(); err != nil {
 				t.Fatal(err)
 			}
-			if err := mr.engine.CompactAll(); err != nil {
+			if err := mr.engine.CompactAll(sstable.DropAllTombstones); err != nil {
 				t.Fatal(err)
 			}
 			for _, e := range mr.engine.EntriesSince(0) {

@@ -56,6 +56,19 @@ func (r *replica) localRecover(recs []wal.Record) error {
 			cmt, lst = 0, 0
 		}
 	}
+	// The storage checkpoint is a durable commit floor: every write at
+	// or below it was committed and captured in SSTables (applies are
+	// commit-ordered and flushes cut the memtable at an LSN boundary).
+	// The scanned cmt can lag it — RecLastCommitted records are written
+	// non-forced (§5) and a crash loses the unforced tail — and
+	// advertising the lower value in catch-up would request entries
+	// below the cohort's tombstone-GC watermark, where compaction may
+	// already have dropped delete markers and EntriesSince is no longer
+	// complete. Recover f.cmt as the max of the two floors.
+	checkpoint := r.engine.Checkpoint()
+	if checkpoint > cmt {
+		cmt = checkpoint
+	}
 	if cmt > lst {
 		// A commit marker can reference writes served entirely from
 		// catch-up entries that were themselves logged; treat the
@@ -63,9 +76,6 @@ func (r *replica) localRecover(recs []wal.Record) error {
 		// can prove.
 		lst = cmt
 	}
-
-	// Re-apply committed writes above the storage checkpoint.
-	checkpoint := r.engine.Checkpoint()
 	lsns := make([]wal.LSN, 0, len(writes))
 	for l := range writes {
 		lsns = append(lsns, l)
@@ -316,7 +326,10 @@ func (r *replica) serveSplitPull(low, high string) (catchupResp, bool) {
 //
 // If part of (f.cmt, l.cmt] has been truncated from our log, the entries
 // are served from the storage engine, whose SSTables are tagged with
-// min/max LSNs — the SSTable-based catch-up of §6.1.
+// min/max LSNs — the SSTable-based catch-up of §6.1. EntriesSince is
+// complete (deletes included) for any f.cmt at or above the cohort's
+// tombstone-GC watermark, and the watermark never exceeds a member's
+// durable commit floor, so a legitimate follower can never ask below it.
 func (r *replica) onCatchupReq(m transport.Message) {
 	req, err := decodeCatchupReq(m.Payload)
 	if err != nil {

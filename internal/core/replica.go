@@ -88,6 +88,17 @@ type replica struct {
 	queue  *commitQueue
 	engine *storage.Engine
 
+	// Tombstone-GC watermark state. The leader tracks each peer's durable
+	// commit floor (its storage checkpoint, piggybacked on acks) in
+	// peerFloors and takes the cohort-wide minimum as the watermark below
+	// which compaction may drop tombstones; followers learn that
+	// watermark from the leader's commit messages in gcFloor. Floors are
+	// monotone while membership is stable (checkpoints never regress
+	// across crashes); applyLayout prunes entries when the cohort
+	// changes, since a re-joining member restarts from a wiped engine.
+	peerFloors map[string]wal.LSN
+	gcFloor    wal.LSN
+
 	// Leader-side proposal batcher (default write path): writes are
 	// sequenced into batchBuf under r.mu; the first writer to find no
 	// drain in progress becomes the drainer and sends everything
@@ -139,6 +150,19 @@ func (r *replica) applyLayout(l *cluster.Layout) {
 	r.peers = peers
 	r.quorum = l.Quorum(r.rangeID)
 	r.home = l.HomeNode(r.rangeID)
+	// Drop GC floors of members that left: a peer that later re-joins
+	// does so with a wiped engine, and its stale pre-departure floor
+	// must not let compaction drop tombstones its fresh catch-up still
+	// pins (it reports a new floor with its first ack).
+	current := make(map[string]bool, len(peers))
+	for _, p := range peers {
+		current[p] = true
+	}
+	for p := range r.peerFloors {
+		if !current[p] {
+			delete(r.peerFloors, p)
+		}
+	}
 	isLeader := r.role == RoleLeader
 	r.mu.Unlock()
 	if isLeader {
@@ -173,6 +197,15 @@ func (r *replica) retire() {
 	}
 	r.mu.Unlock()
 	close(r.stopCh)
+
+	// Disable this engine's maintenance before recording the departure
+	// (draining any flush/compaction the node's flush daemon still has in
+	// flight from a pre-retirement replica snapshot): a re-join builds a
+	// fresh engine over the same per-cohort stores, whose Open sweeps
+	// unreferenced blobs and whose wipe persists an empty manifest — a
+	// late manifest save from this retired engine would overwrite it with
+	// the stale pre-departure table set.
+	r.engine.Close()
 
 	// Durably record the departure: local state for this range is stale
 	// from this point on, and a future re-join — even one interrupted by
@@ -663,7 +696,8 @@ func (r *replica) onPropose(m transport.Message) {
 		// Already committed here (a re-proposal after leader change,
 		// Fig 6 line 5: "these can be detected and ignored").
 		r.mu.Unlock()
-		r.n.send(m.From, transport.Message{Kind: MsgAck, Cohort: r.rangeID, Payload: encodeLSN(p.LSN)})
+		r.n.send(m.From, transport.Message{Kind: MsgAck, Cohort: r.rangeID,
+			Payload: encodeAck(p.LSN, r.engine.Checkpoint())})
 	case r.queue.has(p.LSN):
 		// Already logged and pending; ensure durability, then ack.
 		r.mu.Unlock()
@@ -671,7 +705,8 @@ func (r *replica) onPropose(m transport.Message) {
 			if err := r.n.log.Force(); err != nil {
 				return
 			}
-			r.n.send(m.From, transport.Message{Kind: MsgAck, Cohort: r.rangeID, Payload: encodeLSN(p.LSN)})
+			r.n.send(m.From, transport.Message{Kind: MsgAck, Cohort: r.rangeID,
+				Payload: encodeAck(p.LSN, r.engine.Checkpoint())})
 		}()
 	default:
 		if p.LSN.Seq() > r.lastLSN.Seq()+1 {
@@ -716,7 +751,8 @@ func (r *replica) onPropose(m transport.Message) {
 				return
 			}
 			r.queue.markForced(p.LSN)
-			r.n.send(m.From, transport.Message{Kind: MsgAck, Cohort: r.rangeID, Payload: encodeLSN(p.LSN)})
+			r.n.send(m.From, transport.Message{Kind: MsgAck, Cohort: r.rangeID,
+				Payload: encodeAck(p.LSN, r.engine.Checkpoint())})
 			if p.CommittedThrough > 0 {
 				r.applyCommitted(p.CommittedThrough, false)
 			}
@@ -837,7 +873,7 @@ func (r *replica) onProposeBatch(m transport.Message) {
 				r.verifyAckClaim(ackThrough)
 			}
 			r.n.send(m.From, transport.Message{Kind: MsgAckBatch, Cohort: r.rangeID,
-				Payload: encodeLSN(ackThrough)})
+				Payload: encodeAck(ackThrough, r.engine.Checkpoint())})
 		}
 		if b.CommittedThrough > 0 {
 			r.applyCommitted(b.CommittedThrough, false)
@@ -853,10 +889,11 @@ func (r *replica) onProposeBatch(m transport.Message) {
 // onAck counts a follower's per-write ack (leader side) and commits what it
 // can.
 func (r *replica) onAck(m transport.Message) {
-	lsn, err := decodeLSN(m.Payload)
+	lsn, floor, err := decodeAck(m.Payload)
 	if err != nil {
 		return
 	}
+	r.noteFloor(m.From, floor)
 	r.queue.markAck(m.From, lsn)
 	r.tryCommit()
 }
@@ -864,21 +901,79 @@ func (r *replica) onAck(m transport.Message) {
 // onAckBatch advances a follower's cumulative acked-through watermark
 // (leader side) and commits the maximal quorum-acked prefix in one pass.
 func (r *replica) onAckBatch(m transport.Message) {
-	lsn, err := decodeLSN(m.Payload)
+	lsn, floor, err := decodeAck(m.Payload)
 	if err != nil {
 		return
 	}
+	r.noteFloor(m.From, floor)
 	r.queue.markAckedThrough(m.From, lsn)
 	r.tryCommit()
 }
 
+// noteFloor records a peer's reported durable commit floor (its storage
+// checkpoint). Monotone max: floors never regress while the peer stays in
+// the cohort, so a reordered stale ack can only under-report — which is
+// safe (a lower floor only delays tombstone GC).
+func (r *replica) noteFloor(from string, floor wal.LSN) {
+	if floor.IsZero() {
+		return
+	}
+	r.mu.Lock()
+	if floor > r.peerFloors[from] {
+		r.peerFloors[from] = floor
+	}
+	r.mu.Unlock()
+}
+
+// gcWatermarkLocked computes the cohort tombstone-GC watermark: the
+// minimum durable commit floor across current cohort members — our own
+// storage checkpoint and every peer's reported floor; a peer that has not
+// reported yet pins the watermark at zero (no tombstone GC). Every
+// member's future catch-up advertises f.cmt at or above its floor (local
+// recovery raises f.cmt to the checkpoint), so EntriesSince(f.cmt) remains
+// complete — deletes included — for every possible requester as long as
+// compaction drops nothing above this watermark. Callers hold r.mu.
+func (r *replica) gcWatermarkLocked() wal.LSN {
+	gc := r.engine.Checkpoint()
+	for _, p := range r.peers {
+		f, ok := r.peerFloors[p]
+		if !ok {
+			return 0
+		}
+		if f < gc {
+			gc = f
+		}
+	}
+	return gc
+}
+
+// tombstoneGC returns the watermark this replica's compactions must
+// respect: the leader computes it from the reported floors, followers use
+// the value learned from the leader's commit messages.
+func (r *replica) tombstoneGC() wal.LSN {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.role == RoleLeader {
+		return r.gcWatermarkLocked()
+	}
+	return r.gcFloor
+}
+
 // onCommitMsg handles the leader's periodic asynchronous commit message
 // (§5): apply all pending writes up to the LSN to the memtable and record
-// the last committed LSN with a non-forced log write.
+// the last committed LSN with a non-forced log write. The piggybacked
+// tombstone-GC watermark gates this replica's own compactions.
 func (r *replica) onCommitMsg(m transport.Message) {
-	lsn, err := decodeLSN(m.Payload)
+	lsn, gc, err := decodeCommitMsg(m.Payload)
 	if err != nil {
 		return
+	}
+	if !gc.IsZero() {
+		r.mu.Lock()
+		if gc > r.gcFloor {
+			r.gcFloor = gc
+		}
+		r.mu.Unlock()
 	}
 	r.applyCommitted(lsn, false)
 }
@@ -953,10 +1048,11 @@ func (r *replica) sendCommitMessages() {
 		return
 	}
 	lsn := r.lastCommitted
+	gc := r.gcWatermarkLocked()
 	peers := append([]string(nil), r.peers...)
 	r.mu.Unlock()
 	if !lsn.IsZero() {
-		payload := encodeLSN(lsn)
+		payload := encodeCommitMsg(lsn, gc)
 		for _, peer := range peers {
 			r.n.send(peer, transport.Message{Kind: MsgCommit, Cohort: r.rangeID, Payload: payload})
 		}

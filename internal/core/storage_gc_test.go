@@ -1,0 +1,193 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// storageGCTweak shrinks the storage thresholds so flushes and compaction
+// rounds happen within the test.
+func storageGCTweak(cfg *Config) {
+	cfg.FlushBytes = 2 << 10
+	cfg.MaxTables = 2
+	cfg.FlushInterval = 5 * time.Millisecond
+	cfg.SegmentBytes = 16 << 10
+}
+
+// TestLaggardFollowerDeleteNotResurrected is the regression test for the
+// laggard-follower delete-resurrection bug: a follower crashes holding a
+// committed value, the leader deletes the row and — pre-fix — a full
+// compaction garbage-collects the tombstone unconditionally; the
+// follower's catch-up then replays EntriesSince(f.cmt), which no longer
+// mentions the delete, and the row resurrects from the follower's own log
+// replay. The cohort tombstone-GC watermark (minimum durable commit floor
+// across members, which pins at the crashed follower's last reported
+// floor) must keep the tombstone alive until the laggard has seen it.
+//
+// The PR 3 departed/-marker fix does not cover this: the follower never
+// left the cohort, so no wipe happens — it is a plain laggard.
+func TestLaggardFollowerDeleteNotResurrected(t *testing.T) {
+	tc := newTestCluster(t, 3, storageGCTweak)
+	tc.waitAllLeaders()
+	c := tc.client()
+
+	row := row0(1)
+	if _, err := c.Put(row, "v", []byte("do-not-resurrect")); err != nil {
+		t.Fatal(err)
+	}
+	leaderNode := tc.leaderOf(0)
+	st, _ := leaderNode.ReplicaStats(0)
+	lsnPut := st.LastCommitted
+
+	// Pick a follower of range 0 and make sure it committed the value
+	// (so its log replays it on restart) before crashing it.
+	var follower string
+	for _, name := range tc.layout.Cohort(0) {
+		if name != leaderNode.ID() {
+			follower = name
+			break
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if st, ok := tc.nodes[follower].ReplicaStats(0); ok && st.LastCommitted >= lsnPut {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower %s never committed the preload write", follower)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Flush the follower so the value sits durably in its SSTables: that
+	// flushed table — not the log — is what a garbage-collected tombstone
+	// would let resurrect after the crash.
+	if err := tc.nodes[follower].getReplica(0).engine.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tc.crashNode(follower)
+
+	// Delete the row while the follower is down, then push enough filler
+	// writes through range 0 that the survivors flush the tombstone into
+	// SSTables and run compaction rounds over it.
+	if err := c.Delete(row, "v"); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = leaderNode.ReplicaStats(0)
+	lsnDel := st.LastCommitted
+	lr := leaderNode.getReplica(0)
+	value := make([]byte, 512)
+	fillerDeadline := time.Now().Add(30 * time.Second)
+	filler := 0
+	writeFiller := func() {
+		if _, err := c.Put(row0(100+filler%400), "v", value); err != nil {
+			t.Fatalf("filler write %d: %v", filler, err)
+		}
+		filler++
+		if time.Now().After(fillerDeadline) {
+			t.Skip("flush daemon never compacted the tombstone's table on this host")
+		}
+	}
+	// Phase 1: the tombstone reaches an SSTable (checkpoint passes the
+	// delete).
+	for lr.engine.Checkpoint() < lsnDel {
+		writeFiller()
+	}
+	// Phase 2: several compaction rounds sweep over the table set holding
+	// the tombstone. Pre-fix every one of these was a full merge that
+	// dropped tombstones unconditionally; post-fix the watermark — pinned
+	// at the crashed follower's last reported floor, below the delete —
+	// must carry the tombstone through all of them.
+	_, compactsBefore, _ := lr.engine.Stats()
+	for {
+		_, compacts, _ := lr.engine.Stats()
+		if compacts >= compactsBefore+5 {
+			break
+		}
+		writeFiller()
+	}
+
+	// Restart the laggard and let catch-up bring it past the delete.
+	n := tc.restartNode(follower)
+	catchupDeadline := time.Now().Add(20 * time.Second)
+	for {
+		st, ok := n.ReplicaStats(0)
+		if ok && st.Role == RoleFollower && st.LastCommitted >= lsnDel {
+			break
+		}
+		if time.Now().After(catchupDeadline) {
+			st, _ := n.ReplicaStats(0)
+			t.Fatalf("laggard never caught up past the delete: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// The deleted row must stay deleted at the recovered laggard. Pre-fix
+	// the compaction dropped the tombstone, catch-up could not ship it,
+	// and the follower's log replay resurrected the value.
+	ep := tc.net.Join("probe-gc")
+	resp, err := ep.Call(transportMsgGet(follower, 0, row, "v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := decodeGetResp(resp.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusNotFound {
+		t.Fatalf("deleted row resurrected at laggard follower: status %d value %q",
+			res.Status, res.Value)
+	}
+}
+
+// TestTombstoneGCAdvancesWithCohort is the liveness side of the watermark:
+// once every cohort member's durable floor (storage checkpoint, reported on
+// acks) passes a delete, compaction rounds may — and eventually do — drop
+// its tombstone from the leader's engine.
+func TestTombstoneGCAdvancesWithCohort(t *testing.T) {
+	tc := newTestCluster(t, 3, storageGCTweak)
+	tc.waitAllLeaders()
+	c := tc.client()
+
+	row := row0(50)
+	if _, err := c.Put(row, "v", []byte("short-lived")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete(row, "v"); err != nil {
+		t.Fatal(err)
+	}
+	leaderNode := tc.leaderOf(0)
+	lr := leaderNode.getReplica(0)
+
+	tombstonePresent := func() bool {
+		for _, e := range lr.engine.EntriesSince(0) {
+			if e.Key.Row == row {
+				return true
+			}
+		}
+		return false
+	}
+	if !tombstonePresent() {
+		t.Fatal("tombstone missing before any compaction")
+	}
+
+	// Keep the cohort writing: acks carry every member's advancing floor,
+	// the watermark follows the slowest member, and a compaction round
+	// that includes the oldest table garbage-collects the delete.
+	value := make([]byte, 512)
+	deadline := time.Now().Add(30 * time.Second)
+	for i := 0; tombstonePresent(); i++ {
+		if _, err := c.Put(row0(100+i%400), "v", value); err != nil {
+			t.Fatalf("filler write %d: %v", i, err)
+		}
+		if time.Now().After(deadline) {
+			st, _ := leaderNode.ReplicaStats(0)
+			flushes, compacts, tables := lr.engine.Stats()
+			t.Fatalf("tombstone never garbage-collected: watermark=%s stats=%+v flushes=%d compacts=%d tables=%d",
+				lr.tombstoneGC(), st, flushes, compacts, tables)
+		}
+	}
+	// The value shadowed by the delete must not have resurrected.
+	if _, _, err := c.Get(row, "v", true); err != ErrNotFound {
+		t.Fatalf("Get after GC = %v, want ErrNotFound", err)
+	}
+}

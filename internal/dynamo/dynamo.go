@@ -33,6 +33,7 @@ import (
 	"spinnaker/internal/core"
 	"spinnaker/internal/kv"
 	"spinnaker/internal/simtime"
+	"spinnaker/internal/sstable"
 	"spinnaker/internal/storage"
 	"spinnaker/internal/transport"
 	"spinnaker/internal/wal"
@@ -217,7 +218,11 @@ func (n *Node) flushLoop() {
 		case <-t.C:
 			captured := make(map[uint32]wal.LSN, len(n.engines))
 			for rangeID, e := range n.engines {
-				if _, err := e.MaybeFlush(); err != nil {
+				// The baseline keeps the paper's unconditional
+				// tombstone GC: it has no log-replay catch-up
+				// contract to protect (anti-entropy is quorum
+				// read-repair), so no watermark applies.
+				if _, _, err := e.MaybeFlush(sstable.DropAllTombstones); err != nil {
 					continue
 				}
 				captured[rangeID] = e.Checkpoint()

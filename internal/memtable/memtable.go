@@ -31,6 +31,7 @@ type Memtable struct {
 	rng    *rand.Rand
 	minLSN wal.LSN
 	maxLSN wal.LSN
+	sealed bool
 }
 
 // New returns an empty memtable.
@@ -71,6 +72,11 @@ func (m *Memtable) findPredecessors(key kv.Key, update []*node) *node {
 func (m *Memtable) Apply(key kv.Key, cell kv.Cell) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.sealed {
+		// A write after sealing would silently miss the SSTable being
+		// built from this memtable — the engine's layering is broken.
+		panic("memtable: Apply to a sealed memtable")
+	}
 
 	update := make([]*node, maxLevel)
 	for i := m.level; i < maxLevel; i++ {
@@ -110,6 +116,16 @@ func (m *Memtable) noteLSN(lsn wal.LSN) {
 	if lsn > m.maxLSN {
 		m.maxLSN = lsn
 	}
+}
+
+// Seal marks the memtable immutable. The storage engine seals the active
+// memtable before queueing it for a flush: reads keep consulting it while
+// the SSTable is built off-lock, but any late Apply — which would vanish
+// from the flushed image — panics instead of corrupting the layering.
+func (m *Memtable) Seal() {
+	m.mu.Lock()
+	m.sealed = true
+	m.mu.Unlock()
 }
 
 // Get returns the cell for key. Tombstones are returned with ok=true and

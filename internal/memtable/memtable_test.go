@@ -11,6 +11,26 @@ import (
 	"spinnaker/internal/wal"
 )
 
+func TestSealedMemtableRejectsApplies(t *testing.T) {
+	m := New()
+	m.Apply(kv.Key{Row: "r", Col: "c"}, kv.Cell{Value: []byte("v"), LSN: wal.MakeLSN(1, 1)})
+	m.Seal()
+	// Reads keep working on a sealed memtable (it stays in the engine's
+	// read path while its SSTable is built).
+	if c, ok := m.Get(kv.Key{Row: "r", Col: "c"}); !ok || string(c.Value) != "v" {
+		t.Fatalf("Get after seal = %q,%v", c.Value, ok)
+	}
+	if got := len(m.Snapshot()); got != 1 {
+		t.Fatalf("Snapshot after seal = %d entries", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Apply to a sealed memtable did not panic")
+		}
+	}()
+	m.Apply(kv.Key{Row: "r2", Col: "c"}, kv.Cell{Value: []byte("late"), LSN: wal.MakeLSN(1, 2)})
+}
+
 func cellAt(seq uint64, val string) kv.Cell {
 	return kv.Cell{Value: []byte(val), LSN: wal.MakeLSN(1, seq), Version: seq}
 }

@@ -74,8 +74,10 @@ type Options struct {
 	SequentialPropose bool
 	// Storage knobs, passed through to the engines and the shared log;
 	// benchmarks lower them so sustained write loads stay memory-flat
-	// (flush → SSTable capture → log segment truncation).
+	// (flush → SSTable capture → log segment truncation). MaxTables is
+	// the table count that triggers an incremental compaction round.
 	FlushBytes    int64
+	MaxTables     int
 	SegmentBytes  int64
 	FlushInterval time.Duration
 }
@@ -181,6 +183,7 @@ func NewSpinnakerCluster(opts Options) (*SpinnakerCluster, error) {
 		ReadConcurrency:         opts.ReadConcurrency,
 		SequentialPropose:       opts.SequentialPropose,
 		FlushBytes:              opts.FlushBytes,
+		MaxTables:               opts.MaxTables,
 		SegmentBytes:            opts.SegmentBytes,
 		FlushInterval:           opts.FlushInterval,
 	}
@@ -450,6 +453,7 @@ func (dc *DynamoCluster) startNode(name string) error {
 		ReadServiceTime:    dc.opts.ReadServiceTime,
 		ReadConcurrency:    dc.opts.ReadConcurrency,
 		FlushBytes:         dc.opts.FlushBytes,
+		MaxTables:          dc.opts.MaxTables,
 		SegmentBytes:       dc.opts.SegmentBytes,
 		FlushInterval:      dc.opts.FlushInterval,
 	}, dc.stores[name], dc.Net.Join(name))

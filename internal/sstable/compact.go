@@ -4,16 +4,30 @@ import (
 	"container/heap"
 
 	"spinnaker/internal/kv"
+	"spinnaker/internal/wal"
 )
 
+// DropAllTombstones is the dropBelow watermark that lets a merge discard
+// every tombstone. Only safe when the caller can prove no reader — local
+// (an older table outside the merge) or remote (a cohort member whose
+// catch-up will replay EntriesSince below the tombstone's LSN) — still
+// needs the deletion marker.
+const DropAllTombstones = ^wal.LSN(0)
+
 // Merge performs a k-way merge of tables into a single sorted run. For keys
-// present in several inputs the newest cell (per kv.Cell.Newer) wins. When
-// dropTombstones is true, deletion markers are omitted from the output —
-// the garbage collection of deleted rows the paper attributes to background
-// merges of smaller SSTables into larger ones (§4.1). Tombstones may only
-// be dropped on a full merge (every table participating); otherwise an
-// older SSTable could resurrect the deleted value.
-func Merge(tables []*Table, dropTombstones bool) ([]kv.Entry, error) {
+// present in several inputs the newest cell (per kv.Cell.Newer) wins.
+//
+// Tombstones at or below dropBelow are omitted from the output — the
+// garbage collection of deleted rows the paper attributes to background
+// merges of smaller SSTables into larger ones (§4.1). Dropping is only
+// sound if (a) every table older than the merged set participates in the
+// merge, else an older table could resurrect the deleted value locally,
+// and (b) dropBelow does not exceed the cohort's tombstone-GC watermark —
+// the minimum committed LSN across cohort members — else a laggard
+// follower's SSTable-based catch-up (§6.1, EntriesSince) would miss the
+// delete and resurrect the row remotely. The storage engine enforces both;
+// dropBelow = 0 keeps every tombstone.
+func Merge(tables []*Table, dropBelow wal.LSN) ([]kv.Entry, error) {
 	h := make(mergeHeap, 0, len(tables))
 	for pri, t := range tables {
 		entries, err := t.Entries()
@@ -46,10 +60,10 @@ func Merge(tables []*Table, dropTombstones bool) ([]kv.Entry, error) {
 		}
 		out = append(out, e)
 	}
-	if dropTombstones {
+	if dropBelow > 0 {
 		live := out[:0]
 		for _, e := range out {
-			if !e.Cell.Deleted {
+			if !e.Cell.Deleted || e.Cell.LSN > dropBelow {
 				live = append(live, e)
 			}
 		}
@@ -58,9 +72,10 @@ func Merge(tables []*Table, dropTombstones bool) ([]kv.Entry, error) {
 	return out, nil
 }
 
-// Compact merges tables and serializes the result as a new table blob.
-func Compact(tables []*Table, dropTombstones bool) ([]byte, error) {
-	entries, err := Merge(tables, dropTombstones)
+// Compact merges tables and serializes the result as a new table blob,
+// dropping tombstones at or below dropBelow (see Merge).
+func Compact(tables []*Table, dropBelow wal.LSN) ([]byte, error) {
+	entries, err := Merge(tables, dropBelow)
 	if err != nil {
 		return nil, err
 	}

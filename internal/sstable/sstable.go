@@ -3,7 +3,10 @@
 // and column for efficient access, indexed, and tagged with the min and max
 // LSN of the writes they contain so the replication layer can serve
 // catch-up requests from SSTables when the log has been rolled over
-// (paper §6.1).
+// (paper §6.1). Each table additionally carries a bloom filter over its
+// cell keys and exposes its min/max key, so the storage engine can prune
+// point lookups to the tables that can actually hold the key instead of
+// probing every table in the LSM.
 package sstable
 
 import (
@@ -17,10 +20,16 @@ import (
 )
 
 const (
-	magic        = 0x55AB1E00 // "SSTABLE"
-	footerSize   = 8 + 8 + 4 + 4 + 4 + 4
+	magic        = 0x55AB1E01 // "SSTABLE", format 1: adds bloom section
+	footerSize   = 8 + 8 + 4 + 4 + 4 + 4 + 4 + 4
 	indexEvery   = 16 // sparse index: one entry per indexEvery records
 	formatErrMsg = "sstable: malformed table"
+
+	// Format 0 (pre-bloom): entries | index | 32-byte footer without the
+	// bloom fields. Still opened read-only so a node upgraded in place
+	// can serve (and eventually compact away) its existing tables.
+	legacyMagic      = 0x55AB1E00
+	legacyFooterSize = 8 + 8 + 4 + 4 + 4 + 4
 )
 
 // ErrMalformed is returned when a table blob fails validation.
@@ -31,9 +40,12 @@ type Table struct {
 	id     uint64
 	data   []byte
 	index  []indexEnt
+	bloom  []byte
 	count  int
 	minLSN wal.LSN
 	maxLSN wal.LSN
+	minKey kv.Key
+	maxKey kv.Key
 }
 
 type indexEnt struct {
@@ -56,7 +68,8 @@ func (b *Builder) Add(e kv.Entry) { b.entries = append(b.entries, e) }
 // Len returns the number of entries added so far.
 func (b *Builder) Len() int { return len(b.entries) }
 
-// Finish serializes the accumulated entries into a table blob.
+// Finish serializes the accumulated entries into a table blob:
+// entries | sparse index | bloom filter | footer.
 func (b *Builder) Finish() []byte {
 	sort.SliceStable(b.entries, func(i, j int) bool {
 		return b.entries[i].Key.Less(b.entries[j].Key)
@@ -80,11 +93,13 @@ func (b *Builder) Finish() []byte {
 		minLSN wal.LSN
 		maxLSN wal.LSN
 	)
+	bloom := newBloomBits(len(b.entries))
 	for i, e := range b.entries {
 		if i%indexEvery == 0 {
 			idx = append(idx, uint32(len(data)))
 		}
 		data = kv.EncodeEntry(data, e)
+		bloomAdd(bloom, e.Key)
 		if l := e.Cell.LSN; !l.IsZero() {
 			if minLSN.IsZero() || l < minLSN {
 				minLSN = l
@@ -100,40 +115,69 @@ func (b *Builder) Finish() []byte {
 		binary.LittleEndian.PutUint32(scratch[:], off)
 		data = append(data, scratch[:]...)
 	}
+	bloomOff := uint32(len(data))
+	data = append(data, bloom...)
 	footer := make([]byte, footerSize)
 	binary.LittleEndian.PutUint64(footer[0:8], uint64(minLSN))
 	binary.LittleEndian.PutUint64(footer[8:16], uint64(maxLSN))
 	binary.LittleEndian.PutUint32(footer[16:20], uint32(len(b.entries)))
 	binary.LittleEndian.PutUint32(footer[20:24], indexOff)
 	binary.LittleEndian.PutUint32(footer[24:28], uint32(len(idx)))
-	binary.LittleEndian.PutUint32(footer[28:32], magic)
+	binary.LittleEndian.PutUint32(footer[28:32], bloomOff)
+	binary.LittleEndian.PutUint32(footer[32:36], uint32(len(bloom)))
+	binary.LittleEndian.PutUint32(footer[36:40], magic)
 	return append(data, footer...)
 }
 
-// Open parses a table blob produced by Builder.Finish.
+// Open parses a table blob produced by Builder.Finish (or by a pre-bloom
+// binary; both formats keep the magic in the blob's final four bytes, so
+// the trailing word selects the layout).
 func Open(id uint64, blob []byte) (*Table, error) {
-	if len(blob) < footerSize {
+	if len(blob) < legacyFooterSize {
 		return nil, fmt.Errorf("%w: too short", ErrMalformed)
 	}
-	footer := blob[len(blob)-footerSize:]
-	if binary.LittleEndian.Uint32(footer[28:32]) != magic {
+	t := &Table{id: id}
+	var indexOff, indexLen uint64
+	switch binary.LittleEndian.Uint32(blob[len(blob)-4:]) {
+	case magic:
+		if len(blob) < footerSize {
+			return nil, fmt.Errorf("%w: too short", ErrMalformed)
+		}
+		footer := blob[len(blob)-footerSize:]
+		t.minLSN = wal.LSN(binary.LittleEndian.Uint64(footer[0:8]))
+		t.maxLSN = wal.LSN(binary.LittleEndian.Uint64(footer[8:16]))
+		t.count = int(binary.LittleEndian.Uint32(footer[16:20]))
+		body := uint64(len(blob) - footerSize)
+		indexOff = uint64(binary.LittleEndian.Uint32(footer[20:24]))
+		indexLen = uint64(binary.LittleEndian.Uint32(footer[24:28]))
+		bloomOff := uint64(binary.LittleEndian.Uint32(footer[28:32]))
+		bloomLen := uint64(binary.LittleEndian.Uint32(footer[32:36]))
+		// Section layout must be data | index | bloom, each in bounds;
+		// the uint64 arithmetic keeps a forged length from wrapping on
+		// 32-bit.
+		if indexOff+indexLen*4 != bloomOff || bloomOff+bloomLen != body {
+			return nil, fmt.Errorf("%w: sections out of bounds", ErrMalformed)
+		}
+		t.bloom = blob[bloomOff : bloomOff+bloomLen]
+	case legacyMagic:
+		// Format 0: no bloom section; MayContain falls back to the
+		// key-range tags alone (never a false negative).
+		footer := blob[len(blob)-legacyFooterSize:]
+		t.minLSN = wal.LSN(binary.LittleEndian.Uint64(footer[0:8]))
+		t.maxLSN = wal.LSN(binary.LittleEndian.Uint64(footer[8:16]))
+		t.count = int(binary.LittleEndian.Uint32(footer[16:20]))
+		indexOff = uint64(binary.LittleEndian.Uint32(footer[20:24]))
+		indexLen = uint64(binary.LittleEndian.Uint32(footer[24:28]))
+		if indexOff+indexLen*4 != uint64(len(blob)-legacyFooterSize) {
+			return nil, fmt.Errorf("%w: sections out of bounds", ErrMalformed)
+		}
+	default:
 		return nil, fmt.Errorf("%w: bad magic", ErrMalformed)
-	}
-	t := &Table{
-		id:     id,
-		minLSN: wal.LSN(binary.LittleEndian.Uint64(footer[0:8])),
-		maxLSN: wal.LSN(binary.LittleEndian.Uint64(footer[8:16])),
-		count:  int(binary.LittleEndian.Uint32(footer[16:20])),
-	}
-	indexOff := binary.LittleEndian.Uint32(footer[20:24])
-	indexLen := int(binary.LittleEndian.Uint32(footer[24:28]))
-	if int(indexOff)+indexLen*4 > len(blob)-footerSize {
-		return nil, fmt.Errorf("%w: index out of bounds", ErrMalformed)
 	}
 	t.data = blob[:indexOff]
 	t.index = make([]indexEnt, indexLen)
-	for i := 0; i < indexLen; i++ {
-		off := binary.LittleEndian.Uint32(blob[int(indexOff)+i*4:])
+	for i := uint64(0); i < indexLen; i++ {
+		off := binary.LittleEndian.Uint32(blob[indexOff+i*4:])
 		if int(off) > len(t.data) {
 			return nil, fmt.Errorf("%w: index entry out of bounds", ErrMalformed)
 		}
@@ -142,6 +186,21 @@ func Open(id uint64, blob []byte) (*Table, error) {
 			return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
 		}
 		t.index[i] = indexEnt{key: e.Key, off: off}
+	}
+	if len(t.index) > 0 {
+		// Key-range tags: the first entry is the min key; the max key is
+		// within the last index block (≤ indexEvery entries from its
+		// start).
+		t.minKey = t.index[0].key
+		off := int(t.index[len(t.index)-1].off)
+		for off < len(t.data) {
+			e, n, err := kv.DecodeEntry(t.data[off:])
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+			}
+			t.maxKey = e.Key
+			off += n
+		}
 	}
 	return t, nil
 }
@@ -156,8 +215,35 @@ func (t *Table) Len() int { return t.count }
 // tagged with the min and max LSN of the writes that it contains").
 func (t *Table) LSNRange() (min, max wal.LSN) { return t.minLSN, t.maxLSN }
 
+// KeyRange returns the smallest and largest key in the table; ok is false
+// for an empty table.
+func (t *Table) KeyRange() (min, max kv.Key, ok bool) {
+	return t.minKey, t.maxKey, len(t.index) > 0
+}
+
 // Bytes returns the serialized blob size (data + index, without footer).
 func (t *Table) Bytes() int { return len(t.data) }
+
+// MayContain reports whether the table can hold key, by key-range tag and
+// bloom filter. False means a Get is guaranteed to miss; true means it may
+// hit (bloom false positives pass). A table without a bloom section (a
+// pre-bloom legacy blob) prunes on the key range alone — admitting is the
+// only safe answer, since a false negative would hide committed data.
+func (t *Table) MayContain(key kv.Key) bool {
+	if len(t.index) == 0 || key.Less(t.minKey) || t.maxKey.Less(key) {
+		return false
+	}
+	if len(t.bloom) == 0 {
+		return true
+	}
+	return bloomMayContain(t.bloom, key)
+}
+
+// SpansRow reports whether the table's key range intersects row (the bloom
+// filter is per cell key, so row scans prune on the range tags only).
+func (t *Table) SpansRow(row string) bool {
+	return len(t.index) > 0 && t.minKey.Row <= row && row <= t.maxKey.Row
+}
 
 // Get returns the cell stored for key.
 func (t *Table) Get(key kv.Key) (kv.Cell, bool) {
@@ -204,17 +290,34 @@ func (t *Table) Ascend(fn func(e kv.Entry) bool) error {
 	return nil
 }
 
-// AscendRow calls fn for each column of row in column order.
+// AscendRow calls fn for each column of row in column order, seeking to the
+// row through the sparse index instead of scanning from the head.
 func (t *Table) AscendRow(row string, fn func(e kv.Entry) bool) error {
-	return t.Ascend(func(e kv.Entry) bool {
-		if e.Key.Row < row {
-			return true
+	if !t.SpansRow(row) {
+		return nil
+	}
+	start := kv.Key{Row: row}
+	i := sort.Search(len(t.index), func(i int) bool {
+		return start.Less(t.index[i].key)
+	}) - 1
+	if i < 0 {
+		i = 0
+	}
+	off := int(t.index[i].off)
+	for off < len(t.data) {
+		e, n, err := kv.DecodeEntry(t.data[off:])
+		if err != nil {
+			return fmt.Errorf("sstable: scan: %w", err)
 		}
 		if e.Key.Row > row {
-			return false
+			return nil
 		}
-		return fn(e)
-	})
+		if e.Key.Row == row && !fn(e) {
+			return nil
+		}
+		off += n
+	}
+	return nil
 }
 
 // Entries returns all entries; catch-up uses it to ship whole tables.

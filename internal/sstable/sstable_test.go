@@ -1,6 +1,7 @@
 package sstable
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"testing"
@@ -167,7 +168,7 @@ func TestMergeNewestWins(t *testing.T) {
 		entry("b", "1", "new-b", 5),
 		entry("c", "1", "new-c", 6),
 	)
-	merged, err := Merge([]*Table{newer, older}, false)
+	merged, err := Merge([]*Table{newer, older}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestMergeDropsTombstonesOnFullMerge(t *testing.T) {
 		Cell: kv.Cell{Deleted: true, LSN: wal.MakeLSN(1, 9), Version: 9}}
 	tombs := buildTable(t, 2, del)
 
-	full, err := Merge([]*Table{tombs, data}, true)
+	full, err := Merge([]*Table{tombs, data}, DropAllTombstones)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +201,7 @@ func TestMergeDropsTombstonesOnFullMerge(t *testing.T) {
 		t.Errorf("full merge = %v, want only b:1", full)
 	}
 
-	partial, err := Merge([]*Table{tombs, data}, false)
+	partial, err := Merge([]*Table{tombs, data}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,10 +219,38 @@ func TestMergeDropsTombstonesOnFullMerge(t *testing.T) {
 	}
 }
 
+func TestMergeWatermarkGatesTombstones(t *testing.T) {
+	data := buildTable(t, 1, entry("a", "1", "v", 1), entry("b", "1", "v", 2))
+	oldDel := kv.Entry{Key: kv.Key{Row: "a", Col: "1"},
+		Cell: kv.Cell{Deleted: true, LSN: wal.MakeLSN(1, 5), Version: 5}}
+	newDel := kv.Entry{Key: kv.Key{Row: "b", Col: "1"},
+		Cell: kv.Cell{Deleted: true, LSN: wal.MakeLSN(1, 9), Version: 9}}
+	tombs := buildTable(t, 2, oldDel, newDel)
+
+	// Watermark at 1.5: the delete at 1.5 (and the value it shadows) is
+	// garbage-collected; the delete at 1.9 must survive the merge so
+	// catch-up can still ship it to a follower whose cmt < 1.9.
+	merged, err := Merge([]*Table{tombs, data}, wal.MakeLSN(1, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{} // row → deleted
+	for _, e := range merged {
+		got[e.Key.Row] = e.Cell.Deleted
+	}
+	if _, ok := got["a"]; ok {
+		t.Errorf("tombstone at watermark survived: %v", merged)
+	}
+	deleted, ok := got["b"]
+	if !ok || !deleted {
+		t.Errorf("tombstone above watermark dropped: %v", merged)
+	}
+}
+
 func TestCompactRoundTrip(t *testing.T) {
 	t1 := buildTable(t, 1, entry("a", "1", "a", 1), entry("b", "1", "b-old", 2))
 	t2 := buildTable(t, 2, entry("b", "1", "b-new", 4), entry("c", "1", "c", 5))
-	blob, err := Compact([]*Table{t2, t1}, true)
+	blob, err := Compact([]*Table{t2, t1}, DropAllTombstones)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,6 +300,161 @@ func TestTablePropertyAllKeysFindable(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestTableKeyRangeAndMayContain(t *testing.T) {
+	tbl := buildTable(t, 1,
+		entry("b", "1", "v", 1),
+		entry("d", "2", "v", 2),
+		entry("f", "1", "v", 3),
+	)
+	min, max, ok := tbl.KeyRange()
+	if !ok || min.Row != "b" || max.Row != "f" {
+		t.Fatalf("KeyRange = %v..%v,%v", min, max, ok)
+	}
+	// Out-of-range keys are rejected without touching the bloom filter.
+	if tbl.MayContain(kv.Key{Row: "a", Col: "9"}) {
+		t.Error("key below range admitted")
+	}
+	if tbl.MayContain(kv.Key{Row: "g", Col: "0"}) {
+		t.Error("key above range admitted")
+	}
+	// Present keys must always be admitted (no false negatives).
+	for _, k := range []kv.Key{{Row: "b", Col: "1"}, {Row: "d", Col: "2"}, {Row: "f", Col: "1"}} {
+		if !tbl.MayContain(k) {
+			t.Errorf("present key %v rejected", k)
+		}
+	}
+	if tbl.SpansRow("a") || tbl.SpansRow("g") {
+		t.Error("SpansRow admitted out-of-range rows")
+	}
+	if !tbl.SpansRow("c") || !tbl.SpansRow("b") || !tbl.SpansRow("f") {
+		t.Error("SpansRow rejected in-range rows")
+	}
+
+	empty := buildTable(t, 2)
+	if _, _, ok := empty.KeyRange(); ok {
+		t.Error("empty table reports a key range")
+	}
+	if empty.MayContain(kv.Key{Row: "b", Col: "1"}) || empty.SpansRow("b") {
+		t.Error("empty table admits keys")
+	}
+}
+
+func TestBloomFalsePositiveRate(t *testing.T) {
+	b := NewBuilder()
+	const n = 4096
+	for i := 0; i < n; i++ {
+		b.Add(entry(fmt.Sprintf("row%05d", i*2), "c", "v", uint64(i+1)))
+	}
+	tbl, err := Open(1, b.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No false negatives.
+	for i := 0; i < n; i++ {
+		if !tbl.MayContain(kv.Key{Row: fmt.Sprintf("row%05d", i*2), Col: "c"}) {
+			t.Fatalf("present key row%05d rejected", i*2)
+		}
+	}
+	// Absent keys inside the key range: the bloom filter must prune the
+	// vast majority (~1% theoretical at 10 bits/key; allow 5%).
+	fp := 0
+	for i := 0; i < n; i++ {
+		if tbl.MayContain(kv.Key{Row: fmt.Sprintf("row%05d", i*2+1), Col: "c"}) {
+			fp++
+		}
+	}
+	if fp > n/20 {
+		t.Errorf("false positive rate %d/%d exceeds 5%%", fp, n)
+	}
+}
+
+// buildLegacyBlob serializes entries in the pre-bloom format 0 layout
+// (entries | index | 32-byte footer, magic 0x55AB1E00) exactly as the
+// seed binary wrote them.
+func buildLegacyBlob(entries ...kv.Entry) []byte {
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key.Less(entries[j].Key) })
+	var (
+		data           []byte
+		idx            []uint32
+		minLSN, maxLSN wal.LSN
+	)
+	for i, e := range entries {
+		if i%indexEvery == 0 {
+			idx = append(idx, uint32(len(data)))
+		}
+		data = kv.EncodeEntry(data, e)
+		if l := e.Cell.LSN; !l.IsZero() {
+			if minLSN.IsZero() || l < minLSN {
+				minLSN = l
+			}
+			if l > maxLSN {
+				maxLSN = l
+			}
+		}
+	}
+	indexOff := uint32(len(data))
+	var scratch [4]byte
+	for _, off := range idx {
+		binary.LittleEndian.PutUint32(scratch[:], off)
+		data = append(data, scratch[:]...)
+	}
+	footer := make([]byte, legacyFooterSize)
+	binary.LittleEndian.PutUint64(footer[0:8], uint64(minLSN))
+	binary.LittleEndian.PutUint64(footer[8:16], uint64(maxLSN))
+	binary.LittleEndian.PutUint32(footer[16:20], uint32(len(entries)))
+	binary.LittleEndian.PutUint32(footer[20:24], indexOff)
+	binary.LittleEndian.PutUint32(footer[24:28], uint32(len(idx)))
+	binary.LittleEndian.PutUint32(footer[28:32], legacyMagic)
+	return append(data, footer...)
+}
+
+func TestOpenLegacyFormatTable(t *testing.T) {
+	blob := buildLegacyBlob(
+		entry("a", "1", "va", 1),
+		entry("b", "1", "vb", 2),
+		entry("c", "1", "vc", 3),
+	)
+	tbl, err := Open(7, blob)
+	if err != nil {
+		t.Fatalf("legacy blob rejected: %v", err)
+	}
+	if tbl.Len() != 3 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	for _, row := range []string{"a", "b", "c"} {
+		c, ok := tbl.Get(kv.Key{Row: row, Col: "1"})
+		if !ok || string(c.Value) != "v"+row {
+			t.Errorf("Get(%s) = %q,%v", row, c.Value, ok)
+		}
+		// Without a bloom section, in-range keys must always be admitted
+		// (a false negative would hide committed data).
+		if !tbl.MayContain(kv.Key{Row: row, Col: "1"}) {
+			t.Errorf("legacy MayContain(%s) = false", row)
+		}
+	}
+	// Key-range pruning still works.
+	if tbl.MayContain(kv.Key{Row: "zzz", Col: "1"}) {
+		t.Error("legacy table admitted out-of-range key")
+	}
+	min, max := tbl.LSNRange()
+	if min != wal.MakeLSN(1, 1) || max != wal.MakeLSN(1, 3) {
+		t.Errorf("legacy LSNRange = %s,%s", min, max)
+	}
+	// And a merge (an upgrade-time compaction) rewrites it in the new
+	// format, bloom included.
+	blob2, err := Compact([]*Table{tbl}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl2, err := Open(8, blob2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl2.Len() != 3 || len(tbl2.bloom) == 0 {
+		t.Errorf("rewritten table: len=%d bloomBytes=%d", tbl2.Len(), len(tbl2.bloom))
 	}
 }
 

@@ -9,6 +9,19 @@
 // (follower). The memtable is volatile — a crash loses it and local
 // recovery rebuilds it by replaying the log from the last checkpoint
 // (paper §6.1). SSTables and the manifest survive crashes.
+//
+// Maintenance is concurrent and incremental: a flush seals the active
+// memtable onto an immutable queue and builds its SSTable outside the
+// engine lock (applies and reads proceed against the new active memtable,
+// the sealed queue, and the current table set throughout), taking the write
+// lock only to swap the table set and persist the manifest. Compaction is
+// size-tiered — each round merges a few adjacent, similar-sized tables, also
+// off-lock with a short swap — instead of a stop-the-world full merge.
+// Tombstones are garbage-collected only at or below the cohort tombstone-GC
+// watermark the replication layer passes in (the minimum committed LSN
+// across cohort members): dropping a newer tombstone would make
+// EntriesSince-based catch-up (§6.1) incomplete and resurrect the deleted
+// row on a lagging follower.
 package storage
 
 import (
@@ -16,6 +29,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"spinnaker/internal/kv"
 	"spinnaker/internal/memtable"
@@ -35,28 +49,51 @@ type Config struct {
 	// FlushBytes is the memtable size that triggers a flush from
 	// MaybeFlush. Zero means 4 MiB.
 	FlushBytes int64
-	// MaxTables triggers a full compaction from MaybeFlush when
-	// exceeded. Zero means 8.
+	// MaxTables triggers an incremental compaction round from MaybeFlush
+	// when exceeded. Zero means 8.
 	MaxTables int
+	// CompactFanIn bounds how many tables one compaction round merges.
+	// Zero means 4.
+	CompactFanIn int
 }
 
 // Engine is a single key-range replica's storage.
 type Engine struct {
 	cfg Config
 
+	// mu guards the layered view — active memtable, sealed queue, table
+	// set — and the manifest fields. Maintenance holds it only for the
+	// short seal/swap critical sections; SSTable builds and blob-store
+	// I/O run outside it, so applies and reads proceed concurrently with
+	// flushes and compactions.
 	mu         sync.RWMutex
 	mem        *memtable.Memtable
-	tables     []*sstable.Table // newest first
+	sealed     []*memtable.Memtable // oldest → newest, awaiting flush
+	tables     []*sstable.Table     // newest first
 	nextID     uint64
-	appliedLSN wal.LSN
 	checkpoint wal.LSN
 	flushes    int64
 	compacts   int64
+	closed     bool // maintenance permanently disabled (Close)
+
+	// maintMu serializes maintenance (one flush or compaction at a time);
+	// reads and applies never take it.
+	maintMu sync.Mutex
+
+	applied   atomic.Uint64 // highest applied LSN
+	probes    atomic.Int64  // table lookups considered by point reads
+	pruned    atomic.Int64  // table lookups skipped by bloom/key-range tags
+	maintErrs atomic.Int64  // failed maintenance attempts (see MaybeFlush)
+	lastMaint atomic.Value  // most recent maintenance error (error)
 }
 
 func manifestKey(cohort uint32) string { return fmt.Sprintf("manifest/%d", cohort) }
 
-// Open loads (or initializes) the engine state from its stores.
+// Open loads (or initializes) the engine state from its stores, and sweeps
+// blob ids the manifest does not reference: a crash between a blob Put and
+// the manifest save (or between a compaction's manifest save and the
+// removal of its inputs) orphans blobs, and Open is the recovery point
+// where they are reclaimed.
 func Open(cfg Config) (*Engine, error) {
 	if cfg.Tables == nil || cfg.Meta == nil {
 		return nil, fmt.Errorf("storage: Tables and Meta stores are required")
@@ -67,33 +104,46 @@ func Open(cfg Config) (*Engine, error) {
 	if cfg.MaxTables <= 0 {
 		cfg.MaxTables = 8
 	}
+	if cfg.CompactFanIn < 2 {
+		cfg.CompactFanIn = 4
+	}
 	e := &Engine{cfg: cfg, mem: memtable.New()}
 
+	referenced := make(map[uint64]bool)
 	raw, ok, err := cfg.Meta.Get(manifestKey(cfg.Cohort))
 	if err != nil {
 		return nil, fmt.Errorf("storage: load manifest: %w", err)
 	}
-	if !ok {
-		return e, nil
-	}
-	man, err := decodeManifest(raw)
-	if err != nil {
-		return nil, err
-	}
-	e.nextID = man.nextID
-	e.checkpoint = man.checkpoint
-	e.appliedLSN = man.checkpoint
-	for _, id := range man.tableIDs {
-		blob, err := cfg.Tables.Get(id)
+	if ok {
+		man, err := decodeManifest(raw)
 		if err != nil {
-			return nil, fmt.Errorf("storage: open table %d: %w", id, err)
+			return nil, err
 		}
-		t, err := sstable.Open(id, blob)
-		if err != nil {
-			return nil, fmt.Errorf("storage: parse table %d: %w", id, err)
+		e.nextID = man.nextID
+		e.checkpoint = man.checkpoint
+		e.applied.Store(uint64(man.checkpoint))
+		for _, id := range man.tableIDs {
+			blob, err := cfg.Tables.Get(id)
+			if err != nil {
+				return nil, fmt.Errorf("storage: open table %d: %w", id, err)
+			}
+			t, err := sstable.Open(id, blob)
+			if err != nil {
+				return nil, fmt.Errorf("storage: parse table %d: %w", id, err)
+			}
+			referenced[id] = true
+			// manifest lists oldest→newest; keep newest first.
+			e.tables = append([]*sstable.Table{t}, e.tables...)
 		}
-		// manifest lists oldest→newest; keep newest first.
-		e.tables = append([]*sstable.Table{t}, e.tables...)
+	}
+	// Orphan sweep. Best-effort: a failed List or Remove leaves the
+	// orphan for the next Open, never fails startup.
+	if ids, err := cfg.Tables.List(); err == nil {
+		for _, id := range ids {
+			if !referenced[id] {
+				_ = cfg.Tables.Remove(id)
+			}
+		}
 	}
 	return e, nil
 }
@@ -122,63 +172,105 @@ func decodeManifest(b []byte) (manifest, error) {
 	}
 	m.nextID = binary.LittleEndian.Uint64(b[0:8])
 	m.checkpoint = wal.LSN(binary.LittleEndian.Uint64(b[8:16]))
-	n := int(binary.LittleEndian.Uint32(b[16:20]))
-	if len(b) < 20+8*n {
-		return m, fmt.Errorf("storage: manifest truncated: want %d table ids", n)
+	// Validate the count against the payload before trusting it: a
+	// corrupt count would otherwise drive a huge allocation, and the
+	// 20+8*n bound computed in int can overflow on 32-bit platforms.
+	n := uint64(binary.LittleEndian.Uint32(b[16:20]))
+	if n > (uint64(len(b))-20)/8 {
+		return m, fmt.Errorf("storage: manifest truncated: %d table ids exceed %d payload bytes", n, len(b)-20)
 	}
-	for i := 0; i < n; i++ {
+	for i := uint64(0); i < n; i++ {
 		m.tableIDs = append(m.tableIDs, binary.LittleEndian.Uint64(b[20+8*i:]))
 	}
 	return m, nil
 }
 
-// saveManifestLocked persists the current table set and checkpoint;
-// callers hold e.mu.
-func (e *Engine) saveManifestLocked() error {
-	m := manifest{nextID: e.nextID, checkpoint: e.checkpoint}
-	for i := len(e.tables) - 1; i >= 0; i-- { // oldest → newest
-		m.tableIDs = append(m.tableIDs, e.tables[i].ID())
+// saveManifest persists a table set (newest first) and checkpoint. Callers
+// hold maintMu — which makes them the sole mutator of the table set,
+// checkpoint, and id counter — and commit the corresponding in-memory state
+// only after this succeeds, so the durable manifest never references state
+// the engine did not reach. The metadata write itself deliberately runs
+// WITHOUT e.mu: on disk-backed stores it is a synchronous file write, and
+// holding the engine lock across it would stall every read and apply.
+func (e *Engine) saveManifest(nextID uint64, tables []*sstable.Table, checkpoint wal.LSN) error {
+	m := manifest{nextID: nextID, checkpoint: checkpoint}
+	for i := len(tables) - 1; i >= 0; i-- { // oldest → newest
+		m.tableIDs = append(m.tableIDs, tables[i].ID())
 	}
 	return e.cfg.Meta.Put(manifestKey(e.cfg.Cohort), encodeManifest(m))
 }
 
 // Apply records a committed write. The replication layer calls it in LSN
 // order within the cohort; applying the same entry twice is harmless
-// (idempotent redo, paper §6.1).
+// (idempotent redo, paper §6.1). The read lock only excludes the flush
+// path's memtable swap — the memtable itself is internally synchronized —
+// so applies run concurrently with reads and with SSTable builds.
 func (e *Engine) Apply(entry kv.Entry) {
-	e.mu.Lock()
+	e.mu.RLock()
 	e.mem.Apply(entry.Key, entry.Cell)
-	if entry.Cell.LSN > e.appliedLSN {
-		e.appliedLSN = entry.Cell.LSN
+	e.mu.RUnlock()
+	for {
+		cur := e.applied.Load()
+		if uint64(entry.Cell.LSN) <= cur || e.applied.CompareAndSwap(cur, uint64(entry.Cell.LSN)) {
+			return
+		}
 	}
-	e.mu.Unlock()
 }
 
 // AppliedLSN returns the highest LSN applied to the engine.
 func (e *Engine) AppliedLSN() wal.LSN {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.appliedLSN
+	return wal.LSN(e.applied.Load())
 }
 
 // Checkpoint returns the LSN through which all writes are captured in
-// SSTables; local recovery replays the log from here (paper §6.1).
+// SSTables; local recovery replays the log from here (paper §6.1). It is
+// also the engine's durable commit floor: the replication layer reports it
+// to the cohort leader, whose tombstone-GC watermark is the minimum floor
+// across members.
 func (e *Engine) Checkpoint() wal.LSN {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.checkpoint
 }
 
-// Get returns the newest cell for key, including tombstones (the caller
-// interprets Cell.Deleted). The memtable always holds the newest state
-// because applies go there first.
-func (e *Engine) Get(key kv.Key) (kv.Cell, bool) {
+// layers snapshots the engine's read view. The returned slice headers are
+// immutable (every mutation installs fresh slices), and memtables are
+// internally synchronized, so callers read them without holding e.mu —
+// long scans never block the maintenance swaps.
+func (e *Engine) layers() (mem *memtable.Memtable, sealed []*memtable.Memtable, tables []*sstable.Table) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	if c, ok := e.mem.Get(key); ok {
+	return e.mem, e.sealed, e.tables
+}
+
+// Get returns the newest cell for key, including tombstones (the caller
+// interprets Cell.Deleted). Layers are probed newest first — active
+// memtable, sealed memtables, then tables pruned by bloom filter and
+// key-range tags — and the first hit wins.
+func (e *Engine) Get(key kv.Key) (kv.Cell, bool) {
+	mem, sealed, tables := e.layers()
+	if c, ok := mem.Get(key); ok {
 		return c, true
 	}
-	for _, t := range e.tables {
+	for i := len(sealed) - 1; i >= 0; i-- {
+		if c, ok := sealed[i].Get(key); ok {
+			return c, true
+		}
+	}
+	// Batch the stats into one atomic add each at exit: per-table RMWs on
+	// a shared cacheline would tax exactly the hot path the pruning is
+	// there to speed up.
+	var probed, prunedN int64
+	defer func() {
+		e.probes.Add(probed)
+		e.pruned.Add(prunedN)
+	}()
+	for _, t := range tables {
+		probed++
+		if !t.MayContain(key) {
+			prunedN++
+			continue
+		}
 		if c, ok := t.Get(key); ok {
 			return c, true
 		}
@@ -189,8 +281,7 @@ func (e *Engine) Get(key kv.Key) (kv.Cell, bool) {
 // GetRow returns the newest cell of every live (non-deleted) column of row,
 // in column order.
 func (e *Engine) GetRow(row string) []kv.Entry {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	mem, sealed, tables := e.layers()
 	newest := make(map[string]kv.Cell)
 	var order []string
 	consider := func(ent kv.Entry) {
@@ -204,8 +295,14 @@ func (e *Engine) GetRow(row string) []kv.Entry {
 			newest[ent.Key.Col] = ent.Cell
 		}
 	}
-	e.mem.AscendRow(row, func(ent kv.Entry) bool { consider(ent); return true })
-	for _, t := range e.tables {
+	mem.AscendRow(row, func(ent kv.Entry) bool { consider(ent); return true })
+	for i := len(sealed) - 1; i >= 0; i-- {
+		sealed[i].AscendRow(row, func(ent kv.Entry) bool { consider(ent); return true })
+	}
+	for _, t := range tables {
+		if !t.SpansRow(row) {
+			continue
+		}
 		_ = t.AscendRow(row, func(ent kv.Entry) bool { consider(ent); return true })
 	}
 	var out []kv.Entry
@@ -225,104 +322,327 @@ func sortEntries(es []kv.Entry) {
 	sort.Slice(es, func(i, j int) bool { return es[i].Key.Less(es[j].Key) })
 }
 
-// MemtableBytes returns the current memtable footprint.
+// MemtableBytes returns the active memtable footprint (sealed memtables
+// are already queued for flush and excluded from the flush trigger).
 func (e *Engine) MemtableBytes() int64 {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.mem.Bytes()
 }
 
-// MaybeFlush flushes when the memtable exceeds the flush threshold and
-// compacts when the table count exceeds MaxTables. It reports whether any
-// background work ran.
-func (e *Engine) MaybeFlush() (bool, error) {
+// MaybeFlush flushes when the memtable exceeds the flush threshold (or a
+// sealed memtable is still queued from an earlier failed attempt) and runs
+// one incremental compaction round when the table count exceeds MaxTables,
+// dropping tombstones at or below tombstoneGC when the round includes the
+// oldest table. It reports which of the two actually ran — a flush that
+// succeeded advances the checkpoint and must drive log truncation even if
+// the compaction after it failed.
+func (e *Engine) MaybeFlush(tombstoneGC wal.LSN) (flushed, compacted bool, err error) {
 	e.mu.RLock()
-	over := e.mem.Bytes() >= e.cfg.FlushBytes
-	tooMany := len(e.tables) > e.cfg.MaxTables
+	over := e.mem.Bytes() >= e.cfg.FlushBytes || len(e.sealed) > 0
 	e.mu.RUnlock()
 	if over {
-		if err := e.Flush(); err != nil {
-			return false, err
-		}
+		n, ferr := e.flush()
+		flushed = n > 0
+		err = ferr
 	}
+	e.mu.RLock()
+	tooMany := len(e.tables) > e.cfg.MaxTables
+	e.mu.RUnlock()
 	if tooMany {
-		if err := e.CompactAll(); err != nil {
-			return false, err
+		did, cerr := e.compactRound(tombstoneGC, false, true)
+		compacted = did
+		if err == nil {
+			err = cerr
 		}
 	}
-	return over || tooMany, nil
+	if err != nil {
+		e.maintErrs.Add(1)
+		e.lastMaint.Store(err)
+	}
+	return flushed, compacted, err
 }
 
-// Flush captures the memtable into a new SSTable and advances the
-// checkpoint to the memtable's max LSN. An empty memtable is a no-op.
-func (e *Engine) Flush() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.mem.Len() == 0 {
-		return nil
+// MaintenanceErrors reports how many MaybeFlush attempts failed and the
+// most recent failure. The flush daemon retries on its next tick rather
+// than escalating, so a persistently failing blob store (full or
+// read-only disk) surfaces here instead of vanishing.
+func (e *Engine) MaintenanceErrors() (count int64, last error) {
+	if v := e.lastMaint.Load(); v != nil {
+		last = v.(error)
 	}
-	entries := e.mem.Snapshot()
-	_, maxLSN := e.mem.LSNRange()
+	return e.maintErrs.Load(), last
+}
 
+// Close permanently disables maintenance on this engine, draining any
+// round in flight before returning. A retired replica's engine must stop
+// writing blobs and the manifest: a successor engine opened over the same
+// per-cohort stores (a later re-join of the range) sweeps unreferenced
+// blobs at Open and starts from a wiped manifest, and a late flush or
+// compaction from the predecessor would overwrite that manifest with
+// stale pre-departure tables — or persist references to blobs the sweep
+// just removed. Reads and applies keep working on the in-memory state.
+func (e *Engine) Close() {
+	e.maintMu.Lock()
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	e.maintMu.Unlock()
+}
+
+// Flush captures the memtable into SSTables and advances the checkpoint to
+// the flushed max LSN. An empty memtable is a no-op.
+func (e *Engine) Flush() error {
+	_, err := e.flush()
+	return err
+}
+
+// flush seals the active memtable and drains the sealed queue oldest
+// first, reporting how many SSTables were produced.
+func (e *Engine) flush() (int, error) {
+	e.maintMu.Lock()
+	defer e.maintMu.Unlock()
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return 0, nil
+	}
+	if e.mem.Len() > 0 {
+		e.mem.Seal()
+		e.sealed = append(e.sealed, e.mem)
+		e.mem = memtable.New()
+	}
+	e.mu.Unlock()
+
+	n := 0
+	for {
+		did, err := e.flushOldestSealed()
+		if err != nil {
+			return n, err
+		}
+		if !did {
+			return n, nil
+		}
+		n++
+	}
+}
+
+// flushOldestSealed builds and installs one SSTable from the oldest sealed
+// memtable. Applies are LSN-ordered, so each seal is an LSN cut: flushing
+// oldest first keeps the invariant that every write at or below the
+// checkpoint is captured in SSTables.
+func (e *Engine) flushOldestSealed() (bool, error) {
+	e.mu.Lock()
+	if len(e.sealed) == 0 {
+		e.mu.Unlock()
+		return false, nil
+	}
+	seal := e.sealed[0]
+	id := e.nextID
+	e.nextID++
+	nextID := e.nextID
+	curTables := e.tables
+	curCheckpoint := e.checkpoint
+	e.mu.Unlock()
+
+	// Build and store the SSTable off-lock: reads and applies proceed
+	// against the sealed memtable (still in the read path) meanwhile.
 	b := sstable.NewBuilder()
-	for _, ent := range entries {
+	for _, ent := range seal.Snapshot() {
 		b.Add(ent)
 	}
-	id := e.nextID
-	e.nextID++
+	_, maxLSN := seal.LSNRange()
 	blob := b.Finish()
 	if err := e.cfg.Tables.Put(id, blob); err != nil {
-		return fmt.Errorf("storage: flush: %w", err)
+		// The sealed memtable stays queued; the id, if the Put partially
+		// landed, is an orphan for the Open-time sweep.
+		return false, fmt.Errorf("storage: flush: %w", err)
 	}
 	t, err := sstable.Open(id, blob)
 	if err != nil {
-		return fmt.Errorf("storage: flush reopen: %w", err)
+		return false, fmt.Errorf("storage: flush reopen: %w", err)
 	}
-	e.tables = append([]*sstable.Table{t}, e.tables...)
-	if maxLSN > e.checkpoint {
-		e.checkpoint = maxLSN
-	}
-	if err := e.saveManifestLocked(); err != nil {
-		return err
-	}
-	e.mem = memtable.New()
-	e.flushes++
-	return nil
-}
 
-// CompactAll merges every SSTable into one, dropping tombstones (full
-// merge), and atomically swaps the manifest.
-func (e *Engine) CompactAll() error {
+	// Persist before publishing, still off e.mu (holding maintMu, we are
+	// the only mutator of the table set and checkpoint, so the computed
+	// manifest cannot go stale): on a manifest failure the blob is an
+	// orphan (swept at Open), the sealed memtable stays readable and
+	// queued, and the checkpoint — which gates log truncation and the
+	// cohort tombstone-GC floor — never runs ahead of the durable state.
+	newTables := append([]*sstable.Table{t}, curTables...)
+	newCheckpoint := curCheckpoint
+	if maxLSN > newCheckpoint {
+		newCheckpoint = maxLSN
+	}
+	if err := e.saveManifest(nextID, newTables, newCheckpoint); err != nil {
+		return false, err
+	}
+
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if len(e.tables) <= 1 {
-		return nil
+	e.tables = newTables
+	e.checkpoint = newCheckpoint
+	// DropMemtable (crash simulation) may have discarded the sealed
+	// queue while the build ran; only unlink the memtable we flushed.
+	if len(e.sealed) > 0 && e.sealed[0] == seal {
+		e.sealed = append([]*memtable.Memtable(nil), e.sealed[1:]...)
 	}
-	blob, err := sstable.Compact(e.tables, true)
+	e.flushes++
+	return true, nil
+}
+
+// CompactOnce runs one incremental size-tiered compaction round if a
+// qualifying run of tables exists, dropping tombstones at or below
+// tombstoneGC when the round includes the oldest table. It reports whether
+// a round ran.
+func (e *Engine) CompactOnce(tombstoneGC wal.LSN) (bool, error) {
+	return e.compactRound(tombstoneGC, false, false)
+}
+
+// CompactAll merges every SSTable into one, dropping tombstones at or
+// below tombstoneGC (pass sstable.DropAllTombstones only when no cohort
+// member can still need them, e.g. after a durable cohort-wide purge).
+func (e *Engine) CompactAll(tombstoneGC wal.LSN) error {
+	_, err := e.compactRound(tombstoneGC, true, false)
+	return err
+}
+
+// compactRound picks a run of adjacent tables (all of them when full;
+// otherwise a size tier, falling back to the oldest tables when force is
+// set), merges them off-lock, and swaps the merged table into the set. The
+// run is always age-adjacent, so the newest-first probe order of Get stays
+// correct, and tombstones are only dropped when the run includes the
+// oldest table (nothing older remains to resurrect the deleted value).
+func (e *Engine) compactRound(tombstoneGC wal.LSN, full, force bool) (bool, error) {
+	e.maintMu.Lock()
+	defer e.maintMu.Unlock()
+
+	e.mu.RLock()
+	closed := e.closed
+	tables := e.tables
+	e.mu.RUnlock()
+	if closed {
+		return false, nil
+	}
+	var run []*sstable.Table
+	switch {
+	case full:
+		if len(tables) <= 1 {
+			return false, nil
+		}
+		run = tables
+	default:
+		start, end := pickTier(tables, e.cfg.CompactFanIn)
+		if start < 0 {
+			if !force || len(tables) < 2 {
+				return false, nil
+			}
+			// Over budget with no similar-sized run: merge the oldest
+			// tables so table count (and tombstone GC) still progresses.
+			end = len(tables)
+			start = end - e.cfg.CompactFanIn
+			if start < 0 {
+				start = 0
+			}
+		}
+		run = tables[start:end]
+	}
+	dropBelow := wal.LSN(0)
+	if run[len(run)-1] == tables[len(tables)-1] {
+		dropBelow = tombstoneGC
+	}
+
+	// Merge and store off-lock; reads keep probing the input tables.
+	blob, err := sstable.Compact(run, dropBelow)
 	if err != nil {
-		return fmt.Errorf("storage: compact: %w", err)
+		return false, fmt.Errorf("storage: compact: %w", err)
 	}
+	e.mu.Lock()
 	id := e.nextID
 	e.nextID++
+	nextID := e.nextID
+	checkpoint := e.checkpoint
+	e.mu.Unlock()
 	if err := e.cfg.Tables.Put(id, blob); err != nil {
-		return fmt.Errorf("storage: compact put: %w", err)
+		return false, fmt.Errorf("storage: compact put: %w", err)
 	}
 	t, err := sstable.Open(id, blob)
 	if err != nil {
-		return fmt.Errorf("storage: compact reopen: %w", err)
+		return false, fmt.Errorf("storage: compact reopen: %w", err)
 	}
-	old := e.tables
-	e.tables = []*sstable.Table{t}
-	if err := e.saveManifestLocked(); err != nil {
-		return err
-	}
-	for _, o := range old {
-		if err := e.cfg.Tables.Remove(o.ID()); err != nil {
-			return fmt.Errorf("storage: compact remove %d: %w", o.ID(), err)
+
+	// Relocate the run in the snapshot. maintMu serializes all
+	// maintenance, so the table set cannot have changed since; the
+	// identity search is a cheap guard on that invariant — checked
+	// against the live set below BEFORE the manifest commits — rather
+	// than positional indexing that would corrupt the set if it broke.
+	idx := -1
+	for i, cur := range tables {
+		if cur == run[0] {
+			idx = i
+			break
 		}
 	}
+	if idx < 0 || idx+len(run) > len(tables) {
+		_ = e.cfg.Tables.Remove(id)
+		return false, fmt.Errorf("storage: compact lost its inputs (table set changed)")
+	}
+	newTables := make([]*sstable.Table, 0, len(tables)-len(run)+1)
+	newTables = append(newTables, tables[:idx]...)
+	newTables = append(newTables, t)
+	newTables = append(newTables, tables[idx+len(run):]...)
+	e.mu.RLock()
+	stale := len(e.tables) != len(tables) || (len(tables) > 0 && e.tables[0] != tables[0])
+	e.mu.RUnlock()
+	if stale {
+		_ = e.cfg.Tables.Remove(id)
+		return false, fmt.Errorf("storage: compact lost its inputs (table set changed)")
+	}
+	// Persist off e.mu (see saveManifest), then swap under a short lock.
+	if err := e.saveManifest(nextID, newTables, checkpoint); err != nil {
+		return false, err
+	}
+	e.mu.Lock()
+	e.tables = newTables
 	e.compacts++
-	return nil
+	e.mu.Unlock()
+
+	// Remove the inputs only after the manifest no longer references
+	// them; failures leave orphans for the Open-time sweep.
+	for _, o := range run {
+		_ = e.cfg.Tables.Remove(o.ID())
+	}
+	return true, nil
+}
+
+// pickTier selects a run of adjacent, similar-sized tables to merge
+// (size-tiered compaction): the longest run of at most fanIn tables whose
+// largest member is within 2× of its smallest, preferring older runs so
+// the oldest-suffix rounds that can garbage-collect tombstones happen
+// often. Returns (-1, -1) when no run qualifies.
+func pickTier(tables []*sstable.Table, fanIn int) (int, int) {
+	n := len(tables)
+	maxRun := fanIn
+	if maxRun > n {
+		maxRun = n
+	}
+	for l := maxRun; l >= 2; l-- {
+		for i := n - l; i >= 0; i-- {
+			lo, hi := tables[i].Bytes(), tables[i].Bytes()
+			for _, t := range tables[i+1 : i+l] {
+				if b := t.Bytes(); b < lo {
+					lo = b
+				} else if b > hi {
+					hi = b
+				}
+			}
+			if hi <= 2*lo+64 { // +64 keeps tiny near-empty tables in tier
+				return i, i + l
+			}
+		}
+	}
+	return -1, -1
 }
 
 // Tables returns the live tables, newest first.
@@ -347,12 +667,14 @@ func (e *Engine) TablesSince(after wal.LSN) []*sstable.Table {
 	return out
 }
 
-// EntriesSince returns every entry with LSN > after, from the memtable and
-// from tables tagged as overlapping, in key order (duplicates resolved to
-// newest). Catch-up uses it to stream a follower back to currency.
+// EntriesSince returns every entry with LSN > after, from the memtables
+// and from tables tagged as overlapping, in key order (duplicates resolved
+// to newest). Catch-up uses it to stream a follower back to currency; it
+// is complete — including deletions — for any `after` at or above the
+// cohort tombstone-GC watermark, which is why compaction may not drop
+// tombstones above that watermark.
 func (e *Engine) EntriesSince(after wal.LSN) []kv.Entry {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	mem, sealed, tables := e.layers()
 	newest := make(map[kv.Key]kv.Cell)
 	consider := func(ent kv.Entry) {
 		if ent.Cell.LSN <= after {
@@ -362,8 +684,11 @@ func (e *Engine) EntriesSince(after wal.LSN) []kv.Entry {
 			newest[ent.Key] = ent.Cell
 		}
 	}
-	e.mem.Ascend(func(ent kv.Entry) bool { consider(ent); return true })
-	for _, t := range e.tables {
+	mem.Ascend(func(ent kv.Entry) bool { consider(ent); return true })
+	for i := len(sealed) - 1; i >= 0; i-- {
+		sealed[i].Ascend(func(ent kv.Entry) bool { consider(ent); return true })
+	}
+	for _, t := range tables {
 		if _, max := t.LSNRange(); max <= after {
 			continue
 		}
@@ -377,30 +702,40 @@ func (e *Engine) EntriesSince(after wal.LSN) []kv.Entry {
 	return out
 }
 
-// Stats reports flush and compaction counts.
+// Stats reports flush and compaction counts and the live table count.
 func (e *Engine) Stats() (flushes, compacts int64, tables int) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.flushes, e.compacts, len(e.tables)
 }
 
-// Wipe discards the engine's entire contents — memtable, SSTables, and
+// ReadStats reports how many table probes point reads considered and how
+// many the bloom/key-range filters pruned.
+func (e *Engine) ReadStats() (probes, pruned int64) {
+	return e.probes.Load(), e.pruned.Load()
+}
+
+// Wipe discards the engine's entire contents — memtables, SSTables, and
 // checkpoint — and durably persists the empty manifest. A node re-joining a
 // cohort it previously left calls this before catching up from scratch:
 // the engine's pre-departure state is stale (deletes that happened while
 // the node was out may have had their tombstones compacted away
 // cluster-wide, so catch-up cannot mention them) and must not survive.
 func (e *Engine) Wipe() error {
+	e.maintMu.Lock()
+	defer e.maintMu.Unlock()
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	old := e.tables
-	e.tables = nil
-	e.mem = memtable.New()
-	e.checkpoint = 0
-	e.appliedLSN = 0
-	if err := e.saveManifestLocked(); err != nil {
+	if err := e.saveManifest(e.nextID, nil, 0); err != nil {
+		e.mu.Unlock()
 		return err
 	}
+	e.tables = nil
+	e.sealed = nil
+	e.mem = memtable.New()
+	e.checkpoint = 0
+	e.applied.Store(0)
+	e.mu.Unlock()
 	for _, t := range old {
 		if err := e.cfg.Tables.Remove(t.ID()); err != nil {
 			return fmt.Errorf("storage: wipe remove %d: %w", t.ID(), err)
@@ -410,11 +745,13 @@ func (e *Engine) Wipe() error {
 }
 
 // DropMemtable simulates the crash of the volatile state: everything not
-// yet flushed is lost, and appliedLSN falls back to the checkpoint. Node
-// recovery then replays the log from the checkpoint (paper §6.1).
+// yet flushed — the active memtable and the sealed queue — is lost, and
+// appliedLSN falls back to the checkpoint. Node recovery then replays the
+// log from the checkpoint (paper §6.1).
 func (e *Engine) DropMemtable() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.mem = memtable.New()
-	e.appliedLSN = e.checkpoint
+	e.sealed = nil
+	e.applied.Store(uint64(e.checkpoint))
 }

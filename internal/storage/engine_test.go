@@ -1,8 +1,11 @@
 package storage
 
 import (
+	"encoding/binary"
 	"fmt"
+	"sync"
 	"testing"
+	"time"
 
 	"spinnaker/internal/kv"
 	"spinnaker/internal/sstable"
@@ -170,7 +173,7 @@ func TestEngineCompactAll(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if err := e.CompactAll(); err != nil {
+	if err := e.CompactAll(sstable.DropAllTombstones); err != nil {
 		t.Fatal(err)
 	}
 	_, _, tables := e.Stats()
@@ -215,11 +218,11 @@ func TestEngineMaybeFlush(t *testing.T) {
 	var flushed bool
 	for i := 0; i < 20; i++ {
 		put(e, fmt.Sprintf("row%02d", i), "c", "0123456789abcdef", uint64(i+1))
-		did, err := e.MaybeFlush()
+		didFlush, didCompact, err := e.MaybeFlush(0)
 		if err != nil {
 			t.Fatal(err)
 		}
-		flushed = flushed || did
+		flushed = flushed || didFlush || didCompact
 	}
 	if !flushed {
 		t.Error("MaybeFlush never triggered")
@@ -314,6 +317,417 @@ func TestEngineFlushEmptyIsNoop(t *testing.T) {
 	}
 }
 
+// failingMeta fails the next `failPuts` manifest saves, simulating a crash
+// between the blob Put and the manifest save.
+type failingMeta struct {
+	wal.MetaStore
+	failPuts int
+}
+
+func (f *failingMeta) Put(key string, val []byte) error {
+	if f.failPuts > 0 {
+		f.failPuts--
+		return fmt.Errorf("injected meta failure")
+	}
+	return f.MetaStore.Put(key, val)
+}
+
+// failingTables fails Remove calls, simulating a crash after a
+// compaction's manifest save but before its old blobs are removed.
+type failingTables struct {
+	sstable.TableStore
+	failRemoves bool
+}
+
+func (f *failingTables) Remove(id uint64) error {
+	if f.failRemoves {
+		return fmt.Errorf("injected remove failure")
+	}
+	return f.TableStore.Remove(id)
+}
+
+// manifestIDs returns the table ids the durable manifest references.
+func manifestIDs(t *testing.T, cfg Config) map[uint64]bool {
+	t.Helper()
+	raw, ok, err := cfg.Meta.Get(manifestKey(cfg.Cohort))
+	if err != nil || !ok {
+		t.Fatalf("manifest read: ok=%v err=%v", ok, err)
+	}
+	m, err := decodeManifest(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[uint64]bool)
+	for _, id := range m.tableIDs {
+		out[id] = true
+	}
+	return out
+}
+
+func TestOpenSweepsBlobOrphanedByManifestCrash(t *testing.T) {
+	meta := &failingMeta{MetaStore: wal.NewMemMetaStore()}
+	cfg := Config{Tables: sstable.NewMemTableStore(), Meta: meta, FlushBytes: 1 << 20, MaxTables: 4}
+	e, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	put(e, "r1", "c", "v1", 1)
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash point: the flush writes its blob, then the manifest save
+	// dies. The blob is now unreferenced.
+	put(e, "r2", "c", "v2", 2)
+	meta.failPuts = 1
+	if err := e.Flush(); err == nil {
+		t.Fatal("flush with failing manifest save succeeded")
+	}
+	ids, _ := cfg.Tables.List()
+	if len(ids) != 2 {
+		t.Fatalf("expected orphan blob to exist pre-sweep: store has %v", ids)
+	}
+
+	// "Restart": Open over the same stores sweeps the orphan.
+	e2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, _ = cfg.Tables.List()
+	ref := manifestIDs(t, cfg)
+	if len(ids) != len(ref) {
+		t.Fatalf("sweep left store %v vs manifest %v", ids, ref)
+	}
+	for _, id := range ids {
+		if !ref[id] {
+			t.Fatalf("unreferenced blob %d survived sweep", id)
+		}
+	}
+	// The unflushed write is gone (volatile), the flushed one survives.
+	if c, ok := e2.Get(kv.Key{Row: "r1", Col: "c"}); !ok || string(c.Value) != "v1" {
+		t.Errorf("flushed write lost across crash: %q,%v", c.Value, ok)
+	}
+}
+
+func TestOpenSweepsBlobsOrphanedByCompactionCrash(t *testing.T) {
+	tables := &failingTables{TableStore: sstable.NewMemTableStore()}
+	cfg := Config{Tables: tables, Meta: wal.NewMemMetaStore(), FlushBytes: 1 << 20, MaxTables: 4}
+	e, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		put(e, fmt.Sprintf("r%d", i), "c", "v", uint64(i+1))
+		if err := e.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Crash point: compaction saves the new manifest but dies before
+	// removing its input blobs.
+	tables.failRemoves = true
+	if err := e.CompactAll(0); err != nil {
+		t.Fatal(err)
+	}
+	ids, _ := tables.List()
+	if len(ids) != 4 { // 3 inputs + merged output
+		t.Fatalf("expected input blobs to linger: store has %v", ids)
+	}
+	tables.failRemoves = false
+
+	if _, err := Open(cfg); err != nil {
+		t.Fatal(err)
+	}
+	ids, _ = tables.List()
+	ref := manifestIDs(t, cfg)
+	if len(ids) != len(ref) {
+		t.Fatalf("sweep left store %v vs manifest %v", ids, ref)
+	}
+}
+
+func TestMaybeFlushReportsFlushWhenCompactionFails(t *testing.T) {
+	meta := &failingMeta{MetaStore: wal.NewMemMetaStore()}
+	cfg := Config{Tables: sstable.NewMemTableStore(), Meta: meta, FlushBytes: 1, MaxTables: 1}
+	e, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	put(e, "r1", "c", "v1", 1)
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	put(e, "r2", "c", "v2", 2)
+
+	// One successful manifest save for the flush, then the compaction's
+	// save fails: the flush must still be reported (its checkpoint
+	// advance drives log truncation in core's flush daemon).
+	cpBefore := e.Checkpoint()
+	meta.MetaStore = guardMeta{inner: meta.MetaStore, s: &struct{ done bool }{}}
+	flushed, compacted, merr := e.MaybeFlush(0)
+	if merr == nil {
+		t.Fatal("expected compaction error")
+	}
+	if !flushed {
+		t.Error("flush ran but was not reported")
+	}
+	if compacted {
+		t.Error("failed compaction reported as run")
+	}
+	if e.Checkpoint() <= cpBefore {
+		t.Error("successful flush did not advance the checkpoint")
+	}
+	if count, last := e.MaintenanceErrors(); count != 1 || last == nil {
+		t.Errorf("MaintenanceErrors = %d,%v, want the compaction failure recorded", count, last)
+	}
+}
+
+func TestClosedEngineRefusesMaintenanceButServesReads(t *testing.T) {
+	e, cfg := newTestEngine(t)
+	put(e, "r1", "c", "v1", 1)
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	put(e, "r2", "c", "v2", 2)
+	e.Close()
+
+	// Maintenance is a no-op after Close: no new blobs, no manifest
+	// writes (a successor engine over the same stores owns them now).
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.MaybeFlush(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CompactAll(0); err != nil {
+		t.Fatal(err)
+	}
+	flushes, compacts, _ := e.Stats()
+	if flushes != 1 || compacts != 0 {
+		t.Errorf("maintenance ran after Close: flushes=%d compacts=%d", flushes, compacts)
+	}
+	ids, _ := cfg.Tables.List()
+	if len(ids) != 1 {
+		t.Errorf("blob written after Close: %v", ids)
+	}
+	// In-memory serving still works (a retiring replica may still answer
+	// in-flight reads).
+	if c, ok := e.Get(kv.Key{Row: "r2", Col: "c"}); !ok || string(c.Value) != "v2" {
+		t.Errorf("read after Close = %q,%v", c.Value, ok)
+	}
+}
+
+// guardMeta lets the first Put through and fails the second.
+type guardMeta struct {
+	inner wal.MetaStore
+	s     *struct{ done bool }
+}
+
+func (g guardMeta) Put(key string, val []byte) error {
+	if g.s.done {
+		return fmt.Errorf("injected second-put failure")
+	}
+	g.s.done = true
+	return g.inner.Put(key, val)
+}
+func (g guardMeta) Get(key string) ([]byte, bool, error) { return g.inner.Get(key) }
+func (g guardMeta) Delete(key string) error              { return g.inner.Delete(key) }
+func (g guardMeta) Keys(prefix string) ([]string, error) { return g.inner.Keys(prefix) }
+
+func TestCompactionKeepsTombstonesAboveWatermark(t *testing.T) {
+	e, _ := newTestEngine(t)
+	put(e, "keep", "c", "v", 1)
+	put(e, "drop", "c", "v", 2)
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	e.Apply(kv.Entry{Key: kv.Key{Row: "drop", Col: "c"},
+		Cell: kv.Cell{Deleted: true, LSN: wal.MakeLSN(1, 3), Version: 3}})
+	e.Apply(kv.Entry{Key: kv.Key{Row: "keep", Col: "c"},
+		Cell: kv.Cell{Deleted: true, LSN: wal.MakeLSN(1, 4), Version: 4}})
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Watermark between the two deletes: only the older tombstone (and
+	// its shadowed value) may be garbage-collected.
+	if err := e.CompactAll(wal.MakeLSN(1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.Get(kv.Key{Row: "drop", Col: "c"}); ok {
+		t.Error("tombstone at the watermark not garbage-collected")
+	}
+	c, ok := e.Get(kv.Key{Row: "keep", Col: "c"})
+	if !ok || !c.Deleted {
+		t.Errorf("tombstone above the watermark dropped: %+v,%v", c, ok)
+	}
+	// EntriesSince still ships the surviving delete to laggards.
+	var sawKeep bool
+	for _, ent := range e.EntriesSince(wal.MakeLSN(1, 3)) {
+		if ent.Key.Row == "keep" && ent.Cell.Deleted {
+			sawKeep = true
+		}
+	}
+	if !sawKeep {
+		t.Error("EntriesSince lost the retained tombstone")
+	}
+}
+
+func TestIncrementalCompactionPrunesAndPreservesNewestWins(t *testing.T) {
+	cfg := Config{
+		Tables: sstable.NewMemTableStore(), Meta: wal.NewMemMetaStore(),
+		FlushBytes: 1 << 20, MaxTables: 3, CompactFanIn: 3,
+	}
+	e, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := uint64(0)
+	for gen := 0; gen < 6; gen++ {
+		for i := 0; i < 8; i++ {
+			seq++
+			put(e, fmt.Sprintf("row%02d", i), "c", fmt.Sprintf("g%d", gen), seq)
+		}
+		if err := e.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := e.MaybeFlush(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, compacts, tables := e.Stats()
+	if compacts == 0 {
+		t.Fatal("incremental compaction never ran")
+	}
+	if tables > cfg.MaxTables+1 {
+		t.Errorf("table count unbounded: %d", tables)
+	}
+	for i := 0; i < 8; i++ {
+		c, ok := e.Get(kv.Key{Row: fmt.Sprintf("row%02d", i), Col: "c"})
+		if !ok || string(c.Value) != "g5" {
+			t.Errorf("row%02d = %q,%v want g5 (newest generation)", i, c.Value, ok)
+		}
+	}
+}
+
+func TestPointReadsPruneTables(t *testing.T) {
+	e, _ := newTestEngine(t)
+	// Disjoint key ranges per table: the range tags alone prune probes.
+	seq := uint64(0)
+	for gen := 0; gen < 4; gen++ {
+		for i := 0; i < 32; i++ {
+			seq++
+			put(e, fmt.Sprintf("t%d-row%02d", gen, i), "c", "v", seq)
+		}
+		if err := e.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for gen := 0; gen < 4; gen++ {
+		for i := 0; i < 32; i++ {
+			if _, ok := e.Get(kv.Key{Row: fmt.Sprintf("t%d-row%02d", gen, i), Col: "c"}); !ok {
+				t.Fatalf("key t%d-row%02d lost", gen, i)
+			}
+		}
+	}
+	probes, pruned := e.ReadStats()
+	if pruned == 0 {
+		t.Fatalf("no probes pruned (%d probes)", probes)
+	}
+	// Disjoint ranges: each hit should prune nearly every other table.
+	if float64(pruned) < 0.5*float64(probes) {
+		t.Errorf("weak pruning: %d of %d probes pruned", pruned, probes)
+	}
+	// Misses are pruned by the bloom filter even inside the key range.
+	probes0, pruned0 := e.ReadStats()
+	for i := 0; i < 128; i++ {
+		if _, ok := e.Get(kv.Key{Row: fmt.Sprintf("t1-row%02d", i%32), Col: fmt.Sprintf("absent%d", i)}); ok {
+			t.Fatal("absent key found")
+		}
+	}
+	probes1, pruned1 := e.ReadStats()
+	if got, want := pruned1-pruned0, (probes1-probes0)*9/10; got < want {
+		t.Errorf("bloom pruned %d of %d miss probes, want ≥ %d", got, probes1-probes0, want)
+	}
+}
+
+// gatedTables signals when a Put enters and then blocks it until released,
+// freezing a flush or compaction in the middle of its blob-store I/O.
+type gatedTables struct {
+	sstable.TableStore
+	entered chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func (g *gatedTables) Put(id uint64, blob []byte) error {
+	g.once.Do(func() { close(g.entered) })
+	<-g.release
+	return g.TableStore.Put(id, blob)
+}
+
+// TestReadsAndAppliesProceedDuringFlushIO pins the tentpole property
+// directly: with a flush frozen inside its blob-store write, reads and
+// applies still complete (the pre-PR engine held the exclusive engine lock
+// across the entire SSTable build and store I/O, so this test would hang).
+func TestReadsAndAppliesProceedDuringFlushIO(t *testing.T) {
+	gate := &gatedTables{
+		TableStore: sstable.NewMemTableStore(),
+		entered:    make(chan struct{}),
+		release:    make(chan struct{}),
+	}
+	cfg := Config{Tables: gate, Meta: wal.NewMemMetaStore(), FlushBytes: 1 << 20, MaxTables: 4}
+	e, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	put(e, "r1", "c", "v1", 1)
+
+	flushDone := make(chan error, 1)
+	go func() { flushDone <- e.Flush() }()
+	select {
+	case <-gate.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("flush never reached the blob store")
+	}
+
+	// The flush is now parked inside Tables.Put. Reads must serve the
+	// sealed memtable, and applies must land in the fresh active one.
+	opsDone := make(chan struct{})
+	go func() {
+		defer close(opsDone)
+		if c, ok := e.Get(kv.Key{Row: "r1", Col: "c"}); !ok || string(c.Value) != "v1" {
+			t.Errorf("Get during flush I/O = %q,%v", c.Value, ok)
+		}
+		put(e, "r2", "c", "v2", 2)
+		if c, ok := e.Get(kv.Key{Row: "r2", Col: "c"}); !ok || string(c.Value) != "v2" {
+			t.Errorf("Get of write applied during flush I/O = %q,%v", c.Value, ok)
+		}
+		if row := e.GetRow("r1"); len(row) != 1 {
+			t.Errorf("GetRow during flush I/O = %d entries", len(row))
+		}
+	}()
+	select {
+	case <-opsDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("reads/applies blocked while flush held the blob store (stop-the-world regression)")
+	}
+
+	close(gate.release)
+	if err := <-flushDone; err != nil {
+		t.Fatal(err)
+	}
+	// Both writes visible after the swap; the flushed one from its table.
+	for i, want := range []string{"v1", "v2"} {
+		c, ok := e.Get(kv.Key{Row: fmt.Sprintf("r%d", i+1), Col: "c"})
+		if !ok || string(c.Value) != want {
+			t.Errorf("after flush r%d = %q,%v", i+1, c.Value, ok)
+		}
+	}
+	if e.Checkpoint() != wal.MakeLSN(1, 1) {
+		t.Errorf("checkpoint = %s, want 1.1 (only the sealed memtable flushed)", e.Checkpoint())
+	}
+}
+
 func TestManifestRoundTrip(t *testing.T) {
 	m := manifest{nextID: 42, checkpoint: wal.MakeLSN(2, 7), tableIDs: []uint64{3, 9, 12}}
 	got, err := decodeManifest(encodeManifest(m))
@@ -328,5 +742,17 @@ func TestManifestRoundTrip(t *testing.T) {
 	}
 	if _, err := decodeManifest(encodeManifest(m)[:21]); err == nil {
 		t.Error("truncated manifest accepted")
+	}
+	// A forged count must fail validation instead of driving a huge
+	// allocation (and 20+8*n computed in int would overflow on 32-bit).
+	forged := encodeManifest(m)
+	binary.LittleEndian.PutUint32(forged[16:20], 0xFFFFFFFF)
+	if _, err := decodeManifest(forged); err == nil {
+		t.Error("forged table count accepted")
+	}
+	forged = encodeManifest(manifest{})
+	binary.LittleEndian.PutUint32(forged[16:20], 1<<28)
+	if _, err := decodeManifest(forged); err == nil {
+		t.Error("oversized table count accepted")
 	}
 }
