@@ -1,0 +1,391 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"spinnaker/internal/core"
+	"spinnaker/internal/sim"
+	"spinnaker/internal/wal"
+)
+
+// The perf-trajectory report (BENCH_NNNN.json, committed in-repo) records the
+// write path's throughput, latency percentiles, and allocation cost per PR so
+// hot-path regressions are caught by CI instead of archaeology. See
+// EXPERIMENTS.md ("Perf trajectory") for how to regenerate and read it.
+
+// ReportSchema identifies the report format; Guard refuses files whose
+// schema it does not understand.
+const ReportSchema = "spinnaker-bench-trajectory/v1"
+
+// Scenario is one measured configuration in a trajectory report.
+type Scenario struct {
+	// Name identifies the scenario; Guard compares scenarios across
+	// reports by name.
+	Name string `json:"name"`
+	// Kind is "cluster" (a closed-loop workload against an in-process
+	// cluster; ops are client puts) or "micro" (a testing.Benchmark of one
+	// code path; ops are benchmark iterations).
+	Kind string `json:"kind"`
+	// Writers is the closed-loop client count (cluster scenarios).
+	Writers int `json:"writers,omitempty"`
+	// OpsPerSec is achieved throughput (cluster: puts/s; micro: iterations/s).
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// Latency percentiles in milliseconds (cluster scenarios; a cluster op
+	// is one 8-deep pipelined batch of puts).
+	P50Ms float64 `json:"p50_ms,omitempty"`
+	P95Ms float64 `json:"p95_ms,omitempty"`
+	P99Ms float64 `json:"p99_ms,omitempty"`
+	// AllocsPerOp is heap allocations per op. Cluster scenarios report
+	// process-wide mallocs over the measured window divided by committed
+	// puts — client, leader propose→commit, follower append, and background
+	// maintenance included — so it is an end-to-end allocation budget, not
+	// a per-function microbenchmark. Micro scenarios report testing's
+	// AllocsPerOp.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// BytesPerOp is heap bytes allocated per op (same accounting).
+	BytesPerOp float64 `json:"bytes_per_op,omitempty"`
+	// Errors counts failed ops during the window (cluster scenarios).
+	Errors int64 `json:"errors,omitempty"`
+}
+
+// Report is a full trajectory measurement.
+type Report struct {
+	Schema string `json:"schema"`
+	// Smoke marks a minimal-window CI run: schema and plumbing are real,
+	// numbers are not. Guard never compares smoke numbers.
+	Smoke     bool       `json:"smoke,omitempty"`
+	GoVersion string     `json:"go_version"`
+	OSArch    string     `json:"os_arch"`
+	Scenarios []Scenario `json:"scenarios"`
+}
+
+// trajPipeWindow mirrors the ablation-batching workload: each closed-loop op
+// is one 8-deep pipelined batch of puts.
+const trajPipeWindow = 8
+
+// runTrajectoryCluster measures one cluster scenario: a 3-node cluster on the
+// main-memory log with a per-message delivery cost (the regime where protocol
+// CPU and allocation overhead — not the device — are the wall), driven by
+// `writers` pipelined closed-loop clients. It reports the median of `trials`
+// fresh-cluster runs: single-run cluster throughput swings ±30% on small
+// hosts (scheduler and GC noise the allocation numbers do not share), and
+// the regression guard needs numbers stable enough for a 10% threshold.
+func runTrajectoryCluster(cfg Config, disableBatching bool, writers, trials int) (Scenario, error) {
+	points := make([]Scenario, 0, trials)
+	for i := 0; i < trials; i++ {
+		s, err := runTrajectoryClusterOnce(cfg, disableBatching, writers)
+		if err != nil {
+			return Scenario{}, err
+		}
+		points = append(points, s)
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].OpsPerSec < points[j].OpsPerSec })
+	return points[len(points)/2], nil
+}
+
+func runTrajectoryClusterOnce(cfg Config, disableBatching bool, writers int) (Scenario, error) {
+	value := sim.ValueOfSize(256)
+	keySpace := cfg.Rows * 50
+
+	runtime.GC()
+	opts := spinOpts(cfg, wal.DeviceMem)
+	opts.Nodes = 3
+	opts.MessageCost = 5 * time.Microsecond
+	opts.CommitPeriod = 100 * time.Millisecond
+	opts.DisableProposalBatching = disableBatching
+	sc, err := newSpin(opts)
+	if err != nil {
+		return Scenario{}, err
+	}
+	defer sc.Stop()
+	clients := make([]*core.Client, writers)
+	for i := range clients {
+		clients[i] = sc.NewClient()
+	}
+	op := func(t, i int) error {
+		b := clients[t].NewBatch()
+		for w := 0; w < trajPipeWindow; w++ {
+			b.Put(sim.StridedKey((t*keySpace/writers+i*trajPipeWindow+w)%keySpace, keySpace, 8), "c", value)
+		}
+		_, err := b.Run()
+		return err
+	}
+	// Warm up (elections settled, memtables warm), then measure with
+	// allocation accounting around the window.
+	sim.RunClosedLoop(writers, cfg.PointDuration/2, op)
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	point := sim.RunClosedLoop(writers, cfg.PointDuration, op)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	puts := point.Throughput * elapsed.Seconds() * trajPipeWindow
+	s := Scenario{
+		Kind:      "cluster",
+		Writers:   writers,
+		OpsPerSec: point.Throughput * trajPipeWindow,
+		P50Ms:     float64(point.P50.Microseconds()) / 1000,
+		P95Ms:     float64(point.P95.Microseconds()) / 1000,
+		P99Ms:     float64(point.P99.Microseconds()) / 1000,
+		Errors:    point.Errors,
+	}
+	if puts > 0 {
+		s.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / puts
+		s.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / puts
+	}
+	return s, nil
+}
+
+// runMicro converts a testing.Benchmark result into a Scenario.
+func runMicro(name string, fn func(b *testing.B)) Scenario {
+	r := testing.Benchmark(fn)
+	s := Scenario{Name: name, Kind: "micro", AllocsPerOp: float64(r.AllocsPerOp()), BytesPerOp: float64(r.AllocedBytesPerOp())}
+	if ns := r.NsPerOp(); ns > 0 {
+		s.OpsPerSec = 1e9 / float64(ns)
+	}
+	return s
+}
+
+// Trajectory runs the perf-trajectory suite: the pipelined write path at 1,
+// 16, and 64 writers, the per-write ablation at 1 and 64 writers (the
+// batched/per-write comparison, undiluted at 1 writer and CPU-bound at 64),
+// and allocation microbenchmarks for the hot-path codecs and the WAL append
+// path.
+func Trajectory(cfg Config, smoke bool) (Report, error) {
+	cfg.fillDefaults()
+	report := Report{
+		Schema:    ReportSchema,
+		Smoke:     smoke,
+		GoVersion: runtime.Version(),
+		OSArch:    runtime.GOOS + "/" + runtime.GOARCH,
+	}
+	trials := 3
+	if smoke {
+		trials = 1
+	}
+
+	cluster := []struct {
+		name    string
+		disable bool
+		writers int
+	}{
+		{"pipelined-writers-1", false, 1},
+		{"ablation-batching-1", true, 1},
+		{"pipelined-writers-16", false, 16},
+		{"pipelined-writers-64", false, 64},
+		{"ablation-batching-64", true, 64},
+	}
+	for _, c := range cluster {
+		s, err := runTrajectoryCluster(cfg, c.disable, c.writers, trials)
+		if err != nil {
+			return Report{}, fmt.Errorf("%s: %w", c.name, err)
+		}
+		s.Name = c.name
+		report.Scenarios = append(report.Scenarios, s)
+		cfg.progress("trajectory: %s done (%.0f ops/s, %.1f allocs/op)", c.name, s.OpsPerSec, s.AllocsPerOp)
+	}
+
+	micro := core.CodecBenchmarks()
+	names := make([]string, 0, len(micro))
+	for name := range micro {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		report.Scenarios = append(report.Scenarios, runMicro(name, micro[name]))
+		cfg.progress("trajectory: %s done", name)
+	}
+	report.Scenarios = append(report.Scenarios, runMicro("wal-append-batch-64", func(b *testing.B) {
+		l, err := wal.Open(wal.Config{Store: wal.NewMemSegmentStore(wal.DeviceInstant), GroupCommit: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer l.Close()
+		payload := sim.ValueOfSize(256)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			recs := make([]wal.Record, 64)
+			for r := range recs {
+				recs[r] = wal.Record{Cohort: 1, Type: wal.RecWrite, LSN: wal.MakeLSN(1, uint64(i*64+r+1)), Payload: payload}
+			}
+			if _, err := l.AppendBatch(recs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	cfg.progress("trajectory: wal-append-batch-64 done")
+	return report, validateReport(report)
+}
+
+// validateReport checks the schema invariants Guard and CI rely on.
+func validateReport(r Report) error {
+	if r.Schema != ReportSchema {
+		return fmt.Errorf("bench: unknown report schema %q", r.Schema)
+	}
+	if len(r.Scenarios) == 0 {
+		return fmt.Errorf("bench: report has no scenarios")
+	}
+	seen := make(map[string]bool)
+	for _, s := range r.Scenarios {
+		if s.Name == "" {
+			return fmt.Errorf("bench: scenario with empty name")
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("bench: duplicate scenario %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Kind != "cluster" && s.Kind != "micro" {
+			return fmt.Errorf("bench: scenario %q has unknown kind %q", s.Name, s.Kind)
+		}
+		if s.OpsPerSec <= 0 {
+			return fmt.Errorf("bench: scenario %q measured no throughput", s.Name)
+		}
+		if s.AllocsPerOp < 0 {
+			return fmt.Errorf("bench: scenario %q has negative allocs/op", s.Name)
+		}
+	}
+	return nil
+}
+
+// WriteReport validates and writes a report as indented JSON.
+func WriteReport(path string, r Report) error {
+	if err := validateReport(r); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadReport parses and validates a report file.
+func ReadReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := validateReport(r); err != nil {
+		return Report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Guard thresholds: a committed trajectory report may not lose more than 10%
+// throughput or gain more than 25% allocs/op on any scenario shared with its
+// predecessor.
+const (
+	guardMaxThroughputDrop = 0.10
+	guardMaxAllocsRise     = 0.25
+)
+
+var benchFileRE = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// ListReports returns the BENCH_*.json files in dir, oldest first.
+func ListReports(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type numbered struct {
+		n    int
+		path string
+	}
+	var files []numbered
+	for _, e := range entries {
+		m := benchFileRE.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		var n int
+		fmt.Sscanf(m[1], "%d", &n)
+		files = append(files, numbered{n, filepath.Join(dir, e.Name())})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].n < files[j].n })
+	out := make([]string, len(files))
+	for i, f := range files {
+		out[i] = f.path
+	}
+	return out, nil
+}
+
+// Guard validates every committed BENCH_*.json in dir and compares the newest
+// against its predecessor, failing on a >10% throughput drop or a >25%
+// allocs/op rise in any shared scenario. With fewer than two reports the
+// newest is the baseline and only schema validation runs.
+func Guard(dir string, w io.Writer) error {
+	files, err := ListReports(dir)
+	if err != nil {
+		return err
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("no BENCH_*.json reports in %s", dir)
+	}
+	reports := make([]Report, len(files))
+	for i, f := range files {
+		r, err := ReadReport(f)
+		if err != nil {
+			return err
+		}
+		if r.Smoke {
+			return fmt.Errorf("%s: committed report is a smoke run; regenerate with a real measurement window", f)
+		}
+		reports[i] = r
+	}
+	if len(files) < 2 {
+		fmt.Fprintf(w, "regression guard: %s validates; no previous report, baseline established\n", files[0])
+		return nil
+	}
+	prev, cur := reports[len(reports)-2], reports[len(reports)-1]
+	prevByName := make(map[string]Scenario, len(prev.Scenarios))
+	for _, s := range prev.Scenarios {
+		prevByName[s.Name] = s
+	}
+	var failures []string
+	compared := 0
+	for _, s := range cur.Scenarios {
+		p, ok := prevByName[s.Name]
+		if !ok {
+			fmt.Fprintf(w, "regression guard: %s is new in %s (no comparison)\n", s.Name, files[len(files)-1])
+			continue
+		}
+		compared++
+		if p.OpsPerSec > 0 && s.OpsPerSec < p.OpsPerSec*(1-guardMaxThroughputDrop) {
+			failures = append(failures, fmt.Sprintf(
+				"%s: throughput dropped %.1f%% (%.0f → %.0f ops/s, limit %.0f%%)",
+				s.Name, 100*(1-s.OpsPerSec/p.OpsPerSec), p.OpsPerSec, s.OpsPerSec, 100*guardMaxThroughputDrop))
+		}
+		if p.AllocsPerOp > 0 && s.AllocsPerOp > p.AllocsPerOp*(1+guardMaxAllocsRise) {
+			failures = append(failures, fmt.Sprintf(
+				"%s: allocs/op rose %.1f%% (%.1f → %.1f, limit %.0f%%)",
+				s.Name, 100*(s.AllocsPerOp/p.AllocsPerOp-1), p.AllocsPerOp, s.AllocsPerOp, 100*guardMaxAllocsRise))
+		}
+		fmt.Fprintf(w, "regression guard: %-34s %.0f → %.0f ops/s, %.1f → %.1f allocs/op\n",
+			s.Name, p.OpsPerSec, s.OpsPerSec, p.AllocsPerOp, s.AllocsPerOp)
+	}
+	if len(failures) > 0 {
+		msg := fmt.Sprintf("%s regressed vs %s:", files[len(files)-1], files[len(files)-2])
+		for _, f := range failures {
+			msg += "\n  " + f
+		}
+		return fmt.Errorf("%s", msg)
+	}
+	fmt.Fprintf(w, "regression guard: OK (%d scenarios compared, %s vs %s)\n",
+		compared, files[len(files)-1], files[len(files)-2])
+	return nil
+}

@@ -1,0 +1,207 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testReport(mut func(*Report)) Report {
+	r := Report{
+		Schema:    ReportSchema,
+		GoVersion: "go0.0",
+		OSArch:    "test/test",
+		Scenarios: []Scenario{
+			{Name: "pipelined-writers-64", Kind: "cluster", Writers: 64, OpsPerSec: 30000, AllocsPerOp: 40},
+			{Name: "codec-propose-roundtrip", Kind: "micro", OpsPerSec: 2e6, AllocsPerOp: 4},
+		},
+	}
+	if mut != nil {
+		mut(&r)
+	}
+	return r
+}
+
+func TestValidateReport(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Report)
+		want string // substring of the error; empty = valid
+	}{
+		{"valid", nil, ""},
+		{"bad schema", func(r *Report) { r.Schema = "nope/v9" }, "unknown report schema"},
+		{"no scenarios", func(r *Report) { r.Scenarios = nil }, "no scenarios"},
+		{"empty name", func(r *Report) { r.Scenarios[0].Name = "" }, "empty name"},
+		{"dup name", func(r *Report) { r.Scenarios[1].Name = r.Scenarios[0].Name }, "duplicate scenario"},
+		{"bad kind", func(r *Report) { r.Scenarios[0].Kind = "macro" }, "unknown kind"},
+		{"no throughput", func(r *Report) { r.Scenarios[0].OpsPerSec = 0 }, "no throughput"},
+		{"negative allocs", func(r *Report) { r.Scenarios[0].AllocsPerOp = -1 }, "negative allocs"},
+	}
+	for _, c := range cases {
+		err := validateReport(testReport(c.mut))
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+		} else if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestWriteReadReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_0001.json")
+	want := testReport(nil)
+	if err := WriteReport(path, want); err != nil {
+		t.Fatalf("WriteReport: %v", err)
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatalf("ReadReport: %v", err)
+	}
+	if len(got.Scenarios) != len(want.Scenarios) || got.Scenarios[0] != want.Scenarios[0] {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, want)
+	}
+	if err := WriteReport(filepath.Join(t.TempDir(), "bad.json"), testReport(func(r *Report) { r.Scenarios = nil })); err == nil {
+		t.Fatal("WriteReport accepted an invalid report")
+	}
+}
+
+func writeGuardDir(t *testing.T, reports ...Report) string {
+	t.Helper()
+	dir := t.TempDir()
+	for i, r := range reports {
+		name := filepath.Join(dir, "BENCH_000"+string(rune('1'+i))+".json")
+		if err := WriteReport(name, r); err != nil {
+			t.Fatalf("WriteReport %s: %v", name, err)
+		}
+	}
+	return dir
+}
+
+func TestGuardBaselineOnly(t *testing.T) {
+	dir := writeGuardDir(t, testReport(nil))
+	var out bytes.Buffer
+	if err := Guard(dir, &out); err != nil {
+		t.Fatalf("Guard with single report: %v", err)
+	}
+	if !strings.Contains(out.String(), "baseline established") {
+		t.Fatalf("output %q lacks baseline note", out.String())
+	}
+}
+
+func TestGuardPassesWithinThresholds(t *testing.T) {
+	prev := testReport(nil)
+	// 5% throughput drop and 20% allocs rise: inside the 10%/25% limits.
+	cur := testReport(func(r *Report) {
+		r.Scenarios[0].OpsPerSec = 28500
+		r.Scenarios[0].AllocsPerOp = 48
+	})
+	var out bytes.Buffer
+	if err := Guard(writeGuardDir(t, prev, cur), &out); err != nil {
+		t.Fatalf("Guard: %v (output %q)", err, out.String())
+	}
+	if !strings.Contains(out.String(), "OK (2 scenarios compared") {
+		t.Fatalf("output %q lacks comparison summary", out.String())
+	}
+}
+
+func TestGuardFailsOnThroughputDrop(t *testing.T) {
+	prev := testReport(nil)
+	cur := testReport(func(r *Report) { r.Scenarios[0].OpsPerSec = 20000 }) // -33%
+	err := Guard(writeGuardDir(t, prev, cur), &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "throughput dropped") {
+		t.Fatalf("err = %v, want throughput regression", err)
+	}
+}
+
+func TestGuardFailsOnAllocsRise(t *testing.T) {
+	prev := testReport(nil)
+	cur := testReport(func(r *Report) { r.Scenarios[0].AllocsPerOp = 60 }) // +50%
+	err := Guard(writeGuardDir(t, prev, cur), &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "allocs/op rose") {
+		t.Fatalf("err = %v, want allocs regression", err)
+	}
+}
+
+func TestGuardComparesNewestPair(t *testing.T) {
+	// Three reports: the regression is between 1 and 2; 2→3 is clean, so
+	// the guard (newest pair only) must pass.
+	r1 := testReport(nil)
+	r2 := testReport(func(r *Report) { r.Scenarios[0].OpsPerSec = 15000 })
+	r3 := testReport(func(r *Report) { r.Scenarios[0].OpsPerSec = 15500 })
+	if err := Guard(writeGuardDir(t, r1, r2, r3), &bytes.Buffer{}); err != nil {
+		t.Fatalf("Guard on newest pair: %v", err)
+	}
+}
+
+func TestGuardNewScenarioSkipped(t *testing.T) {
+	prev := testReport(nil)
+	cur := testReport(func(r *Report) {
+		r.Scenarios = append(r.Scenarios, Scenario{Name: "wal-append-batch-64", Kind: "micro", OpsPerSec: 1000, AllocsPerOp: 0})
+	})
+	var out bytes.Buffer
+	if err := Guard(writeGuardDir(t, prev, cur), &out); err != nil {
+		t.Fatalf("Guard: %v", err)
+	}
+	if !strings.Contains(out.String(), "is new in") {
+		t.Fatalf("output %q lacks new-scenario note", out.String())
+	}
+}
+
+func TestGuardRejectsSmokeReports(t *testing.T) {
+	dir := writeGuardDir(t, testReport(func(r *Report) { r.Smoke = true }))
+	err := Guard(dir, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "smoke") {
+		t.Fatalf("err = %v, want smoke rejection", err)
+	}
+}
+
+func TestGuardRejectsCorruptReport(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_0001.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Guard(dir, &bytes.Buffer{}); err == nil {
+		t.Fatal("Guard accepted corrupt report")
+	}
+}
+
+func TestGuardNoReports(t *testing.T) {
+	if err := Guard(t.TempDir(), &bytes.Buffer{}); err == nil {
+		t.Fatal("Guard with no reports should fail")
+	}
+}
+
+func TestListReportsOrder(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_0010.json", "BENCH_0002.json", "BENCH_0006.json", "notes.md"} {
+		r := testReport(nil)
+		if strings.HasPrefix(name, "BENCH_") {
+			if err := WriteReport(filepath.Join(dir, name), r); err != nil {
+				t.Fatal(err)
+			}
+		} else if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files, err := ListReports(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bases []string
+	for _, f := range files {
+		bases = append(bases, filepath.Base(f))
+	}
+	want := []string{"BENCH_0002.json", "BENCH_0006.json", "BENCH_0010.json"}
+	if len(bases) != len(want) {
+		t.Fatalf("ListReports = %v, want %v", bases, want)
+	}
+	for i := range want {
+		if bases[i] != want[i] {
+			t.Fatalf("ListReports = %v, want %v", bases, want)
+		}
+	}
+}

@@ -140,23 +140,42 @@ type WriteOp struct {
 	Cols []ColWrite
 }
 
-// EncodeWriteOp serializes op, appending to dst.
+// WriteOpEncodedSize returns the number of bytes EncodeWriteOp will produce.
+func WriteOpEncodedSize(op WriteOp) int {
+	n := 2 + len(op.Row) + 2
+	for i := range op.Cols {
+		n += 2 + len(op.Cols[i].Col) + 1 + 8 + 8 + 4 + len(op.Cols[i].Value)
+	}
+	return n
+}
+
+// growBuf extends dst by n bytes with at most one allocation and returns the
+// extended slice together with the n-byte window just added (the core-side
+// twin of the WAL's framing helper).
+func growBuf(dst []byte, n int) ([]byte, []byte) {
+	l := len(dst)
+	if cap(dst)-l < n {
+		bigger := make([]byte, l, l+n)
+		copy(bigger, dst)
+		dst = bigger
+	}
+	dst = dst[:l+n]
+	return dst, dst[l : l+n]
+}
+
+// EncodeWriteOp serializes op, appending to dst. The destination grows at
+// most once (pre-size with WriteOpEncodedSize for zero growth).
 func EncodeWriteOp(dst []byte, op WriteOp) []byte {
-	var s [8]byte
-	put16 := func(v int) {
-		binary.LittleEndian.PutUint16(s[:2], uint16(v))
-		dst = append(dst, s[:2]...)
-	}
-	put64 := func(v uint64) {
-		binary.LittleEndian.PutUint64(s[:8], v)
-		dst = append(dst, s[:8]...)
-	}
-	put16(len(op.Row))
-	dst = append(dst, op.Row...)
-	put16(len(op.Cols))
-	for _, c := range op.Cols {
-		put16(len(c.Col))
-		dst = append(dst, c.Col...)
+	dst, b := growBuf(dst, WriteOpEncodedSize(op))
+	binary.LittleEndian.PutUint16(b[0:2], uint16(len(op.Row)))
+	off := 2 + copy(b[2:], op.Row)
+	binary.LittleEndian.PutUint16(b[off:], uint16(len(op.Cols)))
+	off += 2
+	for i := range op.Cols {
+		c := &op.Cols[i]
+		binary.LittleEndian.PutUint16(b[off:], uint16(len(c.Col)))
+		off += 2
+		off += copy(b[off:], c.Col)
 		var flags byte
 		if c.Delete {
 			flags |= 1
@@ -164,18 +183,35 @@ func EncodeWriteOp(dst []byte, op WriteOp) []byte {
 		if c.Cond {
 			flags |= 2
 		}
-		dst = append(dst, flags)
-		put64(c.CondVersion)
-		put64(c.Version)
-		binary.LittleEndian.PutUint32(s[:4], uint32(len(c.Value)))
-		dst = append(dst, s[:4]...)
-		dst = append(dst, c.Value...)
+		b[off] = flags
+		off++
+		binary.LittleEndian.PutUint64(b[off:], c.CondVersion)
+		off += 8
+		binary.LittleEndian.PutUint64(b[off:], c.Version)
+		off += 8
+		binary.LittleEndian.PutUint32(b[off:], uint32(len(c.Value)))
+		off += 4
+		off += copy(b[off:], c.Value)
 	}
 	return dst
 }
 
 // DecodeWriteOp parses a WriteOp, returning it and the bytes consumed.
+// Values are copied out of b; the result does not alias the input.
 func DecodeWriteOp(b []byte) (WriteOp, int, error) {
+	return decodeWriteOp(b, true)
+}
+
+// decodeWriteOpShared is DecodeWriteOp without the value copies: the result's
+// Values alias b. The replication hot path uses it where the message payload
+// is immutable once received (nothing writes to a payload after encode), so
+// the bytes can flow into the commit queue and memtable without a per-column
+// allocation.
+func decodeWriteOpShared(b []byte) (WriteOp, int, error) {
+	return decodeWriteOp(b, false)
+}
+
+func decodeWriteOp(b []byte, copyValues bool) (WriteOp, int, error) {
 	var op WriteOp
 	off := 0
 	need := func(n int) error {
@@ -199,6 +235,9 @@ func DecodeWriteOp(b []byte) (WriteOp, int, error) {
 	}
 	nCols := int(binary.LittleEndian.Uint16(b[off:]))
 	off += 2
+	if nCols > 0 {
+		op.Cols = make([]ColWrite, 0, nCols)
+	}
 	for i := 0; i < nCols; i++ {
 		var c ColWrite
 		if err := need(2); err != nil {
@@ -225,7 +264,11 @@ func DecodeWriteOp(b []byte) (WriteOp, int, error) {
 			return op, 0, err
 		}
 		if vl > 0 {
-			c.Value = append([]byte(nil), b[off:off+vl]...)
+			if copyValues {
+				c.Value = append([]byte(nil), b[off:off+vl]...)
+			} else {
+				c.Value = b[off : off+vl : off+vl]
+			}
 		}
 		off += vl
 		op.Cols = append(op.Cols, c)
@@ -260,7 +303,7 @@ type proposePayload struct {
 }
 
 func encodePropose(p proposePayload) []byte {
-	buf := make([]byte, 16)
+	buf := make([]byte, 16, 16+WriteOpEncodedSize(p.Op))
 	binary.LittleEndian.PutUint64(buf[0:8], uint64(p.LSN))
 	binary.LittleEndian.PutUint64(buf[8:16], uint64(p.CommittedThrough))
 	return EncodeWriteOp(buf, p.Op)
@@ -283,10 +326,15 @@ func decodePropose(b []byte) (proposePayload, error) {
 
 // proposeRec is one sequenced write inside a batched propose: the LSN plus
 // the op, exactly the per-write protocol state of Fig 4 without the
-// per-message envelope.
+// per-message envelope. Raw, when non-nil, is Op's encoding: the leader
+// fills it when sequencing (the same bytes become the WAL record payload)
+// so batch encoding copies instead of re-encoding, and decode fills it by
+// slicing the message payload so the follower's WAL append never re-encodes
+// either. Raw and Op must describe the same write.
 type proposeRec struct {
 	LSN wal.LSN
 	Op  WriteOp
+	Raw []byte
 }
 
 // proposeBatchPayload is the body of MsgProposeBatch: the commit piggyback
@@ -300,18 +348,40 @@ type proposeBatchPayload struct {
 }
 
 func encodeProposeBatch(p proposeBatchPayload) []byte {
-	buf := make([]byte, 12)
+	size := 12
+	for i := range p.Recs {
+		if raw := p.Recs[i].Raw; raw != nil {
+			size += 8 + len(raw)
+		} else {
+			size += 8 + WriteOpEncodedSize(p.Recs[i].Op)
+		}
+	}
+	// One exact-size allocation. The buffer is intentionally NOT pooled:
+	// the transport holds the payload asynchronously (one send per peer,
+	// and the in-process transport hands the same slice to every receiver),
+	// so its lifetime is unbounded from the encoder's point of view.
+	buf := make([]byte, 12, size)
 	binary.LittleEndian.PutUint64(buf[0:8], uint64(p.CommittedThrough))
 	binary.LittleEndian.PutUint32(buf[8:12], uint32(len(p.Recs)))
 	var s [8]byte
-	for _, rec := range p.Recs {
+	for i := range p.Recs {
+		rec := &p.Recs[i]
 		binary.LittleEndian.PutUint64(s[:], uint64(rec.LSN))
 		buf = append(buf, s[:]...)
-		buf = EncodeWriteOp(buf, rec.Op)
+		if rec.Raw != nil {
+			buf = append(buf, rec.Raw...)
+		} else {
+			buf = EncodeWriteOp(buf, rec.Op)
+		}
 	}
 	return buf
 }
 
+// decodeProposeBatch parses a batched propose without copying: each record's
+// Op shares the payload's value bytes and its Raw slices the payload's
+// encoded-op bytes (see proposeRec). Payloads are immutable after encode, so
+// the follower appends Raw to its WAL and applies Op to its memtable with no
+// per-record re-encode or copy.
 func decodeProposeBatch(b []byte) (proposeBatchPayload, error) {
 	var p proposeBatchPayload
 	if len(b) < 12 {
@@ -320,18 +390,21 @@ func decodeProposeBatch(b []byte) (proposeBatchPayload, error) {
 	p.CommittedThrough = wal.LSN(binary.LittleEndian.Uint64(b[0:8]))
 	count := int(binary.LittleEndian.Uint32(b[8:12]))
 	off := 12
+	if count > 0 {
+		p.Recs = make([]proposeRec, 0, count)
+	}
 	for i := 0; i < count; i++ {
 		if len(b)-off < 8 {
 			return p, fmt.Errorf("core: propose batch record %d truncated", i)
 		}
 		lsn := wal.LSN(binary.LittleEndian.Uint64(b[off:]))
 		off += 8
-		op, n, err := DecodeWriteOp(b[off:])
+		op, n, err := decodeWriteOpShared(b[off:])
 		if err != nil {
 			return p, err
 		}
+		p.Recs = append(p.Recs, proposeRec{LSN: lsn, Op: op, Raw: b[off : off+n : off+n]})
 		off += n
-		p.Recs = append(p.Recs, proposeRec{LSN: lsn, Op: op})
 	}
 	return p, nil
 }
@@ -562,7 +635,8 @@ type writeResult struct {
 }
 
 func encodeWriteResult(r writeResult) []byte {
-	buf := []byte{r.Status}
+	buf := make([]byte, 0, 1+2+len(r.Detail)+2+8*len(r.Versions))
+	buf = append(buf, r.Status)
 	var s [8]byte
 	binary.LittleEndian.PutUint16(s[:2], uint16(len(r.Detail)))
 	buf = append(buf, s[:2]...)
@@ -593,6 +667,9 @@ func decodeWriteResult(b []byte) (writeResult, error) {
 	off += 2
 	if len(b) < off+8*nv {
 		return r, fmt.Errorf("core: write result versions truncated")
+	}
+	if nv > 0 {
+		r.Versions = make([]uint64, 0, nv)
 	}
 	for i := 0; i < nv; i++ {
 		r.Versions = append(r.Versions, binary.LittleEndian.Uint64(b[off+8*i:]))

@@ -281,3 +281,80 @@ func TestProposeBatchTruncation(t *testing.T) {
 		}
 	}
 }
+
+// --- Codec microbenchmarks ---------------------------------------------------
+//
+// Every codec pair on the replication hot path gets a -benchmem round-trip
+// benchmark so per-message allocation cost is pinned: regressions show up as
+// allocs/op diffs in the BENCH_*.json trajectory (see EXPERIMENTS.md).
+
+// benchOp builds a representative 256-byte single-column write.
+func benchOp(lsn wal.LSN) WriteOp {
+	return WriteOp{Row: "user:0042134077", Cols: []ColWrite{{
+		Col: "c", Value: bytes.Repeat([]byte("v"), 256), Version: uint64(lsn),
+	}}}
+}
+
+func benchBatch(n int) proposeBatchPayload {
+	p := proposeBatchPayload{CommittedThrough: wal.MakeLSN(3, 100)}
+	for i := 0; i < n; i++ {
+		lsn := wal.MakeLSN(3, uint64(101+i))
+		p.Recs = append(p.Recs, proposeRec{LSN: lsn, Op: benchOp(lsn)})
+	}
+	return p
+}
+
+func BenchmarkProposeRoundTrip(b *testing.B) {
+	p := proposePayload{LSN: wal.MakeLSN(3, 7), CommittedThrough: wal.MakeLSN(3, 5), Op: benchOp(wal.MakeLSN(3, 7))}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := decodePropose(encodePropose(p)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchmarkProposeBatch(b *testing.B, n int) {
+	p := benchBatch(n)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		got, err := decodeProposeBatch(encodeProposeBatch(p))
+		if err != nil || len(got.Recs) != n {
+			b.Fatalf("decoded %d recs, err %v", len(got.Recs), err)
+		}
+	}
+}
+
+func BenchmarkProposeBatchRoundTrip1(b *testing.B)  { benchmarkProposeBatch(b, 1) }
+func BenchmarkProposeBatchRoundTrip8(b *testing.B)  { benchmarkProposeBatch(b, 8) }
+func BenchmarkProposeBatchRoundTrip64(b *testing.B) { benchmarkProposeBatch(b, 64) }
+
+func BenchmarkAckRoundTrip(b *testing.B) {
+	lsn, floor := wal.MakeLSN(3, 77), wal.MakeLSN(3, 41)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := decodeAck(encodeAck(lsn, floor)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCommitMsgRoundTrip(b *testing.B) {
+	cmt, gc := wal.MakeLSN(2, 900), wal.MakeLSN(2, 850)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := decodeCommitMsg(encodeCommitMsg(cmt, gc)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteResultRoundTrip(b *testing.B) {
+	wr := writeResult{Status: StatusOK, Versions: []uint64{uint64(wal.MakeLSN(3, 9))}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := decodeWriteResult(encodeWriteResult(wr)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

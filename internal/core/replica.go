@@ -448,8 +448,12 @@ func (r *replica) submitWriteAsync(op WriteOp, respond func(writeOutcome)) {
 			respond(out)
 		}}
 	r.queue.add(p)
+	// One encode per sequenced write: the same bytes are the WAL record
+	// payload here and the batch-payload body in encodeProposeBatch (via
+	// proposeRec.Raw), instead of encoding the op twice.
+	enc := EncodeWriteOp(nil, op)
 	rec := wal.Record{Cohort: r.rangeID, Type: wal.RecWrite, LSN: lsn,
-		Payload: EncodeWriteOp(nil, op)}
+		Payload: enc}
 	end, err := r.n.log.Append(rec)
 	if err != nil {
 		r.queue.remove(lsn)
@@ -459,7 +463,7 @@ func (r *replica) submitWriteAsync(op WriteOp, respond func(writeOutcome)) {
 	}
 	r.lastLSN = lsn
 	r.queue.touchPropose(lsn)
-	r.enqueueProposalLocked(proposeRec{LSN: lsn, Op: op})
+	r.enqueueProposalLocked(proposeRec{LSN: lsn, Op: op, Raw: enc})
 	if end > r.batchEnd {
 		r.batchEnd = end
 	}
@@ -801,11 +805,14 @@ func (r *replica) onProposeBatch(m transport.Message) {
 		}
 	}
 	var (
-		appended []wal.LSN
-		end      int64
-		gap      bool
+		toLog []wal.Record
+		toAdd []*pendingWrite
+		end   int64
+		gap   bool
 	)
-	for _, rec := range b.Recs {
+	last := r.lastLSN
+	for i := range b.Recs {
+		rec := &b.Recs[i]
 		if e := rec.LSN.Epoch(); e > r.epoch {
 			if r.role == RoleLeader {
 				// A higher-epoch stream proves we were deposed; step
@@ -825,7 +832,7 @@ func (r *replica) onProposeBatch(m transport.Message) {
 		// cohort's first write is seq 1 (which passes), and an empty-log
 		// follower that accepted a mid-stream batch would cumulatively
 		// ack a prefix it never received.
-		if rec.LSN.Seq() > r.lastLSN.Seq()+1 {
+		if rec.LSN.Seq() > last.Seq()+1 {
 			gap = true
 			break
 		}
@@ -839,17 +846,36 @@ func (r *replica) onProposeBatch(m transport.Message) {
 			gap = true
 			break
 		}
-		recEnd, err := r.n.log.Append(wal.Record{Cohort: r.rangeID, Type: wal.RecWrite,
-			LSN: rec.LSN, Payload: EncodeWriteOp(nil, rec.Op)})
-		if err != nil {
-			break
+		// Zero-copy hand-off: Raw slices the message payload (see
+		// decodeProposeBatch), so the WAL gets the already-encoded op
+		// without a re-encode and the memtable shares the payload's
+		// value bytes.
+		payload := rec.Raw
+		if payload == nil {
+			payload = EncodeWriteOp(nil, rec.Op)
 		}
-		end = recEnd
-		if rec.LSN > r.lastLSN {
-			r.lastLSN = rec.LSN
+		toLog = append(toLog, wal.Record{Cohort: r.rangeID, Type: wal.RecWrite,
+			LSN: rec.LSN, Payload: payload})
+		toAdd = append(toAdd, &pendingWrite{lsn: rec.LSN, op: rec.Op})
+		if rec.LSN > last {
+			last = rec.LSN
 		}
-		r.queue.add(&pendingWrite{lsn: rec.LSN, op: rec.Op})
-		appended = append(appended, rec.LSN)
+	}
+	if len(toLog) > 0 {
+		// One group frame, one checksum, one force target for the whole
+		// batch (vs one frame and bookkeeping pass per record). The append
+		// is all-or-nothing; on error nothing entered the log, so neither
+		// lastLSN nor the queue advances and the cumulative ack stays
+		// honest.
+		if e, err := r.n.log.AppendBatch(toLog); err == nil {
+			end = e
+			r.lastLSN = last
+			for _, p := range toAdd {
+				r.queue.add(p)
+			}
+		} else {
+			toAdd = nil
+		}
 	}
 	if gap {
 		r.gapped = true
@@ -865,8 +891,8 @@ func (r *replica) onProposeBatch(m transport.Message) {
 		} else if err := r.n.log.Force(); err != nil {
 			return
 		}
-		for _, lsn := range appended {
-			r.queue.markForced(lsn)
+		for _, p := range toAdd {
+			r.queue.markForced(p.lsn)
 		}
 		if !ackThrough.IsZero() {
 			if ParanoidAckChecks {

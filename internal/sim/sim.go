@@ -403,6 +403,7 @@ func (sc *SpinnakerCluster) Stop() {
 	}
 	sc.layoutCacheMu.Unlock()
 	sc.Coord.Stop()
+	sc.Net.Close()
 }
 
 // DynamoCluster is an in-process deployment of the eventually consistent
@@ -516,4 +517,5 @@ func (dc *DynamoCluster) Stop() {
 	for _, n := range dc.nodes {
 		n.Stop()
 	}
+	dc.Net.Close()
 }

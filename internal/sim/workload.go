@@ -105,7 +105,9 @@ type LoadPoint struct {
 	Threads    int
 	Throughput float64 // requests/sec achieved
 	AvgLatency time.Duration
+	P50        time.Duration
 	P95        time.Duration
+	P99        time.Duration
 	Errors     int64
 }
 
@@ -152,7 +154,9 @@ func RunClosedLoop(threads int, duration time.Duration, op Op) LoadPoint {
 		Threads:    threads,
 		Throughput: float64(rec.Count()) / elapsed.Seconds(),
 		AvgLatency: rec.Avg(),
+		P50:        rec.Percentile(50),
 		P95:        rec.Percentile(95),
+		P99:        rec.Percentile(99),
 		Errors:     errs,
 	}
 }

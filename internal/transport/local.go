@@ -138,9 +138,34 @@ func (n *Network) getLink(from, to string) *link {
 		stop: make(chan struct{}),
 		rng:  newLinkRNG(n.faultSeed, from, to),
 	}
+	if n.closedAll {
+		// Straggler send during teardown: an inert link (no delivery
+		// goroutine, not registered) that silently swallows the traffic.
+		close(l.stop)
+		return l
+	}
 	n.links[key] = l
 	go n.run(l, to)
 	return l
+}
+
+// Close shuts the network down: every link's delivery goroutine exits, and
+// links created by straggler sends afterwards are inert (no goroutine).
+// Messages still in flight are dropped. Cluster teardown calls this;
+// without it, benchmarks cycling many clusters in one process accumulate
+// blocked delivery goroutines, each pinning its dead cluster's entire heap
+// (endpoints → nodes → memtables → log buffers) into the GC live set.
+func (n *Network) Close() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closedAll {
+		return
+	}
+	n.closedAll = true
+	for _, l := range n.links {
+		close(l.stop)
+	}
+	n.links = make(map[[2]string]*link)
 }
 
 // SetMessageCost sets a per-message delivery cost, serialized on each
@@ -227,10 +252,23 @@ func (n *Network) deliver(to string, tm timedMsg, jitter time.Duration, dup bool
 		return
 	}
 	n.msgs.Add(1)
+	// Fast path: the payload slice is handed to the receiver as-is, no
+	// defensive copy. Receivers decode zero-copy (payload bytes flow into
+	// the commit queue and memtable), which is safe because a payload is
+	// never written after encode — the sender builds a fresh buffer per
+	// message and every consumer treats it as immutable.
 	ep.dispatch(tm.m)
 	if dup {
+		// Duplication fault only (never on the clean path): give the
+		// second dispatch its own payload so the two deliveries cannot
+		// alias each other through zero-copy decode — a real network
+		// duplicates bytes, not buffers.
 		n.msgs.Add(1)
-		ep.dispatch(tm.m)
+		d := tm.m
+		if len(d.Payload) > 0 {
+			d.Payload = append([]byte(nil), d.Payload...)
+		}
+		ep.dispatch(d)
 	}
 }
 

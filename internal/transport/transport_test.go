@@ -3,6 +3,7 @@ package transport
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -371,5 +372,44 @@ func TestTCPInOrder(t *testing.T) {
 		if v != uint64(i) {
 			t.Fatalf("out of order at %d: %d", i, v)
 		}
+	}
+}
+
+// TestNetworkCloseStopsLinkGoroutines pins that Close terminates every
+// link's delivery goroutine and keeps straggler sends from spawning new
+// ones. Before Close existed, benchmark processes cycling many clusters
+// accumulated one blocked goroutine per link, each pinning its dead
+// cluster's heap into the GC live set.
+func TestNetworkCloseStopsLinkGoroutines(t *testing.T) {
+	runtime.GC()
+	base := runtime.NumGoroutine()
+	net := NewNetwork(0)
+	a := net.Join("a")
+	b := net.Join("b")
+	got := make(chan Message, 1)
+	b.SetHandler(func(m Message) { got <- m })
+	if err := a.Send(Message{To: "b", Kind: 1}); err != nil {
+		t.Fatal(err)
+	}
+	<-got
+	if err := b.Send(Message{To: "a", Kind: 1}); err != nil {
+		t.Fatal(err)
+	}
+	net.Close()
+	net.Close() // idempotent
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base {
+		t.Fatalf("%d goroutines still running after Close (started with %d)", n, base)
+	}
+	// A straggler send after Close must not spawn a delivery goroutine.
+	if err := a.Send(Message{To: "b", Kind: 1}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if n := runtime.NumGoroutine(); n > base {
+		t.Fatalf("straggler send spawned a goroutine (%d > %d)", n, base)
 	}
 }

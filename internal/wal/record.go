@@ -77,13 +77,23 @@ func (r *Record) EncodedSize() int {
 	return recHeaderSize + recBodyFixed + len(r.Payload)
 }
 
+// grow extends dst by n bytes with at most one allocation and returns the
+// extended slice together with the n-byte window just added.
+func grow(dst []byte, n int) ([]byte, []byte) {
+	l := len(dst)
+	if cap(dst)-l < n {
+		bigger := make([]byte, l, l+n)
+		copy(bigger, dst)
+		dst = bigger
+	}
+	dst = dst[:l+n]
+	return dst, dst[l : l+n]
+}
+
 // Encode serializes the record with length+CRC framing, appending to dst.
 func (r *Record) Encode(dst []byte) []byte {
 	bodyLen := recBodyFixed + len(r.Payload)
-	need := recHeaderSize + bodyLen
-	start := len(dst)
-	dst = append(dst, make([]byte, need)...)
-	b := dst[start:]
+	dst, b := grow(dst, recHeaderSize+bodyLen)
 	binary.LittleEndian.PutUint32(b[0:4], uint32(bodyLen))
 	body := b[recHeaderSize:]
 	body[0] = byte(r.Type)
@@ -97,6 +107,7 @@ func (r *Record) Encode(dst []byte) []byte {
 // DecodeRecord parses one record from b. It returns the record and the
 // total number of bytes consumed. ErrCorruptRecord is returned on framing
 // or checksum errors, which recovery treats as the end of the valid log.
+// Group frames (AppendBatch) are rejected; scans must use DecodeFrame.
 func DecodeRecord(b []byte) (Record, int, error) {
 	if len(b) < recHeaderSize {
 		return Record{}, 0, ErrCorruptRecord
@@ -110,6 +121,9 @@ func DecodeRecord(b []byte) (Record, int, error) {
 	if crc32.Checksum(body, crcTable) != wantCRC {
 		return Record{}, 0, ErrCorruptRecord
 	}
+	if body[0] == recGroupFrame {
+		return Record{}, 0, ErrCorruptRecord
+	}
 	rec := Record{
 		Type:   RecType(body[0]),
 		Cohort: binary.LittleEndian.Uint32(body[1:5]),
@@ -119,4 +133,122 @@ func DecodeRecord(b []byte) (Record, int, error) {
 		rec.Payload = append([]byte(nil), body[recBodyFixed:]...)
 	}
 	return rec, recHeaderSize + bodyLen, nil
+}
+
+// Group frames batch the records of one MsgProposeBatch under a single
+// length+CRC header (one frame header + N records + one checksum), so the
+// follower append path pays framing and checksum cost once per batch instead
+// of once per record. The first body byte distinguishes frame kinds: legacy
+// single-record frames carry a RecType there, group frames carry
+// recGroupFrame, a value outside every RecType, so logs mixing both framings
+// (written before and after this change) replay with one scan.
+const recGroupFrame = 0xF0
+
+const (
+	groupBodyFixed = 1 + 4         // marker + record count
+	groupRecFixed  = 1 + 4 + 8 + 4 // type + cohort + LSN + payload length
+)
+
+// GroupEncodedSize returns the number of bytes EncodeGroup will produce.
+func GroupEncodedSize(recs []Record) int {
+	n := recHeaderSize + groupBodyFixed
+	for i := range recs {
+		n += groupRecFixed + len(recs[i].Payload)
+	}
+	return n
+}
+
+// EncodeGroup serializes recs as one group frame, appending to dst. The
+// destination grows at most once (callers pre-size with GroupEncodedSize).
+func EncodeGroup(dst []byte, recs []Record) []byte {
+	need := GroupEncodedSize(recs)
+	dst, b := grow(dst, need)
+	bodyLen := need - recHeaderSize
+	binary.LittleEndian.PutUint32(b[0:4], uint32(bodyLen))
+	body := b[recHeaderSize:]
+	body[0] = recGroupFrame
+	binary.LittleEndian.PutUint32(body[1:5], uint32(len(recs)))
+	off := groupBodyFixed
+	for i := range recs {
+		r := &recs[i]
+		body[off] = byte(r.Type)
+		binary.LittleEndian.PutUint32(body[off+1:off+5], r.Cohort)
+		binary.LittleEndian.PutUint64(body[off+5:off+13], uint64(r.LSN))
+		binary.LittleEndian.PutUint32(body[off+13:off+17], uint32(len(r.Payload)))
+		off += groupRecFixed
+		off += copy(body[off:], r.Payload)
+	}
+	binary.LittleEndian.PutUint32(b[4:8], crc32.Checksum(body, crcTable))
+	return dst
+}
+
+// decodeGroupBody parses the records of a CRC-verified group frame body,
+// invoking fn for each in append order.
+func decodeGroupBody(body []byte, fn func(Record) error) error {
+	if len(body) < groupBodyFixed {
+		return ErrCorruptRecord
+	}
+	count := int(binary.LittleEndian.Uint32(body[1:5]))
+	off := groupBodyFixed
+	for i := 0; i < count; i++ {
+		if len(body)-off < groupRecFixed {
+			return ErrCorruptRecord
+		}
+		rec := Record{
+			Type:   RecType(body[off]),
+			Cohort: binary.LittleEndian.Uint32(body[off+1 : off+5]),
+			LSN:    LSN(binary.LittleEndian.Uint64(body[off+5 : off+13])),
+		}
+		plen := int(binary.LittleEndian.Uint32(body[off+13 : off+17]))
+		off += groupRecFixed
+		if plen > len(body)-off {
+			return ErrCorruptRecord
+		}
+		if plen > 0 {
+			rec.Payload = append([]byte(nil), body[off:off+plen]...)
+		}
+		off += plen
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	if off != len(body) {
+		return ErrCorruptRecord
+	}
+	return nil
+}
+
+// DecodeFrame parses one frame — a legacy single-record frame or a group
+// frame — from b, invoking fn once per record it carries, and returns the
+// bytes consumed. ErrCorruptRecord marks the torn tail of the log exactly as
+// DecodeRecord does; any other error is fn's.
+func DecodeFrame(b []byte, fn func(Record) error) (int, error) {
+	if len(b) < recHeaderSize {
+		return 0, ErrCorruptRecord
+	}
+	bodyLen := int(binary.LittleEndian.Uint32(b[0:4]))
+	if bodyLen < 1 || bodyLen > len(b)-recHeaderSize {
+		return 0, ErrCorruptRecord
+	}
+	wantCRC := binary.LittleEndian.Uint32(b[4:8])
+	body := b[recHeaderSize : recHeaderSize+bodyLen]
+	if crc32.Checksum(body, crcTable) != wantCRC {
+		return 0, ErrCorruptRecord
+	}
+	consumed := recHeaderSize + bodyLen
+	if body[0] == recGroupFrame {
+		return consumed, decodeGroupBody(body, fn)
+	}
+	if bodyLen < recBodyFixed {
+		return 0, ErrCorruptRecord
+	}
+	rec := Record{
+		Type:   RecType(body[0]),
+		Cohort: binary.LittleEndian.Uint32(body[1:5]),
+		LSN:    LSN(binary.LittleEndian.Uint64(body[5:13])),
+	}
+	if bodyLen > recBodyFixed {
+		rec.Payload = append([]byte(nil), body[recBodyFixed:]...)
+	}
+	return consumed, fn(rec)
 }
