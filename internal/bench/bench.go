@@ -230,6 +230,7 @@ var Names = []string{
 	"ablation-groupcommit", "ablation-piggyback",
 	"ablation-staleness", "ablation-parallelpropose",
 	"ablation-batching", "scale-out", "storage-maintenance",
+	"rejoin",
 }
 
 // Run executes one named experiment.
@@ -267,6 +268,8 @@ func Run(name string, cfg Config) (Table, error) {
 		return ScaleOut(cfg)
 	case "storage-maintenance":
 		return StorageMaintenance(cfg)
+	case "rejoin":
+		return Rejoin(cfg)
 	default:
 		return Table{}, fmt.Errorf("bench: unknown experiment %q (have %v)", name, Names)
 	}

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"spinnaker/internal/sim"
+)
+
+// rejoinSizes are the preload sizes (rows of 256B) swept by the Rejoin
+// experiment. The paper's recovery story (§6.1) is that a rejoining replica's
+// cost scales with the data it must receive, not with the history it missed;
+// the sweep makes that scaling visible. Sizes are bounded by what the
+// in-process simulation loads in reasonable wall time — EXPERIMENTS.md
+// discusses extrapolation to the paper's scales.
+var rejoinSizes = []int{1_000, 10_000, 100_000}
+
+// rejoinAt runs one truncated-log rejoin measurement and returns the result.
+// DiskLoss keeps the two modes comparable: both rebuild the full range, so
+// the measured difference is purely ship-tables vs replay-entries.
+func rejoinAt(rows int, seed int64, disableSnapshot bool) (*sim.RejoinResult, error) {
+	return sim.RunTruncatedRejoin(sim.RejoinOptions{
+		Seed:            seed,
+		PreloadRows:     rows,
+		DiskLoss:        true,
+		DisableSnapshot: disableSnapshot,
+		Measure:         true,
+	})
+}
+
+// Rejoin measures truncated-log rejoin time — the tentpole recovery path —
+// for the SSTable-shipping catch-up against the log-replay ablation, at
+// increasing preload sizes. The victim loses its disk with the crash, so
+// both modes rebuild the whole range: the snapshot path ingests sealed
+// tables wholesale, the ablation replays every resolved cell back through
+// the follower's write path (WAL append, memtable, flush).
+func Rejoin(cfg Config) (Table, error) {
+	cfg.fillDefaults()
+	table := Table{
+		ID:      "rejoin",
+		Title:   "truncated-log rejoin: SSTable shipping vs log replay (disk loss, 256B values)",
+		Columns: []string{"rows", "ship-tables", "snap-catchups", "log-replay", "speedup"},
+		Notes:   "§6.1: recovery cost scales with data shipped, not history missed",
+	}
+	for _, rows := range rejoinSizes {
+		snap, err := rejoinAt(rows, 101, false)
+		if err != nil {
+			return Table{}, fmt.Errorf("rejoin %d rows (snapshot): %w", rows, err)
+		}
+		replay, err := rejoinAt(rows, 102, true)
+		if err != nil {
+			return Table{}, fmt.Errorf("rejoin %d rows (replay): %w", rows, err)
+		}
+		speedup := float64(replay.RejoinTime) / float64(snap.RejoinTime)
+		table.Rows = append(table.Rows, []string{
+			fmt.Sprintf("%d", rows),
+			snap.RejoinTime.Round(time.Millisecond).String(),
+			fmt.Sprintf("%d", snap.SnapshotCatchups),
+			replay.RejoinTime.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.1fx", speedup),
+		})
+		cfg.progress("rejoin: %d rows done (ship %v, replay %v)", rows, snap.RejoinTime, replay.RejoinTime)
+	}
+	return table, nil
+}

@@ -163,6 +163,12 @@ type Config struct {
 	// leader sends one MsgPropose per write and followers ack each LSN
 	// individually — the paper's Figure 4 read literally.
 	DisableProposalBatching bool
+	// DisableSnapshotCatchup forces catch-up onto the entry-replay path
+	// even when the leader's log is truncated past the follower's f.cmt
+	// (the log-replay ablation for the rejoin benchmarks). With the
+	// default (snapshot catch-up on), such a follower receives sealed
+	// SSTables directly and replays only the log tail beyond them.
+	DisableSnapshotCatchup bool
 }
 
 func (c *Config) fillDefaults() {
@@ -565,6 +571,9 @@ func (n *Node) handle(m transport.Message) {
 				Status: StatusWrongLayout, Detail: detail})})
 		case MsgCatchupReq:
 			n.reply(m, transport.Message{Payload: encodeCatchupResp(catchupResp{Status: StatusNotLeader})})
+		case MsgTableChunkReq:
+			n.reply(m, transport.Message{Kind: MsgTableChunk,
+				Payload: encodeTableChunk(tableChunk{Status: StatusNotFound})})
 		}
 		return
 	}
@@ -616,6 +625,8 @@ func (n *Node) handle(m transport.Message) {
 		r.onTakeover(m)
 	case MsgCatchupReq:
 		r.onCatchupReq(m)
+	case MsgTableChunkReq:
+		r.onTableChunkReq(m)
 	}
 }
 
@@ -834,6 +845,11 @@ func (n *Node) StorageStats(rangeID uint32) (flushes, compacts int64, tables int
 
 // LogStats exposes the shared log's append/force counters.
 func (n *Node) LogStats() (appends, forces int64) { return n.log.Stats() }
+
+// LogTruncated reports the cohort's log-truncation point on this node: a
+// follower whose f.cmt is below it can no longer catch up by entry replay
+// alone (tests and tooling).
+func (n *Node) LogTruncated(cohort uint32) wal.LSN { return n.log.Truncated(cohort) }
 
 // Stop shuts the node down gracefully: loops stop, the session closes
 // (deleting its ephemerals), and the log is forced.

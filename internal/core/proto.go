@@ -45,6 +45,13 @@ const (
 	// DisableProposalBatching ablation.
 	MsgProposeBatch
 	MsgAckBatch // payload: AckedThrough LSN (cumulative)
+	// Bulk catch-up (§6.1, SSTable-based): when the leader's log has been
+	// truncated past the follower's f.cmt, the MsgCatchupReq reply comes
+	// back as a snapshot manifest instead of entries, and the follower
+	// fetches the listed table blobs chunk by chunk.
+	MsgSnapManifest  // reply to MsgCatchupReq: table list + Merkle digests
+	MsgTableChunkReq // follower → leader: one chunk of one manifest table
+	MsgTableChunk    // leader → follower: the chunk bytes + CRC
 )
 
 // Status codes carried in responses.
@@ -337,6 +344,16 @@ type proposeRec struct {
 	Raw []byte
 }
 
+// Minimum encoded sizes, used to validate decoded element counts against
+// the payload length before allocating.
+const (
+	// kv.EncodeEntry: two u16 key lengths + version + lsn + timestamp +
+	// deleted byte + u32 value length.
+	minEntryEncodedSize = 2 + 2 + 8 + 8 + 8 + 1 + 4
+	// proposeRec: u64 LSN + an empty WriteOp (u16 row length + u16 count).
+	minProposeRecEncodedSize = 8 + 2 + 2
+)
+
 // proposeBatchPayload is the body of MsgProposeBatch: the commit piggyback
 // (as in proposePayload) followed by the batch's records in ascending LSN
 // order. In steady state the records are the contiguous run of writes the
@@ -390,6 +407,12 @@ func decodeProposeBatch(b []byte) (proposeBatchPayload, error) {
 	p.CommittedThrough = wal.LSN(binary.LittleEndian.Uint64(b[0:8]))
 	count := int(binary.LittleEndian.Uint32(b[8:12]))
 	off := 12
+	// A record is at least its LSN plus an empty WriteOp; validate the
+	// count against the payload before allocating (a forged count must not
+	// drive a huge make — the decodeManifest hardening, applied here).
+	if count > (len(b)-off)/minProposeRecEncodedSize {
+		return p, fmt.Errorf("core: propose batch count %d exceeds %d payload bytes", count, len(b)-off)
+	}
 	if count > 0 {
 		p.Recs = make([]proposeRec, 0, count)
 	}
@@ -510,6 +533,17 @@ type catchupReq struct {
 	SplitPull  bool
 	FilterLow  string
 	FilterHigh string
+	// NoSnap forces the entry-served path even when the leader's log is
+	// truncated past Cmt: after a snapshot round the follower's next
+	// request covers only (snapCmt, l.cmt], which the engine serves as
+	// entries, and the flag keeps a laggard from looping on manifests.
+	// It also backs the log-replay ablation in the rejoin benchmark.
+	NoSnap bool
+	// Empty declares the follower holds no data at all (fresh join, or a
+	// disk-loss rejoin after Wipe). The leader then skips building the
+	// anti-entropy digest — with nothing local to compare, every leaf
+	// would differ and every offered table ships regardless.
+	Empty bool
 }
 
 func encodeCatchupReq(r catchupReq) []byte {
@@ -526,6 +560,16 @@ func encodeCatchupReq(r catchupReq) []byte {
 	binary.LittleEndian.PutUint16(s[:], uint16(len(r.FilterHigh)))
 	buf = append(buf, s[:]...)
 	buf = append(buf, r.FilterHigh...)
+	// Trailing flags byte (decoders tolerate its absence for req payloads
+	// encoded before bulk catch-up existed).
+	var flags byte
+	if r.NoSnap {
+		flags |= 1
+	}
+	if r.Empty {
+		flags |= 2
+	}
+	buf = append(buf, flags)
 	return buf
 }
 
@@ -559,6 +603,11 @@ func decodeCatchupReq(b []byte) (catchupReq, error) {
 		return r, fmt.Errorf("core: catchup req filter truncated")
 	}
 	r.FilterHigh = string(b[off : off+hl])
+	off += hl
+	if len(b)-off >= 1 {
+		r.NoSnap = b[off]&1 != 0
+		r.Empty = b[off]&2 != 0
+	}
 	return r, nil
 }
 
@@ -615,6 +664,12 @@ func decodeCatchupResp(b []byte) (catchupResp, error) {
 	}
 	count := int(binary.LittleEndian.Uint32(b[off:]))
 	off += 4
+	if count > (len(b)-off)/minEntryEncodedSize {
+		return r, fmt.Errorf("core: catchup resp count %d exceeds %d payload bytes", count, len(b)-off)
+	}
+	if count > 0 {
+		r.Entries = make([]kv.Entry, 0, count)
+	}
 	for i := 0; i < count; i++ {
 		e, n, err := kv.DecodeEntry(b[off:])
 		if err != nil {
@@ -784,6 +839,12 @@ func decodeRowResp(b []byte) (rowResp, error) {
 	r.Status = b[0]
 	count := int(binary.LittleEndian.Uint32(b[1:5]))
 	off := 5
+	if count > (len(b)-off)/minEntryEncodedSize {
+		return r, fmt.Errorf("core: row resp count %d exceeds %d payload bytes", count, len(b)-off)
+	}
+	if count > 0 {
+		r.Entries = make([]kv.Entry, 0, count)
+	}
 	for i := 0; i < count; i++ {
 		e, n, err := kv.DecodeEntry(b[off:])
 		if err != nil {

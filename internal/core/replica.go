@@ -109,6 +109,11 @@ type replica struct {
 	batchEnd     int64 // max log offset of buffered records (force target)
 	batchSending bool
 
+	// Bulk catch-up counters (guarded by r.mu): manifests served as
+	// leader, snapshot-path catch-ups absorbed as follower.
+	snapshotsServed  int64
+	snapshotCatchups int64
+
 	// election bookkeeping
 	electionNudge chan struct{}
 }
@@ -1214,6 +1219,11 @@ type ReplicaStats struct {
 	Quorum        int
 	Peers         []string
 	Low, High     string
+
+	// Bulk catch-up counters: snapshot manifests served (leader side) and
+	// snapshot-path catch-ups absorbed (follower side).
+	SnapshotsServed  int64
+	SnapshotCatchups int64
 }
 
 func (r *replica) stats() ReplicaStats {
@@ -1232,6 +1242,9 @@ func (r *replica) stats() ReplicaStats {
 		Peers:         append([]string(nil), r.peers...),
 		Low:           r.low,
 		High:          r.high,
+
+		SnapshotsServed:  r.snapshotsServed,
+		SnapshotCatchups: r.snapshotCatchups,
 	}
 }
 

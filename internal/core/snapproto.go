@@ -1,0 +1,261 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"spinnaker/internal/merkle"
+	"spinnaker/internal/wal"
+)
+
+// Bulk catch-up wire formats (§6.1, SSTable-based catch-up). All decoders
+// validate element counts and lengths against the payload size before
+// allocating, matching the manifest hardening in internal/storage.
+
+// snapTableMeta describes one SSTable the leader offers for shipping: its
+// id in the leader's engine (the chunk-fetch handle), full blob size and
+// CRC, the LSN tags from its footer, and its row span so the follower can
+// prune the fetch to tables intersecting differing Merkle subranges.
+type snapTableMeta struct {
+	ID     uint64
+	Size   uint32
+	CRC    uint32
+	MinLSN wal.LSN
+	MaxLSN wal.LSN
+	MinRow string
+	MaxRow string
+}
+
+// snapManifest is the MsgSnapManifest reply payload: the snapshot's
+// coverage point (SnapCmt — every committed write at or below it is
+// reflected in the listed tables), the leader's current commit point, the
+// ambiguous-LSN intersection (as in catchupResp), the table list, and the
+// leader's Merkle tree (cuts + leaf digests) over its resolved state at
+// SnapCmt.
+type snapManifest struct {
+	Status  uint8
+	Cmt     wal.LSN
+	SnapCmt wal.LSN
+	Present []wal.LSN
+	Tables  []snapTableMeta
+	Cuts    []string
+	Leaves  []merkle.Digest
+}
+
+// Minimum encoded sizes for count validation.
+const (
+	minSnapTableMetaSize = 8 + 4 + 4 + 8 + 8 + 2 + 2 // empty row bounds
+	minCutSize           = 2                         // empty string
+)
+
+func encodeSnapManifest(m snapManifest) []byte {
+	buf := []byte{m.Status}
+	buf = append(buf, encodeLSN(m.Cmt)...)
+	buf = append(buf, encodeLSN(m.SnapCmt)...)
+	buf = append(buf, encodeLSNs(m.Present)...)
+	var s [8]byte
+	binary.LittleEndian.PutUint32(s[:4], uint32(len(m.Tables)))
+	buf = append(buf, s[:4]...)
+	for _, t := range m.Tables {
+		binary.LittleEndian.PutUint64(s[:8], t.ID)
+		buf = append(buf, s[:8]...)
+		binary.LittleEndian.PutUint32(s[:4], t.Size)
+		buf = append(buf, s[:4]...)
+		binary.LittleEndian.PutUint32(s[:4], t.CRC)
+		buf = append(buf, s[:4]...)
+		binary.LittleEndian.PutUint64(s[:8], uint64(t.MinLSN))
+		buf = append(buf, s[:8]...)
+		binary.LittleEndian.PutUint64(s[:8], uint64(t.MaxLSN))
+		buf = append(buf, s[:8]...)
+		binary.LittleEndian.PutUint16(s[:2], uint16(len(t.MinRow)))
+		buf = append(buf, s[:2]...)
+		buf = append(buf, t.MinRow...)
+		binary.LittleEndian.PutUint16(s[:2], uint16(len(t.MaxRow)))
+		buf = append(buf, s[:2]...)
+		buf = append(buf, t.MaxRow...)
+	}
+	binary.LittleEndian.PutUint32(s[:4], uint32(len(m.Cuts)))
+	buf = append(buf, s[:4]...)
+	for _, c := range m.Cuts {
+		binary.LittleEndian.PutUint16(s[:2], uint16(len(c)))
+		buf = append(buf, s[:2]...)
+		buf = append(buf, c...)
+	}
+	binary.LittleEndian.PutUint32(s[:4], uint32(len(m.Leaves)))
+	buf = append(buf, s[:4]...)
+	for i := range m.Leaves {
+		buf = append(buf, m.Leaves[i][:]...)
+	}
+	return buf
+}
+
+func decodeSnapManifest(b []byte) (snapManifest, error) {
+	var m snapManifest
+	if len(b) < 1+8+8 {
+		return m, fmt.Errorf("core: snap manifest truncated")
+	}
+	m.Status = b[0]
+	m.Cmt = wal.LSN(binary.LittleEndian.Uint64(b[1:9]))
+	m.SnapCmt = wal.LSN(binary.LittleEndian.Uint64(b[9:17]))
+	off := 17
+	present, n, err := decodeLSNs(b[off:])
+	if err != nil {
+		return m, err
+	}
+	m.Present = present
+	off += n
+
+	if len(b)-off < 4 {
+		return m, fmt.Errorf("core: snap manifest table count truncated")
+	}
+	nTables := int(binary.LittleEndian.Uint32(b[off:]))
+	off += 4
+	if nTables > (len(b)-off)/minSnapTableMetaSize {
+		return m, fmt.Errorf("core: snap manifest table count %d exceeds %d payload bytes", nTables, len(b)-off)
+	}
+	if nTables > 0 {
+		m.Tables = make([]snapTableMeta, 0, nTables)
+	}
+	for i := 0; i < nTables; i++ {
+		if len(b)-off < minSnapTableMetaSize {
+			return m, fmt.Errorf("core: snap manifest table %d truncated", i)
+		}
+		var t snapTableMeta
+		t.ID = binary.LittleEndian.Uint64(b[off:])
+		off += 8
+		t.Size = binary.LittleEndian.Uint32(b[off:])
+		off += 4
+		t.CRC = binary.LittleEndian.Uint32(b[off:])
+		off += 4
+		t.MinLSN = wal.LSN(binary.LittleEndian.Uint64(b[off:]))
+		off += 8
+		t.MaxLSN = wal.LSN(binary.LittleEndian.Uint64(b[off:]))
+		off += 8
+		ml := int(binary.LittleEndian.Uint16(b[off:]))
+		off += 2
+		if len(b)-off < ml+2 {
+			return m, fmt.Errorf("core: snap manifest table %d row bounds truncated", i)
+		}
+		t.MinRow = string(b[off : off+ml])
+		off += ml
+		xl := int(binary.LittleEndian.Uint16(b[off:]))
+		off += 2
+		if len(b)-off < xl {
+			return m, fmt.Errorf("core: snap manifest table %d row bounds truncated", i)
+		}
+		t.MaxRow = string(b[off : off+xl])
+		off += xl
+		m.Tables = append(m.Tables, t)
+	}
+
+	if len(b)-off < 4 {
+		return m, fmt.Errorf("core: snap manifest cut count truncated")
+	}
+	nCuts := int(binary.LittleEndian.Uint32(b[off:]))
+	off += 4
+	if nCuts > (len(b)-off)/minCutSize {
+		return m, fmt.Errorf("core: snap manifest cut count %d exceeds %d payload bytes", nCuts, len(b)-off)
+	}
+	if nCuts > 0 {
+		m.Cuts = make([]string, 0, nCuts)
+	}
+	for i := 0; i < nCuts; i++ {
+		if len(b)-off < 2 {
+			return m, fmt.Errorf("core: snap manifest cut %d truncated", i)
+		}
+		cl := int(binary.LittleEndian.Uint16(b[off:]))
+		off += 2
+		if len(b)-off < cl {
+			return m, fmt.Errorf("core: snap manifest cut %d truncated", i)
+		}
+		m.Cuts = append(m.Cuts, string(b[off:off+cl]))
+		off += cl
+	}
+
+	if len(b)-off < 4 {
+		return m, fmt.Errorf("core: snap manifest leaf count truncated")
+	}
+	nLeaves := int(binary.LittleEndian.Uint32(b[off:]))
+	off += 4
+	if nLeaves > (len(b)-off)/merkle.DigestSize {
+		return m, fmt.Errorf("core: snap manifest leaf count %d exceeds %d payload bytes", nLeaves, len(b)-off)
+	}
+	if nLeaves > 0 {
+		m.Leaves = make([]merkle.Digest, nLeaves)
+	}
+	for i := 0; i < nLeaves; i++ {
+		copy(m.Leaves[i][:], b[off:off+merkle.DigestSize])
+		off += merkle.DigestSize
+	}
+	return m, nil
+}
+
+// tableChunkReq asks for the bytes of one manifest table starting at
+// Offset. The follower drives the offsets, so a chunk that fails its CRC is
+// simply re-requested at the same offset (resumable transfer).
+type tableChunkReq struct {
+	Table  uint64
+	Offset uint32
+}
+
+func encodeTableChunkReq(r tableChunkReq) []byte {
+	var buf [12]byte
+	binary.LittleEndian.PutUint64(buf[0:8], r.Table)
+	binary.LittleEndian.PutUint32(buf[8:12], r.Offset)
+	return buf[:]
+}
+
+func decodeTableChunkReq(b []byte) (tableChunkReq, error) {
+	var r tableChunkReq
+	if len(b) < 12 {
+		return r, fmt.Errorf("core: table chunk req truncated")
+	}
+	r.Table = binary.LittleEndian.Uint64(b[0:8])
+	r.Offset = binary.LittleEndian.Uint32(b[8:12])
+	return r, nil
+}
+
+// tableChunk is one slice of a table blob. Total lets the follower verify
+// it is still fetching the blob the manifest described; CRC covers Data
+// alone (the whole blob is checked against the manifest CRC at the end).
+// StatusNotFound means the table left the live set (compacted away) and the
+// follower must restart from a fresh manifest.
+type tableChunk struct {
+	Status uint8
+	Table  uint64
+	Offset uint32
+	Total  uint32
+	CRC    uint32
+	Data   []byte
+}
+
+func encodeTableChunk(c tableChunk) []byte {
+	buf := make([]byte, 1+8+4+4+4+4, 1+8+4+4+4+4+len(c.Data))
+	buf[0] = c.Status
+	binary.LittleEndian.PutUint64(buf[1:9], c.Table)
+	binary.LittleEndian.PutUint32(buf[9:13], c.Offset)
+	binary.LittleEndian.PutUint32(buf[13:17], c.Total)
+	binary.LittleEndian.PutUint32(buf[17:21], c.CRC)
+	binary.LittleEndian.PutUint32(buf[21:25], uint32(len(c.Data)))
+	return append(buf, c.Data...)
+}
+
+func decodeTableChunk(b []byte) (tableChunk, error) {
+	var c tableChunk
+	if len(b) < 25 {
+		return c, fmt.Errorf("core: table chunk truncated")
+	}
+	c.Status = b[0]
+	c.Table = binary.LittleEndian.Uint64(b[1:9])
+	c.Offset = binary.LittleEndian.Uint32(b[9:13])
+	c.Total = binary.LittleEndian.Uint32(b[13:17])
+	c.CRC = binary.LittleEndian.Uint32(b[17:21])
+	dl := int(binary.LittleEndian.Uint32(b[21:25]))
+	if dl > len(b)-25 {
+		return c, fmt.Errorf("core: table chunk data length %d exceeds %d payload bytes", dl, len(b)-25)
+	}
+	if dl > 0 {
+		c.Data = append([]byte(nil), b[25:25+dl]...)
+	}
+	return c, nil
+}

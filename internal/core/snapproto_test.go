@@ -1,0 +1,126 @@
+package core
+
+import (
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"spinnaker/internal/merkle"
+	"spinnaker/internal/wal"
+)
+
+func TestSnapManifestRoundTrip(t *testing.T) {
+	man := snapManifest{
+		Status:  StatusOK,
+		Cmt:     wal.MakeLSN(3, 77),
+		SnapCmt: wal.MakeLSN(3, 70),
+		Present: []wal.LSN{wal.MakeLSN(3, 71), wal.MakeLSN(3, 75)},
+		Tables: []snapTableMeta{
+			{ID: 9, Size: 4096, CRC: 0xDEADBEEF, MinLSN: wal.MakeLSN(1, 1),
+				MaxLSN: wal.MakeLSN(3, 70), MinRow: "aaa", MaxRow: "zz"},
+			{ID: 12, Size: 128, CRC: 7},
+		},
+		Cuts:   []string{"ggg", "ppp"},
+		Leaves: []merkle.Digest{{1}, {2}, {3}},
+	}
+	got, err := decodeSnapManifest(encodeSnapManifest(man))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, man) {
+		t.Fatalf("round trip mangled manifest:\n got %+v\nwant %+v", got, man)
+	}
+}
+
+// A forged element count in a snapshot manifest must be rejected before any
+// allocation is sized by it (the decodeManifest hardening, applied to the
+// bulk catch-up codecs).
+func TestSnapManifestRejectsForgedCounts(t *testing.T) {
+	base := encodeSnapManifest(snapManifest{Status: StatusOK})
+	// Layout with everything empty: status 1 + cmt 8 + snapCmt 8 +
+	// present count 4, then the three element counts.
+	for _, tt := range []struct {
+		name string
+		off  int
+	}{
+		{"tables", 21},
+		{"cuts", 25},
+		{"leaves", 29},
+	} {
+		b := append([]byte(nil), base...)
+		binary.LittleEndian.PutUint32(b[tt.off:], 1<<30)
+		if _, err := decodeSnapManifest(b); err == nil {
+			t.Errorf("%s count forged to 1<<30 decoded without error", tt.name)
+		}
+	}
+}
+
+func TestTableChunkCodecs(t *testing.T) {
+	req := tableChunkReq{Table: 42, Offset: 512}
+	gotReq, err := decodeTableChunkReq(encodeTableChunkReq(req))
+	if err != nil || gotReq != req {
+		t.Fatalf("chunk req round trip = %+v, %v", gotReq, err)
+	}
+
+	ch := tableChunk{Status: StatusOK, Table: 42, Offset: 512, Total: 4096,
+		CRC: 99, Data: []byte("abc")}
+	gotCh, err := decodeTableChunk(encodeTableChunk(ch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotCh, ch) {
+		t.Fatalf("chunk round trip = %+v, want %+v", gotCh, ch)
+	}
+
+	// A forged data length must be rejected, not allocated or sliced.
+	b := encodeTableChunk(ch)
+	binary.LittleEndian.PutUint32(b[21:25], 1<<30)
+	if _, err := decodeTableChunk(b); err == nil {
+		t.Error("data length forged to 1<<30 decoded without error")
+	}
+}
+
+func TestCatchupRespRejectsForgedCount(t *testing.T) {
+	b := encodeCatchupResp(catchupResp{Status: StatusOK, Cmt: wal.MakeLSN(1, 5)})
+	binary.LittleEndian.PutUint32(b[13:], 1<<30) // entry count: status 1 + cmt 8 + present count 4
+	if _, err := decodeCatchupResp(b); err == nil {
+		t.Error("catchup resp entry count forged to 1<<30 decoded without error")
+	}
+}
+
+func TestRowRespRejectsForgedCount(t *testing.T) {
+	b := encodeRowResp(rowResp{Status: StatusOK})
+	binary.LittleEndian.PutUint32(b[1:], 1<<30)
+	if _, err := decodeRowResp(b); err == nil {
+		t.Error("row resp entry count forged to 1<<30 decoded without error")
+	}
+}
+
+func TestProposeBatchRejectsForgedCount(t *testing.T) {
+	b := encodeProposeBatch(proposeBatchPayload{CommittedThrough: wal.MakeLSN(1, 9)})
+	binary.LittleEndian.PutUint32(b[8:], 1<<30)
+	if _, err := decodeProposeBatch(b); err == nil {
+		t.Error("propose batch record count forged to 1<<30 decoded without error")
+	}
+}
+
+func TestCatchupReqNoSnapFlag(t *testing.T) {
+	got, err := decodeCatchupReq(encodeCatchupReq(catchupReq{Cmt: wal.MakeLSN(1, 5), NoSnap: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.NoSnap || got.Cmt != wal.MakeLSN(1, 5) {
+		t.Fatalf("NoSnap round trip = %+v", got)
+	}
+	// A payload encoded before the flags byte existed still decodes, with
+	// NoSnap defaulting to off.
+	legacy := encodeCatchupReq(catchupReq{Cmt: wal.MakeLSN(1, 3)})
+	legacy = legacy[:len(legacy)-1]
+	got, err = decodeCatchupReq(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NoSnap || got.Cmt != wal.MakeLSN(1, 3) {
+		t.Fatalf("legacy catchup req = %+v", got)
+	}
+}

@@ -1,0 +1,188 @@
+// Package merkle builds range digests over sorted storage entries so two
+// replicas can agree on which key subranges differ without exchanging the
+// data itself (anti-entropy for SSTable-based catch-up, paper §6.1; the
+// technique follows Dynamo-style Merkle synchronization). The key space is
+// partitioned into leaves by interior row cuts — leaf i covers
+// [cuts[i-1], cuts[i]), with the first leaf open at the bottom and the last
+// open at the top — and each leaf digests the resolved entries whose row
+// falls inside it. Equal leaf digests mean byte-identical resolved content;
+// only differing leaves need shipping.
+//
+// Cuts always fall on row boundaries, so a whole row lands in exactly one
+// leaf and the leaf ranges compose with the replication layer's
+// [low, high) range bounds ("" = open end).
+package merkle
+
+import (
+	"crypto/sha256"
+
+	"spinnaker/internal/kv"
+)
+
+// DigestSize is the byte length of a leaf or root digest.
+const DigestSize = sha256.Size
+
+// Digest is one leaf (or root) hash.
+type Digest [DigestSize]byte
+
+// Range is a half-open key subrange [Low, High); empty strings mean the
+// open ends of the key space (Low = "" is the bottom, High = "" the top).
+type Range struct {
+	Low, High string
+}
+
+// Tree is a one-level Merkle tree over a replica's sorted entries: leaf
+// digests plus a root folding them together. One level suffices here — both
+// sides hold the whole tree in memory and diff it leaf by leaf; the root
+// only short-circuits the equal case.
+type Tree struct {
+	cuts   []string // interior boundaries, ascending; len(leaves) == len(cuts)+1
+	leaves []Digest
+	root   Digest
+}
+
+// Build derives row-boundary cuts from the sorted entries (targeting about
+// targetLeaves leaves) and digests them. Entries must be sorted by key, the
+// order kv-layer scans produce.
+func Build(entries []kv.Entry, targetLeaves int) *Tree {
+	if targetLeaves < 1 {
+		targetLeaves = 1
+	}
+	stride := len(entries) / targetLeaves
+	if stride < 1 {
+		stride = 1
+	}
+	var cuts []string
+	sinceCut := 0
+	for i, e := range entries {
+		// Cut only where the row changes: a row must never straddle a
+		// leaf boundary, or the two sides could digest the same row's
+		// columns into different leaves.
+		if sinceCut >= stride && i > 0 && e.Key.Row != entries[i-1].Key.Row {
+			cuts = append(cuts, e.Key.Row)
+			sinceCut = 0
+		}
+		sinceCut++
+	}
+	return BuildWithCuts(cuts, entries)
+}
+
+// BuildWithCuts digests entries into the leaves defined by cuts (ascending
+// row boundaries). The follower side of anti-entropy uses the leader's cuts
+// so the two trees are comparable.
+func BuildWithCuts(cuts []string, entries []kv.Entry) *Tree {
+	t := &Tree{
+		cuts:   append([]string(nil), cuts...),
+		leaves: make([]Digest, len(cuts)+1),
+	}
+	h := sha256.New()
+	var buf []byte
+	leaf, dirty := 0, false
+	seal := func() {
+		if dirty {
+			h.Sum(t.leaves[leaf][:0])
+			h.Reset()
+			dirty = false
+		}
+		// An untouched leaf keeps the zero digest: "no entries" compares
+		// equal between replicas without hashing anything.
+	}
+	for _, e := range entries {
+		for leaf < len(t.cuts) && e.Key.Row >= t.cuts[leaf] {
+			seal()
+			leaf++
+		}
+		// kv.EncodeEntry is length-prefixed per field, so the digest
+		// stream is unambiguous (no concatenation collisions).
+		buf = kv.EncodeEntry(buf[:0], e)
+		h.Write(buf)
+		dirty = true
+	}
+	seal()
+
+	h.Reset()
+	for i := range t.leaves {
+		h.Write(t.leaves[i][:])
+	}
+	h.Sum(t.root[:0])
+	return t
+}
+
+// New reassembles a tree from transported cuts and leaf digests, e.g. the
+// manifest a leader ships. It returns nil if the shapes disagree.
+func New(cuts []string, leaves []Digest) *Tree {
+	if len(leaves) != len(cuts)+1 {
+		return nil
+	}
+	t := &Tree{
+		cuts:   append([]string(nil), cuts...),
+		leaves: append([]Digest(nil), leaves...),
+	}
+	h := sha256.New()
+	for i := range t.leaves {
+		h.Write(t.leaves[i][:])
+	}
+	h.Sum(t.root[:0])
+	return t
+}
+
+// Cuts returns the interior row boundaries.
+func (t *Tree) Cuts() []string { return append([]string(nil), t.cuts...) }
+
+// Leaves returns the leaf digests; leaf i covers [cuts[i-1], cuts[i]).
+func (t *Tree) Leaves() []Digest { return append([]Digest(nil), t.leaves...) }
+
+// Root returns the digest folding every leaf.
+func (t *Tree) Root() Digest { return t.root }
+
+// leafRange returns leaf i's key subrange.
+func (t *Tree) leafRange(i int) Range {
+	r := Range{}
+	if i > 0 {
+		r.Low = t.cuts[i-1]
+	}
+	if i < len(t.cuts) {
+		r.High = t.cuts[i]
+	}
+	return r
+}
+
+// Diff returns the merged key subranges where the two trees' content
+// differs. Trees built over different cuts are incomparable, and the only
+// safe answer is "everything differs": the full range is returned. Adjacent
+// differing leaves coalesce into one range.
+func Diff(a, b *Tree) []Range {
+	if a == nil || b == nil {
+		return []Range{{}}
+	}
+	if len(a.cuts) != len(b.cuts) {
+		return []Range{{}}
+	}
+	for i := range a.cuts {
+		if a.cuts[i] != b.cuts[i] {
+			return []Range{{}}
+		}
+	}
+	if a.root == b.root {
+		return nil
+	}
+	var out []Range
+	for i := range a.leaves {
+		if a.leaves[i] == b.leaves[i] {
+			continue
+		}
+		r := a.leafRange(i)
+		if n := len(out); n > 0 && out[n-1].High != "" && out[n-1].High == r.Low {
+			out[n-1].High = r.High // coalesce adjacent differing leaves
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Intersects reports whether the row span [minRow, maxRow] (inclusive, as
+// SSTable key-range tags are) overlaps r.
+func (r Range) Intersects(minRow, maxRow string) bool {
+	return (r.High == "" || minRow < r.High) && (r.Low == "" || maxRow >= r.Low)
+}

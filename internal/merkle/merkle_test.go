@@ -1,0 +1,160 @@
+package merkle
+
+import (
+	"fmt"
+	"testing"
+
+	"spinnaker/internal/kv"
+	"spinnaker/internal/wal"
+)
+
+func entry(row, col string, lsn uint64, val string) kv.Entry {
+	return kv.Entry{
+		Key:  kv.Key{Row: row, Col: col},
+		Cell: kv.Cell{Value: []byte(val), Version: lsn, LSN: wal.LSN(lsn)},
+	}
+}
+
+func rows(n int) []kv.Entry {
+	out := make([]kv.Entry, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, entry(fmt.Sprintf("row%04d", i), "c", uint64(i+1), "v"))
+	}
+	return out
+}
+
+func TestDigestStability(t *testing.T) {
+	es := rows(100)
+	a := Build(es, 8)
+	b := BuildWithCuts(a.Cuts(), es)
+	if a.Root() != b.Root() {
+		t.Fatalf("same entries, same cuts: roots differ")
+	}
+	if d := Diff(a, b); d != nil {
+		t.Fatalf("identical trees diff: %v", d)
+	}
+	if len(a.Leaves()) != len(a.Cuts())+1 {
+		t.Fatalf("leaf/cut shape: %d leaves for %d cuts", len(a.Leaves()), len(a.Cuts()))
+	}
+}
+
+func TestDifferingSubrangeDetection(t *testing.T) {
+	es := rows(100)
+	a := Build(es, 8)
+
+	// Mutate one row's value; only the leaf holding it may differ.
+	mutated := append([]kv.Entry(nil), es...)
+	mutated[37] = entry(mutated[37].Key.Row, "c", 38, "CHANGED")
+	b := BuildWithCuts(a.Cuts(), mutated)
+
+	diffs := Diff(a, b)
+	if len(diffs) != 1 {
+		t.Fatalf("one mutated row should differ in one subrange, got %v", diffs)
+	}
+	r := diffs[0]
+	row := es[37].Key.Row
+	if !(r.Low == "" || row >= r.Low) || !(r.High == "" || row < r.High) {
+		t.Fatalf("differing range %v does not cover mutated row %q", r, row)
+	}
+	// An untouched row far away must not be covered (the diff pruned it).
+	other := es[0].Key.Row
+	if r.Intersects(other, other) {
+		t.Fatalf("differing range %v spuriously covers untouched row %q", r, other)
+	}
+}
+
+func TestMissingRowDetected(t *testing.T) {
+	es := rows(64)
+	a := Build(es, 8)
+	short := append(append([]kv.Entry(nil), es[:20]...), es[21:]...) // drop row 20
+	b := BuildWithCuts(a.Cuts(), short)
+	diffs := Diff(a, b)
+	if len(diffs) == 0 {
+		t.Fatalf("dropped row not detected")
+	}
+	row := es[20].Key.Row
+	covered := false
+	for _, r := range diffs {
+		if r.Intersects(row, row) {
+			covered = true
+		}
+	}
+	if !covered {
+		t.Fatalf("diff %v does not cover dropped row %q", diffs, row)
+	}
+}
+
+func TestEmptyAndBoundaryRanges(t *testing.T) {
+	empty := Build(nil, 8)
+	if len(empty.Cuts()) != 0 || len(empty.Leaves()) != 1 {
+		t.Fatalf("empty build: want single full-range leaf, got %d cuts / %d leaves",
+			len(empty.Cuts()), len(empty.Leaves()))
+	}
+	if d := Diff(empty, Build(nil, 8)); d != nil {
+		t.Fatalf("two empty trees diff: %v", d)
+	}
+
+	// Empty vs populated: everything with data must be in a differing range.
+	es := rows(32)
+	a := Build(es, 4)
+	b := BuildWithCuts(a.Cuts(), nil)
+	diffs := Diff(a, b)
+	if len(diffs) == 0 {
+		t.Fatalf("populated vs empty: no diff")
+	}
+	for _, e := range es {
+		covered := false
+		for _, r := range diffs {
+			if r.Intersects(e.Key.Row, e.Key.Row) {
+				covered = true
+			}
+		}
+		if !covered {
+			t.Fatalf("row %q not covered by %v", e.Key.Row, diffs)
+		}
+	}
+
+	// A row exactly at a cut belongs to the upper leaf on both sides.
+	cuts := a.Cuts()
+	if len(cuts) == 0 {
+		t.Fatalf("expected cuts")
+	}
+	one := []kv.Entry{entry(cuts[0], "c", 1, "x")}
+	l := BuildWithCuts(cuts, one)
+	r := BuildWithCuts(cuts, one)
+	if l.Root() != r.Root() {
+		t.Fatalf("cut-boundary row digested inconsistently")
+	}
+	if d := Diff(l, r); d != nil {
+		t.Fatalf("cut-boundary row diffs: %v", d)
+	}
+}
+
+func TestMismatchedCutsAreIncomparable(t *testing.T) {
+	es := rows(32)
+	a := Build(es, 4)
+	b := Build(es, 2)
+	if len(a.Cuts()) == len(b.Cuts()) {
+		t.Skipf("cut derivation produced equal shapes; nothing to compare")
+	}
+	diffs := Diff(a, b)
+	if len(diffs) != 1 || diffs[0] != (Range{}) {
+		t.Fatalf("mismatched cuts must yield the full range, got %v", diffs)
+	}
+}
+
+func TestNewValidatesShape(t *testing.T) {
+	if New([]string{"m"}, make([]Digest, 1)) != nil {
+		t.Fatalf("New accepted mismatched shape")
+	}
+	tr := New([]string{"m"}, make([]Digest, 2))
+	if tr == nil {
+		t.Fatalf("New rejected valid shape")
+	}
+	es := rows(4)
+	built := BuildWithCuts(nil, es)
+	re := New(built.Cuts(), built.Leaves())
+	if re == nil || re.Root() != built.Root() {
+		t.Fatalf("New round-trip changed the root")
+	}
+}

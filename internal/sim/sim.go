@@ -72,6 +72,10 @@ type Options struct {
 	ReadConcurrency int
 	// SequentialPropose is the Figure 4 ablation: force before proposing.
 	SequentialPropose bool
+	// DisableSnapshotCatchup is the log-replay ablation: rejoining
+	// followers always catch up by entry replay, never by SSTable
+	// shipping (the rejoin benchmarks compare both).
+	DisableSnapshotCatchup bool
 	// Storage knobs, passed through to the engines and the shared log;
 	// benchmarks lower them so sustained write loads stay memory-flat
 	// (flush → SSTable capture → log segment truncation). MaxTables is
@@ -182,6 +186,7 @@ func NewSpinnakerCluster(opts Options) (*SpinnakerCluster, error) {
 		ReadServiceTime:         opts.ReadServiceTime,
 		ReadConcurrency:         opts.ReadConcurrency,
 		SequentialPropose:       opts.SequentialPropose,
+		DisableSnapshotCatchup:  opts.DisableSnapshotCatchup,
 		FlushBytes:              opts.FlushBytes,
 		MaxTables:               opts.MaxTables,
 		SegmentBytes:            opts.SegmentBytes,

@@ -38,6 +38,7 @@ var ErrMalformed = errors.New(formatErrMsg)
 // Table is an immutable sorted run of entries, fully resident as one blob.
 type Table struct {
 	id     uint64
+	blob   []byte // the full serialized form, as stored and as shipped
 	data   []byte
 	index  []indexEnt
 	bloom  []byte
@@ -136,7 +137,7 @@ func Open(id uint64, blob []byte) (*Table, error) {
 	if len(blob) < legacyFooterSize {
 		return nil, fmt.Errorf("%w: too short", ErrMalformed)
 	}
-	t := &Table{id: id}
+	t := &Table{id: id, blob: blob}
 	var indexOff, indexLen uint64
 	switch binary.LittleEndian.Uint32(blob[len(blob)-4:]) {
 	case magic:
@@ -223,6 +224,12 @@ func (t *Table) KeyRange() (min, max kv.Key, ok bool) {
 
 // Bytes returns the serialized blob size (data + index, without footer).
 func (t *Table) Bytes() int { return len(t.data) }
+
+// Blob returns the table's full serialized form — the exact bytes Open was
+// given, footer included. Bulk catch-up ships it verbatim so the receiver
+// can Open it without a rebuild; the slice aliases the table's backing
+// store and must not be modified.
+func (t *Table) Blob() []byte { return t.blob }
 
 // MayContain reports whether the table can hold key, by key-range tag and
 // bloom filter. False means a Get is guaranteed to miss; true means it may

@@ -667,6 +667,156 @@ func (e *Engine) TablesSince(after wal.LSN) []*sstable.Table {
 	return out
 }
 
+// ExportTable returns the serialized blob of a live table by id, for bulk
+// catch-up to ship in chunks. ok is false when the table is no longer in
+// the live set (compacted away since the manifest was cut); the fetcher
+// then restarts from a fresh manifest.
+func (e *Engine) ExportTable(id uint64) ([]byte, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for _, t := range e.tables {
+		if t.ID() == id {
+			return t.Blob(), true
+		}
+	}
+	return nil, false
+}
+
+// IngestTables installs shipped table blobs (newest first, the shipping
+// leader's stacking order) and raises the checkpoint to snapCmt, the LSN
+// through which the snapshot covers all committed state.
+//
+// Two modes, chosen by the engine's state:
+//
+//   - An empty engine (fresh join, or wiped for re-join) installs the blobs
+//     directly as its table stack. The shipped set is a suffix-complete view
+//     of the leader's resolved state, so first-hit-wins reads over it are
+//     correct as-is.
+//
+//   - A non-empty engine cannot stack foreign tables above or below its own
+//     (a shipped table may hold an older cell for a key this engine has
+//     newer, or vice versa — either stacking order would shadow a newer cell
+//     with a staler one on point reads). Instead the blobs are *sifted*:
+//     each shipped entry is applied through the normal path only when it is
+//     newer than the engine's current view of that key, then the memtable is
+//     flushed so the checkpoint raise is backed by durable tables.
+//
+// After either mode, every committed write at or below snapCmt is reflected
+// in the engine's durable tables (directly, or superseded by a newer cell),
+// which is exactly the checkpoint contract local recovery relies on.
+func (e *Engine) IngestTables(blobs [][]byte, snapCmt wal.LSN) error {
+	// Parse everything up front: reject a corrupt shipment before touching
+	// any engine state.
+	parsed := make([]*sstable.Table, len(blobs))
+	for i, blob := range blobs {
+		t, err := sstable.Open(0, blob)
+		if err != nil {
+			return fmt.Errorf("storage: ingest parse: %w", err)
+		}
+		parsed[i] = t
+	}
+
+	e.maintMu.Lock()
+	e.mu.RLock()
+	empty := len(e.tables) == 0 && len(e.sealed) == 0 && e.mem.Len() == 0 && e.checkpoint.IsZero()
+	closed := e.closed
+	e.mu.RUnlock()
+	if closed {
+		e.maintMu.Unlock()
+		return fmt.Errorf("storage: ingest into closed engine")
+	}
+	if empty {
+		defer e.maintMu.Unlock()
+		e.mu.Lock()
+		ids := make([]uint64, len(blobs))
+		for i := range blobs {
+			ids[i] = e.nextID
+			e.nextID++
+		}
+		nextID := e.nextID
+		e.mu.Unlock()
+		tables := make([]*sstable.Table, 0, len(blobs))
+		for i, blob := range blobs {
+			if err := e.cfg.Tables.Put(ids[i], blob); err != nil {
+				return fmt.Errorf("storage: ingest put: %w", err) // written blobs are orphans, swept at Open
+			}
+			t, err := sstable.Open(ids[i], blob)
+			if err != nil {
+				return fmt.Errorf("storage: ingest reopen: %w", err)
+			}
+			tables = append(tables, t) // blobs arrive newest first — the stack order
+		}
+		if err := e.saveManifest(nextID, tables, snapCmt); err != nil {
+			return err
+		}
+		e.mu.Lock()
+		e.tables = tables
+		e.checkpoint = snapCmt
+		e.mu.Unlock()
+		e.bumpApplied(snapCmt)
+		return nil
+	}
+	e.maintMu.Unlock()
+
+	// Sifted mode. Applies run lock-free against the current view; catch-up
+	// is single-threaded per replica and the replica accepts no replicated
+	// writes while recovering, so the view only moves beneath us through
+	// our own applies.
+	for _, t := range parsed { // newest shipped table first
+		err := t.Ascend(func(ent kv.Entry) bool {
+			if cur, ok := e.Get(ent.Key); !ok || ent.Cell.Newer(cur) {
+				e.Apply(ent)
+			}
+			return true
+		})
+		if err != nil {
+			return fmt.Errorf("storage: ingest sift: %w", err)
+		}
+	}
+	if _, err := e.flush(); err != nil {
+		return err
+	}
+	return e.RaiseCheckpoint(snapCmt)
+}
+
+// RaiseCheckpoint persists a checkpoint at least `to`, asserting that every
+// committed write at or below it is reflected in the engine's durable
+// tables. Bulk catch-up uses it after ingest: the shipped snapshot covers
+// (checkpoint, snapCmt], so local recovery may skip that span of the log.
+func (e *Engine) RaiseCheckpoint(to wal.LSN) error {
+	e.maintMu.Lock()
+	defer e.maintMu.Unlock()
+	e.mu.RLock()
+	tables := e.tables
+	nextID := e.nextID
+	cur := e.checkpoint
+	closed := e.closed
+	e.mu.RUnlock()
+	if closed || to <= cur {
+		return nil
+	}
+	if err := e.saveManifest(nextID, tables, to); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	if to > e.checkpoint {
+		e.checkpoint = to
+	}
+	e.mu.Unlock()
+	e.bumpApplied(to)
+	return nil
+}
+
+// bumpApplied raises the applied-LSN high-water mark to at least lsn.
+func (e *Engine) bumpApplied(lsn wal.LSN) {
+	for {
+		cur := e.applied.Load()
+		if uint64(lsn) <= cur || e.applied.CompareAndSwap(cur, uint64(lsn)) {
+			return
+		}
+	}
+}
+
 // EntriesSince returns every entry with LSN > after, from the memtables
 // and from tables tagged as overlapping, in key order (duplicates resolved
 // to newest). Catch-up uses it to stream a follower back to currency; it
@@ -700,6 +850,23 @@ func (e *Engine) EntriesSince(after wal.LSN) []kv.Entry {
 	}
 	sortEntries(out)
 	return out
+}
+
+// Empty reports whether the engine holds no data in any layer. A replica
+// catching up from emptiness advertises it so the leader can skip building
+// an anti-entropy digest nothing will be compared against.
+func (e *Engine) Empty() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.mem.Len() > 0 || len(e.tables) > 0 {
+		return false
+	}
+	for _, s := range e.sealed {
+		if s.Len() > 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // Stats reports flush and compaction counts and the live table count.

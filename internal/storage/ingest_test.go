@@ -1,0 +1,159 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+
+	"spinnaker/internal/kv"
+	"spinnaker/internal/sstable"
+	"spinnaker/internal/wal"
+)
+
+// buildLeader populates a leader-like engine, flushes it into tables, and
+// returns the engine plus its table blobs newest first.
+func buildLeader(t *testing.T, keys int) (*Engine, [][]byte, wal.LSN) {
+	t.Helper()
+	e, _ := newTestEngine(t)
+	for i := 0; i < keys; i++ {
+		put(e, fmt.Sprintf("row%04d", i), "c", fmt.Sprintf("v%d", i), uint64(i+1))
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var blobs [][]byte
+	for _, tab := range e.Tables() {
+		blobs = append(blobs, tab.Blob())
+	}
+	return e, blobs, e.Checkpoint()
+}
+
+func TestExportTable(t *testing.T) {
+	e, _, _ := buildLeader(t, 10)
+	tab := e.Tables()[0]
+	blob, ok := e.ExportTable(tab.ID())
+	if !ok {
+		t.Fatalf("ExportTable(%d) not found", tab.ID())
+	}
+	re, err := sstable.Open(tab.ID(), blob)
+	if err != nil {
+		t.Fatalf("exported blob does not reopen: %v", err)
+	}
+	if re.Len() != tab.Len() {
+		t.Fatalf("exported table has %d entries, want %d", re.Len(), tab.Len())
+	}
+	if _, ok := e.ExportTable(9999); ok {
+		t.Fatalf("ExportTable invented a table")
+	}
+}
+
+func TestIngestIntoEmptyEngine(t *testing.T) {
+	_, blobs, snapCmt := buildLeader(t, 50)
+
+	f, cfg := newTestEngine(t)
+	if err := f.IngestTables(blobs, snapCmt); err != nil {
+		t.Fatalf("IngestTables: %v", err)
+	}
+	if f.Checkpoint() != snapCmt {
+		t.Fatalf("checkpoint = %s, want %s", f.Checkpoint(), snapCmt)
+	}
+	for i := 0; i < 50; i++ {
+		c, ok := f.Get(kv.Key{Row: fmt.Sprintf("row%04d", i), Col: "c"})
+		if !ok || string(c.Value) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("row%04d after ingest = %q,%v", i, c.Value, ok)
+		}
+	}
+	// The install is durable: a reopen over the same stores sees the data.
+	re, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if re.Checkpoint() != snapCmt {
+		t.Fatalf("reopened checkpoint = %s, want %s", re.Checkpoint(), snapCmt)
+	}
+	if _, ok := re.Get(kv.Key{Row: "row0049", Col: "c"}); !ok {
+		t.Fatalf("reopened engine lost ingested data")
+	}
+}
+
+func TestIngestSiftsIntoNonEmptyEngine(t *testing.T) {
+	_, blobs, snapCmt := buildLeader(t, 20)
+
+	f, _ := newTestEngine(t)
+	// The follower holds an OLD value for row0005 (lower LSN than the
+	// leader's) and a NEWER value for row0007 (higher LSN — e.g. applied
+	// from the log tail before the snapshot arrived). Sifting must adopt
+	// the leader's row0005 and keep the local row0007.
+	put(f, "row0005", "c", "stale", 3)
+	f.Apply(kv.Entry{
+		Key:  kv.Key{Row: "row0007", Col: "c"},
+		Cell: kv.Cell{Value: []byte("newer-local"), LSN: wal.MakeLSN(2, 1), Version: 100},
+	})
+	if err := f.Flush(); err != nil { // non-empty durable state → sifted mode
+		t.Fatal(err)
+	}
+
+	if err := f.IngestTables(blobs, snapCmt); err != nil {
+		t.Fatalf("IngestTables: %v", err)
+	}
+	if got := f.Checkpoint(); got < snapCmt {
+		t.Fatalf("checkpoint = %s, want >= %s", got, snapCmt)
+	}
+	c, ok := f.Get(kv.Key{Row: "row0005", Col: "c"})
+	if !ok || string(c.Value) != "v5" {
+		t.Fatalf("row0005 = %q,%v; want leader's v5", c.Value, ok)
+	}
+	c, ok = f.Get(kv.Key{Row: "row0007", Col: "c"})
+	if !ok || string(c.Value) != "newer-local" {
+		t.Fatalf("row0007 = %q,%v; shipped stale cell shadowed a newer local one", c.Value, ok)
+	}
+	for i := 0; i < 20; i++ {
+		if i == 5 || i == 7 {
+			continue
+		}
+		if _, ok := f.Get(kv.Key{Row: fmt.Sprintf("row%04d", i), Col: "c"}); !ok {
+			t.Fatalf("row%04d missing after sifted ingest", i)
+		}
+	}
+}
+
+func TestIngestRejectsCorruptBlob(t *testing.T) {
+	_, blobs, snapCmt := buildLeader(t, 5)
+	bad := append([]byte(nil), blobs[0]...)
+	bad[len(bad)-1] ^= 0xFF // break the magic
+	f, _ := newTestEngine(t)
+	if err := f.IngestTables([][]byte{bad}, snapCmt); err == nil {
+		t.Fatalf("corrupt blob ingested without error")
+	}
+	if n := len(f.Tables()); n != 0 {
+		t.Fatalf("corrupt ingest left %d tables installed", n)
+	}
+}
+
+func TestRaiseCheckpointIsMonotone(t *testing.T) {
+	e, cfg := newTestEngine(t)
+	put(e, "r", "c", "v", 5)
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	base := e.Checkpoint()
+	if err := e.RaiseCheckpoint(base - 1); err != nil {
+		t.Fatal(err)
+	}
+	if e.Checkpoint() != base {
+		t.Fatalf("checkpoint regressed to %s", e.Checkpoint())
+	}
+	target := wal.MakeLSN(3, 9)
+	if err := e.RaiseCheckpoint(target); err != nil {
+		t.Fatal(err)
+	}
+	if e.Checkpoint() != target {
+		t.Fatalf("checkpoint = %s, want %s", e.Checkpoint(), target)
+	}
+	re, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Checkpoint() != target {
+		t.Fatalf("raised checkpoint not durable: reopened %s", re.Checkpoint())
+	}
+}

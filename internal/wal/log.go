@@ -398,6 +398,16 @@ func (l *Log) CohortWritesIn(cohort uint32, after, through LSN) (recs []Record, 
 	return recs, !incomplete, nil
 }
 
+// Truncated returns the highest RecWrite LSN of cohort that has been
+// dropped with a log segment. Catch-up requests with f.cmt at or below it
+// cannot be served completely from the log; the leader ships SSTables
+// instead (paper §6.1).
+func (l *Log) Truncated(cohort uint32) LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.truncated[cohort]
+}
+
 // DropCapturedSegments removes old segments whose every cohort's records
 // are at or below that cohort's captured LSN (all captured by SSTables).
 // The current segment is never dropped. It returns the ids removed.
