@@ -1,9 +1,12 @@
 // spinnaker-cli talks to a spinnaker-server over its line protocol, either
-// as a one-shot command or as an interactive REPL.
+// as a one-shot command or as an interactive REPL. STATUS and METRICS hit
+// the server's admin HTTP plane (-http on spinnaker-server) instead of the
+// line protocol.
 //
 // Usage:
 //
 //	spinnaker-cli -addr 127.0.0.1:7070 PUT user42 email x@example.com
+//	spinnaker-cli -http 127.0.0.1:7071 STATUS
 //	spinnaker-cli -addr 127.0.0.1:7070            # interactive
 package main
 
@@ -11,14 +14,43 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"strings"
 )
 
+// fetchAdmin prints one admin-plane document (/status or /metrics).
+func fetchAdmin(httpAddr, path string) error {
+	resp, err := http.Get("http://" + httpAddr + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s returned %s", path, resp.Status)
+	}
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "spinnaker-server address")
+	httpAddr := flag.String("http", "127.0.0.1:7071", "spinnaker-server admin HTTP address (STATUS/METRICS)")
 	flag.Parse()
+
+	// Admin commands go over HTTP and need no line-protocol connection.
+	if args := flag.Args(); len(args) == 1 {
+		switch strings.ToUpper(args[0]) {
+		case "STATUS", "METRICS":
+			if err := fetchAdmin(*httpAddr, "/"+strings.ToLower(args[0])); err != nil {
+				fmt.Fprintf(os.Stderr, "%v\n", err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
 
 	conn, err := net.Dial("tcp", *addr)
 	if err != nil {
@@ -61,7 +93,7 @@ func main() {
 		return
 	}
 
-	fmt.Println("spinnaker-cli: PUT/GET/DEL/CPUT/CDEL/ROW/INCR/LEADER/NODES/CRASH/RESTART; ctrl-d to exit")
+	fmt.Println("spinnaker-cli: PUT/GET/DEL/CPUT/CDEL/ROW/INCR/LEADER/NODES/CRASH/RESTART/STATUS/METRICS; ctrl-d to exit")
 	stdin := bufio.NewScanner(os.Stdin)
 	for {
 		fmt.Print("> ")
@@ -75,6 +107,12 @@ func main() {
 		}
 		if strings.EqualFold(line, "quit") || strings.EqualFold(line, "exit") {
 			return
+		}
+		if strings.EqualFold(line, "status") || strings.EqualFold(line, "metrics") {
+			if err := fetchAdmin(*httpAddr, "/"+strings.ToLower(line)); err != nil {
+				fmt.Fprintf(os.Stderr, "%v\n", err)
+			}
+			continue
 		}
 		if !send(line) {
 			return

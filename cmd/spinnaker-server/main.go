@@ -30,12 +30,15 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
+	"spinnaker/internal/admin"
 	"spinnaker/internal/cluster"
 	"spinnaker/internal/coord"
 	"spinnaker/internal/core"
@@ -48,6 +51,7 @@ type server struct {
 	net      *transport.Network
 	coordSvc *coord.Service
 	stores   map[string]*core.Stores
+	mu       sync.Mutex // guards nodes (CRASH/RESTART mutate it per connection)
 	nodes    map[string]*core.Node
 	cfg      core.Config
 	nextCli  int
@@ -58,6 +62,7 @@ func main() {
 		dir        = flag.String("dir", "", "data directory (required; created if missing)")
 		nodes      = flag.Int("nodes", 3, "number of nodes")
 		listen     = flag.String("listen", "127.0.0.1:7070", "client listen address")
+		httpAddr   = flag.String("http", "", "admin HTTP listen address serving /metrics and /status (empty = disabled)")
 		commit     = flag.Duration("commit-period", 100*time.Millisecond, "commit message period")
 		noBatch    = flag.Bool("no-proposal-batching", false, "disable the batched replication pipeline (ablation)")
 		flushBytes = flag.Int64("flush-bytes", 0, "memtable size in bytes that triggers a flush (0 = default 4MiB)")
@@ -76,6 +81,16 @@ func main() {
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
+	}
+	if *httpAddr != "" {
+		hln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatalf("http listen: %v", err)
+		}
+		log.Printf("spinnaker-server: admin plane (/metrics, /status) on http://%s", hln.Addr())
+		go func() {
+			log.Fatalf("http serve: %v", http.Serve(hln, admin.NewHandler(s.adminSource())))
+		}()
 	}
 	log.Printf("spinnaker-server: %d nodes, data in %s, serving on %s", *nodes, *dir, ln.Addr())
 	for {
@@ -160,8 +175,46 @@ func (s *server) startNode(name string) error {
 	if err := n.Start(); err != nil {
 		return err
 	}
+	s.mu.Lock()
 	s.nodes[name] = n
+	s.mu.Unlock()
 	return nil
+}
+
+// adminSource adapts the embedded cluster to the admin HTTP plane: the
+// same Source contract the simulation harness feeds, so /metrics and
+// /status read identically against either host.
+func (s *server) adminSource() admin.Source {
+	return admin.Source{
+		Nodes: func() []string {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			names := make([]string, 0, len(s.nodes))
+			for name := range s.nodes {
+				names = append(names, name)
+			}
+			return names
+		},
+		NodeMetrics: func(id string) (core.NodeMetrics, bool) {
+			s.mu.Lock()
+			n, ok := s.nodes[id]
+			s.mu.Unlock()
+			if !ok {
+				return core.NodeMetrics{}, false
+			}
+			return n.Metrics(), true
+		},
+		Layout: func() *cluster.Layout { return s.layout },
+		LeaderOf: func(r uint32) string {
+			sess := s.coordSvc.Connect()
+			defer sess.Close()
+			data, err := sess.Get(fmt.Sprintf("/ranges/%d/leader", r))
+			if err != nil {
+				return ""
+			}
+			return string(data)
+		},
+	}
 }
 
 func (s *server) newClient() *core.Client {
@@ -316,27 +369,38 @@ func (s *server) execute(c *core.Client, line string, out *bufio.Writer) {
 		}
 		fmt.Fprintf(out, "OK %s\n", data)
 	case "NODES":
-		fmt.Fprintf(out, "OK %d\n", len(s.nodes))
+		s.mu.Lock()
+		names := make([]string, 0, len(s.nodes))
 		for name := range s.nodes {
+			names = append(names, name)
+		}
+		s.mu.Unlock()
+		fmt.Fprintf(out, "OK %d\n", len(names))
+		for _, name := range names {
 			fmt.Fprintln(out, name)
 		}
 	case "CRASH":
 		if !need(2) {
 			return
 		}
+		s.mu.Lock()
 		n, ok := s.nodes[args[1]]
+		delete(s.nodes, args[1])
+		s.mu.Unlock()
 		if !ok {
 			fmt.Fprintf(out, "ERR node %s not running\n", args[1])
 			return
 		}
 		n.Crash()
-		delete(s.nodes, args[1])
 		fmt.Fprintln(out, "OK")
 	case "RESTART":
 		if !need(2) {
 			return
 		}
-		if _, ok := s.nodes[args[1]]; ok {
+		s.mu.Lock()
+		_, running := s.nodes[args[1]]
+		s.mu.Unlock()
+		if running {
 			fmt.Fprintf(out, "ERR node %s already running\n", args[1])
 			return
 		}

@@ -62,9 +62,14 @@ type Report struct {
 	Schema string `json:"schema"`
 	// Smoke marks a minimal-window CI run: schema and plumbing are real,
 	// numbers are not. Guard never compares smoke numbers.
-	Smoke     bool       `json:"smoke,omitempty"`
-	GoVersion string     `json:"go_version"`
-	OSArch    string     `json:"os_arch"`
+	Smoke     bool   `json:"smoke,omitempty"`
+	GoVersion string `json:"go_version"`
+	OSArch    string `json:"os_arch"`
+	// CPUs is runtime.NumCPU() at measurement time. Guard only compares
+	// reports taken on the same CPU count: the concurrency scenarios are
+	// scheduler-bound, so cross-machine throughput deltas measure the
+	// hardware, not the code. Zero means a pre-schema-v1.1 report.
+	CPUs      int        `json:"cpus,omitempty"`
 	Scenarios []Scenario `json:"scenarios"`
 }
 
@@ -220,6 +225,7 @@ func Trajectory(cfg Config, smoke bool) (Report, error) {
 		Smoke:     smoke,
 		GoVersion: runtime.Version(),
 		OSArch:    runtime.GOOS + "/" + runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
 	}
 	// Five trials per cluster scenario: medians of three left the guard's
 	// 10% threshold flapping on 1-core hosts (each full-suite run saw a
@@ -419,6 +425,11 @@ func Guard(dir string, w io.Writer) error {
 		return nil
 	}
 	prev, cur := reports[len(reports)-2], reports[len(reports)-1]
+	if prev.CPUs != cur.CPUs {
+		fmt.Fprintf(w, "regression guard: hardware changed between %s (%d cpus) and %s (%d cpus); throughput is not comparable, %s is the new baseline\n",
+			files[len(files)-2], prev.CPUs, files[len(files)-1], cur.CPUs, files[len(files)-1])
+		return nil
+	}
 	prevByName := make(map[string]Scenario, len(prev.Scenarios))
 	for _, s := range prev.Scenarios {
 		prevByName[s.Name] = s

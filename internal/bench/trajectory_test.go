@@ -117,6 +117,24 @@ func TestGuardFailsOnThroughputDrop(t *testing.T) {
 	}
 }
 
+func TestGuardSkipsComparisonAcrossHardware(t *testing.T) {
+	// A 33% throughput drop would fail the guard — but the reports were
+	// taken on different CPU counts, so throughput is not comparable and
+	// the newest report re-baselines instead.
+	prev := testReport(func(r *Report) { r.CPUs = 8 })
+	cur := testReport(func(r *Report) {
+		r.CPUs = 1
+		r.Scenarios[0].OpsPerSec = 20000
+	})
+	var out bytes.Buffer
+	if err := Guard(writeGuardDir(t, prev, cur), &out); err != nil {
+		t.Fatalf("Guard across hardware change: %v", err)
+	}
+	if !strings.Contains(out.String(), "hardware changed") {
+		t.Fatalf("output %q lacks hardware-change note", out.String())
+	}
+}
+
 func TestGuardFailsOnAllocsRise(t *testing.T) {
 	prev := testReport(nil)
 	cur := testReport(func(r *Report) { r.Scenarios[0].AllocsPerOp = 60 }) // +50%

@@ -1,0 +1,47 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodeLayout throws arbitrary bytes at the layout codec — the one
+// payload every node and client parses straight off the coordination
+// service. Decode must never panic, never trust a forged node or range
+// count (the checked-in testdata/fuzz seeds pin that), and anything it
+// accepts must pass the full structural invariant check and survive an
+// encode/decode round trip unchanged.
+func FuzzDecodeLayout(f *testing.F) {
+	base, err := New([]string{"n1", "n2", "n3"}, []string{"", "3", "6"}, 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(base.Encode())
+	split, _, err := base.WithSplit(base.RangeOf("7"), "7")
+	if err != nil {
+		f.Fatal(err)
+	}
+	grown, err := split.WithNode("n4")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(grown.Encode())
+	f.Add(base.Encode()[:11])
+	f.Fuzz(func(t *testing.T, b []byte) {
+		l, err := Decode(b)
+		if err != nil {
+			return
+		}
+		if err := l.CheckInvariants(); err != nil {
+			t.Fatalf("Decode accepted a layout that violates invariants: %v", err)
+		}
+		enc := l.Encode()
+		l2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("decoder rejected its own encoder's output: %v", err)
+		}
+		if !reflect.DeepEqual(l, l2) {
+			t.Fatalf("decode/encode is not a fixpoint:\n first: %+v\nsecond: %+v", l, l2)
+		}
+	})
+}

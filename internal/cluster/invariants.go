@@ -1,0 +1,81 @@
+package cluster
+
+import "fmt"
+
+// CheckInvariants validates the structural invariants the replication and
+// routing layers assume of every published layout. The reconfiguration
+// quickchecks assert them over random mutation walks at build time; live
+// tests (the balancer-vs-nemesis scenario) call this on every adopted
+// version so a bad mutation is caught at the version that introduced it,
+// not at the far end of a failed workload.
+//
+// Invariants:
+//   - ranges tile the key space: the first range starts at "", each
+//     range's high bound equals the next range's low bound, and the last
+//     range is unbounded above;
+//   - RangeOf routes a range's own low bound back to that range;
+//   - every cohort is non-empty, drawn from the layout's node set without
+//     duplicates, its quorum is a strict majority, and its home node is
+//     its first member;
+//   - CohortContains and RangesOf agree with Cohort.
+func (l *Layout) CheckInvariants() error {
+	ids := l.RangeIDs()
+	if len(ids) == 0 {
+		return fmt.Errorf("cluster: layout v%d has no ranges", l.version)
+	}
+	prevHigh := ""
+	for i, id := range ids {
+		low, high := l.Bounds(id)
+		if i == 0 && low != "" {
+			return fmt.Errorf("cluster: layout v%d: first range %d starts at %q, not \"\"", l.version, id, low)
+		}
+		if i > 0 && low != prevHigh {
+			return fmt.Errorf("cluster: layout v%d: gap or overlap at range %d: low %q != previous high %q", l.version, id, low, prevHigh)
+		}
+		if i == len(ids)-1 && high != "" {
+			return fmt.Errorf("cluster: layout v%d: last range %d is bounded above at %q", l.version, id, high)
+		}
+		if high != "" && low >= high {
+			return fmt.Errorf("cluster: layout v%d: range %d has empty or inverted bounds [%q,%q)", l.version, id, low, high)
+		}
+		prevHigh = high
+		if got := l.RangeOf(low); got != id {
+			return fmt.Errorf("cluster: layout v%d: key %q owned by range %d but routed to %d", l.version, low, id, got)
+		}
+
+		cohort := l.Cohort(id)
+		if len(cohort) == 0 {
+			return fmt.Errorf("cluster: layout v%d: range %d has an empty cohort", l.version, id)
+		}
+		seen := make(map[string]bool, len(cohort))
+		for _, member := range cohort {
+			if !l.HasNode(member) {
+				return fmt.Errorf("cluster: layout v%d: range %d cohort member %s not in node set", l.version, id, member)
+			}
+			if seen[member] {
+				return fmt.Errorf("cluster: layout v%d: range %d has duplicate cohort member %s", l.version, id, member)
+			}
+			seen[member] = true
+			if !l.CohortContains(id, member) {
+				return fmt.Errorf("cluster: layout v%d: CohortContains(%d, %s) = false", l.version, id, member)
+			}
+			found := false
+			for _, rid := range l.RangesOf(member) {
+				if rid == id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("cluster: layout v%d: RangesOf(%s) misses range %d", l.version, member, id)
+			}
+		}
+		if q := l.Quorum(id); q != len(cohort)/2+1 {
+			return fmt.Errorf("cluster: layout v%d: range %d quorum %d for cohort size %d", l.version, id, q, len(cohort))
+		}
+		if l.HomeNode(id) != cohort[0] {
+			return fmt.Errorf("cluster: layout v%d: range %d home %s != cohort[0] %s", l.version, id, l.HomeNode(id), cohort[0])
+		}
+	}
+	return nil
+}

@@ -453,6 +453,7 @@ func (r *replica) takeover() bool {
 	// An open leader is by definition caught up; publish the marker the
 	// reconfiguration executor waits on.
 	r.n.markCurrent(r.rangeID)
+	r.m.elections.Inc()
 	return true
 }
 

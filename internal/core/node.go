@@ -9,6 +9,7 @@ import (
 
 	"spinnaker/internal/cluster"
 	"spinnaker/internal/coord"
+	"spinnaker/internal/metrics"
 	"spinnaker/internal/simtime"
 	"spinnaker/internal/sstable"
 	"spinnaker/internal/storage"
@@ -225,6 +226,9 @@ type Node struct {
 	catchupMu  sync.Mutex
 	catchupSet map[uint32]bool
 	catchupCh  chan *replica
+
+	// adoptions counts completed layout adoptions (reconfig events).
+	adoptions metrics.Counter
 }
 
 // getReplica returns the replica serving rangeID, if any.
@@ -378,6 +382,7 @@ func (n *Node) buildReplica(l *cluster.Layout, rangeID uint32) (*replica, error)
 		peerFloors:    make(map[string]wal.LSN),
 		electionNudge: make(chan struct{}, 1),
 		stopCh:        make(chan struct{}),
+		m:             newRangeMetrics(),
 	}
 	if origin, ok := l.Origin(rangeID); ok {
 		r.origin, r.hasOrigin = origin, true
@@ -473,6 +478,9 @@ func (n *Node) adoptLayout(l *cluster.Layout) bool {
 		r := r
 		n.goLoop(func() { r.electionLoop() })
 		n.nudgeCatchup(r)
+	}
+	if complete {
+		n.adoptions.Inc()
 	}
 	return complete
 }

@@ -286,6 +286,7 @@ func (r *replica) absorbCatchup(cr catchupResp, ambiguous []wal.LSN) error {
 	// election.
 	r.mustPull = false
 	r.mu.Unlock()
+	r.m.entryCatchups.Inc()
 	return nil
 }
 

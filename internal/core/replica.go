@@ -116,6 +116,12 @@ type replica struct {
 
 	// election bookkeeping
 	electionNudge chan struct{}
+
+	// m is the replica's hot-path instrumentation (see metrics.go);
+	// commitAdvanced (guarded by mu) is when lastCommitted last moved,
+	// the time half of the commit-lag metric.
+	m              rangeMetrics
+	commitAdvanced time.Time
 }
 
 // batched reports whether the cohort uses the batched replication pipeline
@@ -343,8 +349,9 @@ func (r *replica) submitWrite(op WriteOp) writeOutcome {
 		op.Cols[i].Version = uint64(lsn)
 		versions[i] = uint64(lsn)
 	}
-	p := &pendingWrite{lsn: lsn, op: op, done: make(chan writeOutcome, 1)}
+	p := &pendingWrite{lsn: lsn, op: op, enqueuedAt: time.Now(), done: make(chan writeOutcome, 1)}
 	r.queue.add(p)
+	r.m.keys.Note(op.Row)
 	rec := wal.Record{Cohort: r.rangeID, Type: wal.RecWrite, LSN: lsn,
 		Payload: EncodeWriteOp(nil, op)}
 	// Appending under the lock keeps the cohort's records in LSN order in
@@ -453,6 +460,7 @@ func (r *replica) submitWriteAsync(op WriteOp, respond func(writeOutcome)) {
 			respond(out)
 		}}
 	r.queue.add(p)
+	r.m.keys.Note(op.Row)
 	// One encode per sequenced write: the same bytes are the WAL record
 	// payload here and the batch-payload body in encodeProposeBatch (via
 	// proposeRec.Raw), instead of encoding the op twice.
@@ -644,6 +652,7 @@ func (r *replica) tryCommit() {
 		r.mu.Unlock()
 		return
 	}
+	now := time.Now()
 	for _, p := range committed {
 		for _, e := range p.op.Entries(p.lsn) {
 			r.engine.Apply(e)
@@ -652,8 +661,13 @@ func (r *replica) tryCommit() {
 			r.lastCommitted = p.lsn
 		}
 	}
+	r.commitAdvanced = now
 	r.mu.Unlock()
 	for _, p := range committed {
+		r.m.writes.Inc()
+		if !p.enqueuedAt.IsZero() {
+			r.m.writeLat.Observe(now.Sub(p.enqueuedAt).Nanoseconds())
+		}
 		p.finish(writeOutcome{status: StatusOK})
 	}
 }
@@ -733,15 +747,17 @@ func (r *replica) onPropose(m transport.Message) {
 			r.n.nudgeCatchup(r)
 			return
 		}
-		if !r.inBoundsLocked(p.Op.Row) {
-			// Out-of-bounds proposal from a leader that has not
-			// adopted a range split; refuse the ack (see the batched
-			// path for the split-brain this prevents).
-			r.gapped = true
-			r.mu.Unlock()
-			r.n.nudgeCatchup(r)
-			return
-		}
+		// A proposal for a row our shrunk bounds no longer cover is
+		// accepted like any other: it was sequenced before the leader
+		// adopted the split (the leader's submit path refuses the row
+		// afterwards), and the split pull that hands the moved sub-range
+		// to the new cohort is gated on the leader draining exactly these
+		// writes — so they always commit (and are captured by the pull)
+		// or resolve before the new range can serve. Refusing the ack
+		// here instead would wedge the cohort: the commit watermark is
+		// cumulative, so one in-flight write to the moved span that can
+		// no longer gather a quorum stalls every write behind it, and
+		// with it the drain the split pull is waiting on.
 		rec := wal.Record{Cohort: r.rangeID, Type: wal.RecWrite, LSN: p.LSN,
 			Payload: EncodeWriteOp(nil, p.Op)}
 		end, err := r.n.log.Append(rec)
@@ -841,16 +857,13 @@ func (r *replica) onProposeBatch(m transport.Message) {
 			gap = true
 			break
 		}
-		// A proposal for a row outside our bounds comes from a leader
-		// that has not adopted a range split yet. Refusing to append
-		// (and so to ack) means a stale-layout leader can never gather
-		// a quorum that includes split-adopted members — which is what
-		// keeps it from committing writes to rows the split-off range's
-		// new leader is already serving.
-		if !r.inBoundsLocked(rec.Op.Row) {
-			gap = true
-			break
-		}
+		// Rows outside our (possibly already-shrunk) bounds are appended
+		// like any other: such a write was sequenced before the leader
+		// adopted the split, and the split pull is gated on the origin
+		// leader draining it, so it cannot race the new range's leader —
+		// while refusing the ack would stall the cumulative commit
+		// watermark behind it and wedge the cohort (see onPropose).
+		//
 		// Zero-copy hand-off: Raw slices the message payload (see
 		// decodeProposeBatch), so the WAL gets the already-encoded op
 		// without a re-encode and the memtable shares the payload's
@@ -1048,6 +1061,7 @@ func (r *replica) applyCommitted(lsn wal.LSN, viaCatchup bool) {
 		}
 	}
 	r.lastCommitted = lsn
+	r.commitAdvanced = time.Now()
 	if viaCatchup {
 		r.gapped = false
 	}
@@ -1133,6 +1147,20 @@ func (r *replica) reproposeRecs(recs []proposeRec) {
 // reads are served by any replica and may be stale by up to one commit
 // period.
 func (r *replica) get(req getReq) getResp {
+	start := time.Now()
+	resp := r.serveGet(req)
+	if resp.Status == StatusOK || resp.Status == StatusNotFound {
+		if req.Consistent {
+			r.m.strongReads.Inc()
+		} else {
+			r.m.timelineReads.Inc()
+		}
+		r.m.readLat.Observe(time.Since(start).Nanoseconds())
+	}
+	return resp
+}
+
+func (r *replica) serveGet(req getReq) getResp {
 	r.mu.Lock()
 	inBounds := r.inBoundsLocked(req.Row)
 	isLeader := r.role == RoleLeader
@@ -1170,6 +1198,20 @@ func (r *replica) get(req getReq) getResp {
 
 // getRow serves a whole-row read with the same consistency rules.
 func (r *replica) getRow(req getReq) rowResp {
+	start := time.Now()
+	resp := r.serveGetRow(req)
+	if resp.Status == StatusOK || resp.Status == StatusNotFound {
+		if req.Consistent {
+			r.m.strongReads.Inc()
+		} else {
+			r.m.timelineReads.Inc()
+		}
+		r.m.readLat.Observe(time.Since(start).Nanoseconds())
+	}
+	return resp
+}
+
+func (r *replica) serveGetRow(req getReq) rowResp {
 	r.mu.Lock()
 	inBounds := r.inBoundsLocked(req.Row)
 	isLeader := r.role == RoleLeader

@@ -1,0 +1,25 @@
+package sim
+
+import (
+	"spinnaker/internal/admin"
+	"spinnaker/internal/cluster"
+	"spinnaker/internal/core"
+)
+
+// AdminSource adapts the in-process cluster to the admin HTTP plane
+// (package admin): serve its handler over httptest or a real listener to
+// observe the simulation exactly as an operator would a deployment.
+func (sc *SpinnakerCluster) AdminSource() admin.Source {
+	return admin.Source{
+		Nodes: sc.Nodes,
+		NodeMetrics: func(id string) (core.NodeMetrics, bool) {
+			n, ok := sc.Node(id)
+			if !ok {
+				return core.NodeMetrics{}, false
+			}
+			return n.Metrics(), true
+		},
+		Layout:   func() *cluster.Layout { return sc.CurrentLayout() },
+		LeaderOf: sc.LeaderOf,
+	}
+}

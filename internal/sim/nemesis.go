@@ -87,6 +87,13 @@ type ScenarioOptions struct {
 	// fault targets can differ between runs (the range set changes with
 	// reconfiguration timing).
 	Rebalance bool
+	// Balance runs the load-adaptive balancer (hot-range splitting,
+	// leadership transfers, cohort moves) concurrently with the fault
+	// schedule, with thresholds aggressive enough that the strided
+	// workload triggers actions. Every layout version published while it
+	// runs is checked against cluster.CheckInvariants; a violation fails
+	// the scenario at the version that introduced it.
+	Balance bool
 }
 
 func (o *ScenarioOptions) fillDefaults() {
@@ -123,6 +130,11 @@ type ScenarioResult struct {
 	Ops      int   // operations in the checked history
 	Reads    int64 // completed reads
 	Writes   int64 // acknowledged writes
+	// BalancerActions are the balancer's completed actions (Balance mode).
+	BalancerActions []BalancerAction
+	// LayoutsChecked counts layout versions validated against
+	// cluster.CheckInvariants during the run (Balance mode).
+	LayoutsChecked int
 	// History is the full recorder, for dumping failing keys.
 	History *lin.Recorder
 }
@@ -195,6 +207,74 @@ func RunScenario(opts ScenarioOptions) (*ScenarioResult, error) {
 		crashed: make(map[string]bool),
 	}
 
+	// Load-adaptive balancing under the fault schedule: the balancer
+	// splits, transfers, and moves while faults fire, and every layout
+	// version it (or anything else) publishes is structurally validated.
+	var bal *Balancer
+	var invErr error
+	var layoutsChecked int
+	invQuit := make(chan struct{})
+	invDone := make(chan struct{})
+	if opts.Balance {
+		bal = sc.StartBalancer(BalancerOptions{
+			Interval: 100 * time.Millisecond,
+			// The strided workload spreads near-evenly, so thresholds
+			// sit just below an even share: actions fire on ordinary
+			// imbalance, exercising the machinery the faults attack.
+			HotShare:          0.30,
+			NodeHotShare:      0.45,
+			MinWritesPerRound: 30,
+			HotRounds:         2,
+			CooldownRounds:    2,
+			MaxRanges:         2 * opts.Nodes,
+			ActionTimeout:     30 * time.Second,
+			OnAction: func(a BalancerAction) {
+				rec.Note("balancer: %s range %d (new %d, key %q, %s -> %s) err=%v",
+					a.Kind, a.Range, a.New, a.Key, a.From, a.To, a.Err)
+			},
+		})
+		go func() {
+			defer close(invDone)
+			var seen uint64
+			for {
+				select {
+				case <-invQuit:
+					return
+				case <-time.After(20 * time.Millisecond):
+				}
+				l := sc.CurrentLayout()
+				if l == nil || l.Version() == seen {
+					continue
+				}
+				seen = l.Version()
+				layoutsChecked++
+				if err := l.CheckInvariants(); err != nil && invErr == nil {
+					invErr = err
+				}
+			}
+		}()
+	} else {
+		close(invDone)
+	}
+	var balActions []BalancerAction
+	stopBalance := func() {
+		if bal == nil {
+			return
+		}
+		bal.Stop()
+		balActions = bal.Actions()
+		close(invQuit)
+		<-invDone
+		// One last validation of whatever version the run converged on.
+		if l := sc.CurrentLayout(); l != nil {
+			layoutsChecked++
+			if err := l.CheckInvariants(); err != nil && invErr == nil {
+				invErr = err
+			}
+		}
+		bal = nil
+	}
+
 	// Live reconfiguration under the fault schedule: add a node partway
 	// in, then rebalance the grown ring while faults keep firing. The
 	// executor retries through fault windows; the generous deadline lets
@@ -229,6 +309,7 @@ func RunScenario(opts ScenarioOptions) (*ScenarioResult, error) {
 		close(stop)
 		wg.Wait()
 		<-rebalDone
+		stopBalance()
 		return nil, err
 	}
 
@@ -259,10 +340,17 @@ func RunScenario(opts ScenarioOptions) (*ScenarioResult, error) {
 	time.Sleep(500 * time.Millisecond)
 	close(stop)
 	wg.Wait()
+	// The balancer (if any) finishes its in-flight action and the final
+	// layout is validated before the history is judged.
+	stopBalance()
 
 	res.Steps = nem.steps
 	res.Schedule = nem.schedule
 	res.Reads, res.Writes = reads, writes
+	res.BalancerActions, res.LayoutsChecked = balActions, layoutsChecked
+	if invErr != nil {
+		return res, fmt.Errorf("sim: seed %d: layout invariant violated under balancer: %w", opts.Seed, invErr)
+	}
 	res.Check = rec.Check(opts.CheckTimeout)
 	res.Ops = res.Check.Ops
 	if res.Check.Err != nil {

@@ -122,6 +122,29 @@ func TestNemesisRebalanceUnderFaults(t *testing.T) {
 	})
 }
 
+// TestNemesisBalancerUnderFaults pits the load-adaptive balancer against
+// the nemesis: hot-range splits, leadership transfers, and cohort moves
+// run concurrently with leader isolation and crash-restart faults, every
+// published layout version must satisfy the structural invariants
+// (cluster.CheckInvariants), and the workload history must stay per-key
+// linearizable across every action.
+func TestNemesisBalancerUnderFaults(t *testing.T) {
+	res := runNemesis(t, ScenarioOptions{
+		Seed:     707,
+		Nodes:    4, // an outside-cohort node, so balancer moves are possible
+		Writers:  4,
+		Keys:     6,
+		Duration: scenarioDuration(t),
+		Faults:   []NemesisFault{FaultIsolateLeader, FaultCrashRestart},
+		Balance:  true,
+	})
+	if res.LayoutsChecked == 0 {
+		t.Fatal("no layout version was ever invariant-checked")
+	}
+	t.Logf("balancer took %d actions; %d layout versions invariant-checked",
+		len(res.BalancerActions), res.LayoutsChecked)
+}
+
 // TestNemesisSeededScheduleReproducible pins the replay contract: the
 // same seed and options produce the same nemesis action schedule.
 func TestNemesisSeededScheduleReproducible(t *testing.T) {

@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Zipf draws ranks 0..n-1 with probability proportional to 1/(rank+1)^theta,
+// for any theta in (0, 1) ∪ (1, ∞). The standard library's rand.Zipf only
+// supports s > 1, but the YCSB-style skewed workloads this harness
+// reproduces use theta = 0.99; this is the classical Gray et al. /
+// YCSB ZipfianGenerator construction. Deterministic for a seeded rng.
+type Zipf struct {
+	rng   *rand.Rand
+	n     float64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+}
+
+// NewZipf builds a generator over n items with skew theta.
+func NewZipf(rng *rand.Rand, n int, theta float64) *Zipf {
+	z := &Zipf{rng: rng, n: float64(n), theta: theta}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1 / (1 - theta)
+	zeta2 := zeta(2, theta)
+	z.eta = (1 - math.Pow(2/z.n, 1-theta)) / (1 - zeta2/z.zetan)
+	return z
+}
+
+// zeta computes the generalized harmonic number H_{n,theta}.
+func zeta(n int, theta float64) float64 {
+	var s float64
+	for i := 1; i <= n; i++ {
+		s += 1 / math.Pow(float64(i), theta)
+	}
+	return s
+}
+
+// Next returns the next rank: 0 is the hottest item.
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	r := int(z.n * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if r >= int(z.n) {
+		r = int(z.n) - 1
+	}
+	return r
+}
