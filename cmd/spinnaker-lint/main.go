@@ -1,0 +1,163 @@
+// Command spinnaker-lint runs the repo's custom static-analysis suite:
+// four analyzers (detcheck, aliascheck, lockcheck, hotpath) that
+// machine-check invariants the test suite can only probe — seed-pure
+// simulation code, the zero-copy codec aliasing contract, lock
+// discipline, and hot-path allocation hygiene. See ARCHITECTURE.md
+// "Invariants".
+//
+// Usage:
+//
+//	go run ./cmd/spinnaker-lint ./...
+//	go run ./cmd/spinnaker-lint -json ./...
+//	go run ./cmd/spinnaker-lint -analyzers detcheck,hotpath ./internal/sim
+//
+// Findings print as file:line:col: analyzer: message. Per-line
+// suppressions use the staticcheck convention:
+//
+//	//lint:ignore spinnaker/<analyzer> <reason>
+//
+// on (or directly above) the flagged line. Suppressed findings are
+// counted and reported but do not fail the run; any unsuppressed
+// finding exits 1 (type-check or usage errors exit 2).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"spinnaker/internal/analysis"
+)
+
+// Report is the -json output schema (stable; version bumps on change).
+type Report struct {
+	Version    string             `json:"version"`
+	Findings   []analysis.Finding `json:"findings"`
+	Suppressed []analysis.Finding `json:"suppressed"`
+	// Packages is the number of packages loaded and analyzed.
+	Packages int `json:"packages"`
+}
+
+// ReportVersion identifies the -json schema.
+const ReportVersion = "spinnaker-lint/v1"
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("spinnaker-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON (spinnaker-lint/v1 schema)")
+	analyzers := fs.String("analyzers", "", "comma-separated analyzer subset (default: all of "+strings.Join(analysis.AnalyzerNames, ",")+")")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(stderr, "spinnaker-lint:", err)
+		return 2
+	}
+	var dirs []string
+	for _, pat := range fs.Args() {
+		switch {
+		case pat == "./..." || pat == "...":
+			dirs = nil // whole module
+		default:
+			dirs = append(dirs, strings.TrimSuffix(pat, "/..."))
+		}
+	}
+
+	cfg := analysis.DefaultConfig()
+	if *analyzers != "" {
+		known := map[string]bool{}
+		for _, a := range analysis.AnalyzerNames {
+			known[a] = true
+		}
+		for _, a := range strings.Split(*analyzers, ",") {
+			a = strings.TrimSpace(a)
+			if !known[a] {
+				fmt.Fprintf(stderr, "spinnaker-lint: unknown analyzer %q (have %s)\n", a, strings.Join(analysis.AnalyzerNames, ", "))
+				return 2
+			}
+			cfg.Analyzers = append(cfg.Analyzers, a)
+		}
+	}
+
+	mod, err := analysis.LoadModule(root, dirs...)
+	if err != nil {
+		fmt.Fprintln(stderr, "spinnaker-lint:", err)
+		return 2
+	}
+	res, err := analysis.Run(mod, cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "spinnaker-lint:", err)
+		return 2
+	}
+
+	if *jsonOut {
+		rep := Report{
+			Version:    ReportVersion,
+			Findings:   res.Findings,
+			Suppressed: res.Suppressed,
+			Packages:   len(mod.Packages),
+		}
+		if rep.Findings == nil {
+			rep.Findings = []analysis.Finding{}
+		}
+		if rep.Suppressed == nil {
+			rep.Suppressed = []analysis.Finding{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(stderr, "spinnaker-lint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range res.Findings {
+			fmt.Fprintln(stdout, rel(root, f))
+		}
+		fmt.Fprintf(stdout, "spinnaker-lint: %d packages, %d findings, %d suppressed\n",
+			len(mod.Packages), len(res.Findings), len(res.Suppressed))
+		for _, f := range res.Suppressed {
+			fmt.Fprintf(stdout, "  suppressed: %s (%s)\n", rel(root, f), f.SuppressReason)
+		}
+	}
+	if len(res.Findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// rel shortens a finding's file path relative to the module root for
+// readable terminal output.
+func rel(root string, f analysis.Finding) string {
+	if r, err := filepath.Rel(root, f.Pos.File); err == nil && !strings.HasPrefix(r, "..") {
+		f.Pos.File = r
+	}
+	return f.String()
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

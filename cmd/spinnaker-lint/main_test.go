@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestJSONReportRoundTrip runs the driver in -json mode over a small
+// clean package and checks the spinnaker-lint/v1 schema survives a
+// decode: version, package count, and non-null finding arrays.
+func TestJSONReportRoundTrip(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", "internal/simtime"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("decode -json output: %v\n%s", err, out.String())
+	}
+	if rep.Version != ReportVersion {
+		t.Errorf("version = %q, want %q", rep.Version, ReportVersion)
+	}
+	if rep.Packages == 0 {
+		t.Error("packages = 0")
+	}
+	if rep.Findings == nil || rep.Suppressed == nil {
+		t.Error("finding arrays must encode as [] rather than null")
+	}
+}
+
+// TestFindingsExitNonzero drives the red hotpath corpus through the
+// real CLI path and requires exit code 1 with findings on stdout.
+func TestFindingsExitNonzero(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"internal/analysis/testdata/hot/red"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "hotpath:") {
+		t.Errorf("stdout carries no hotpath findings:\n%s", out.String())
+	}
+}
+
+// TestUnknownAnalyzerFlag requires a usage error (exit 2) for a bad
+// -analyzers value.
+func TestUnknownAnalyzerFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-analyzers", "bogus", "internal/simtime"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown analyzer") {
+		t.Errorf("stderr does not name the unknown analyzer: %s", errb.String())
+	}
+}

@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Annotation is the parsed //spinnaker: contract set on one function.
+//
+// The vocabulary:
+//
+//	//spinnaker:hotpath
+//	    The function is on the replication hot path (PR 5): no fmt
+//	    calls, no escaping closures, no transient []byte↔string
+//	    conversions in loops, no un-pre-sized appends in loops.
+//
+//	//spinnaker:aliases
+//	    The function's results alias its input buffer (zero-copy
+//	    decode): callers must treat every result as immutable — no
+//	    element/field stores, no appends to result-rooted slices.
+//
+//	//spinnaker:noretain
+//	    The function's byte-slice parameters are borrowed (pooled
+//	    scratch): the body must not store them into fields, globals,
+//	    channels, maps, escaping closures, or return them. Copying
+//	    their CONTENTS (append(dst, p...), copy) is fine.
+//
+//	//spinnaker:locked(field)
+//	    The method requires its receiver's named mutex field held on
+//	    entry. Checked at every intra-module call site.
+type Annotation struct {
+	Hotpath  bool
+	Aliases  bool
+	Noretain bool
+	// Locked lists required receiver mutex field names.
+	Locked []string
+}
+
+func (a Annotation) empty() bool {
+	return !a.Hotpath && !a.Aliases && !a.Noretain && len(a.Locked) == 0
+}
+
+// annIndex maps function objects to their annotations, module-wide, so
+// call sites in any package see the callee's contract.
+type annIndex struct {
+	byFunc map[*types.Func]Annotation
+	// declOf locates the AST of an annotated (or any top-level)
+	// function, for body checks.
+	declOf map[*types.Func]*ast.FuncDecl
+	// pkgOf maps each function decl back to its package (for Info).
+	pkgOf map[*types.Func]*Package
+}
+
+const annPrefix = "//spinnaker:"
+
+// buildAnnotations scans every doc comment for //spinnaker: lines.
+// Unknown annotations are an error, not a silent no-op: a typo like
+// //spinnaker:hotpth must fail the run rather than quietly unguard the
+// function.
+func buildAnnotations(m *Module) (*annIndex, error) {
+	idx := &annIndex{
+		byFunc: map[*types.Func]Annotation{},
+		declOf: map[*types.Func]*ast.FuncDecl{},
+		pkgOf:  map[*types.Func]*Package{},
+	}
+	for _, pkg := range m.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				idx.declOf[obj] = fd
+				idx.pkgOf[obj] = pkg
+				if fd.Doc == nil {
+					continue
+				}
+				var ann Annotation
+				for _, c := range fd.Doc.List {
+					rest, ok := strings.CutPrefix(c.Text, annPrefix)
+					if !ok {
+						continue
+					}
+					rest = strings.TrimSpace(rest)
+					switch {
+					case rest == "hotpath":
+						ann.Hotpath = true
+					case rest == "aliases":
+						ann.Aliases = true
+					case rest == "noretain":
+						ann.Noretain = true
+					case strings.HasPrefix(rest, "locked(") && strings.HasSuffix(rest, ")"):
+						field := strings.TrimSuffix(strings.TrimPrefix(rest, "locked("), ")")
+						if field == "" || fd.Recv == nil {
+							return nil, fmt.Errorf("%s: //spinnaker:locked requires a field name and a method receiver",
+								m.Fset.Position(c.Pos()))
+						}
+						ann.Locked = append(ann.Locked, field)
+					default:
+						return nil, fmt.Errorf("%s: unknown annotation %q (vocabulary: hotpath, aliases, noretain, locked(field))",
+							m.Fset.Position(c.Pos()), annPrefix+rest)
+					}
+				}
+				if !ann.empty() {
+					idx.byFunc[obj] = ann
+				}
+			}
+		}
+	}
+	return idx, nil
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes,
+// looking through selector and plain-identifier calls. Returns nil for
+// type conversions, builtins, and calls of function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// Package-qualified call (pkg.Func).
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// recvNamed returns the named type of a method's receiver, looking
+// through pointers; nil for plain functions.
+func recvNamed(f *types.Func) *types.Named {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// lockFieldObj finds the mutex field object named field on the struct
+// underlying named (the identity lockcheck tracks: one object per
+// (type, field) pair, shared by every instance).
+func lockFieldObj(named *types.Named, field string) *types.Var {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); f.Name() == field {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// detcheck is the determinism lint (PR 2's contract): the simulation,
+// transport-fault, and linearizability-checker planes must be seed-pure
+// so a failing FaultSeed replays. Inside the scoped packages it forbids:
+//
+//   - time.Now / time.Since / time.Sleep — wall clock must flow through
+//     internal/simtime, the single chokepoint a virtual clock can
+//     replace (and whose Sleep is already tick-accurate).
+//   - the global math/rand (and math/rand/v2) functions — every draw
+//     must come from an explicitly seeded *rand.Rand so the schedule is
+//     a pure function of the seed. rand.New(rand.NewSource(seed)) is
+//     fine; seeding from the wall clock is already caught by the
+//     time.Now ban.
+//   - ranging over a map when the body feeds scheduling or network
+//     decisions (channel sends, transport sends, partition/heal calls,
+//     sleeps, or RNG draws): map iteration order would leak
+//     nondeterminism into the schedule. Iterate a sorted slice.
+func detcheck(m *Module, cfg Config) []Finding {
+	var out []Finding
+	for _, pkg := range m.Pkgs() {
+		if !inScope(pkg.Path, cfg.DetScope) || inScope(pkg.Path, cfg.DetExempt) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if f := detForbiddenCall(pkg.Info, call); f != "" {
+						out = append(out, finding(m, "detcheck", call,
+							"%s in a seed-pure package: %s", f, detAdvice(f)))
+					}
+				}
+				return true
+			})
+		}
+	}
+	out = append(out, detMapRanges(m, cfg)...)
+	return out
+}
+
+func inScope(path string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// detForbiddenCall reports "time.Now"-style names for banned calls.
+func detForbiddenCall(info *types.Info, call *ast.CallExpr) string {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	switch f.Pkg().Path() {
+	case "time":
+		switch f.Name() {
+		case "Now", "Since", "Sleep":
+			if recvNamed(f) != nil {
+				return "" // methods like (*Timer) are out of scope
+			}
+			return "time." + f.Name()
+		}
+	case "math/rand", "math/rand/v2":
+		if recvNamed(f) != nil {
+			return "" // *rand.Rand methods are the sanctioned form
+		}
+		switch f.Name() {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			return "" // constructors take an explicit seed/source
+		}
+		return f.Pkg().Path() + "." + f.Name()
+	}
+	return ""
+}
+
+func detAdvice(name string) string {
+	if strings.HasPrefix(name, "time.") {
+		return "route wall-clock access through internal/simtime so replays stay deterministic"
+	}
+	return "draw from an explicitly seeded *rand.Rand instead of the shared global source"
+}
+
+// detMapRanges flags `range someMap` loops whose bodies feed
+// scheduling/network decisions.
+func detMapRanges(m *Module, cfg Config) []Finding {
+	var out []Finding
+	for _, pkg := range m.Pkgs() {
+		if !inScope(pkg.Path, cfg.DetScope) || inScope(pkg.Path, cfg.DetExempt) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := pkg.Info.Types[rs.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if sink := scheduleSink(pkg.Info, rs.Body); sink != "" {
+					out = append(out, finding(m, "detcheck", rs,
+						"map iteration order is nondeterministic and this body feeds a scheduling/network decision (%s); iterate a sorted slice of keys instead", sink))
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// scheduleSinkNames are method/function names whose invocation inside a
+// map-range body makes iteration order observable in the schedule:
+// transport sends and fault-plane mutations, sleeps, and RNG draws.
+var scheduleSinkNames = map[string]bool{
+	"Send": true, "SendTo": true, "Deliver": true, "Sleep": true,
+	"Partition": true, "PartitionOneWay": true, "PartitionNodes": true,
+	"Isolate": true, "Heal": true, "HealAll": true, "Crash": true,
+	"Restart": true,
+}
+
+// scheduleSink reports what makes a map-range body order-sensitive, or
+// "" if nothing does.
+func scheduleSink(info *types.Info, body *ast.BlockStmt) string {
+	sink := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			sink = "channel send"
+			return false
+		case *ast.CallExpr:
+			f := calleeFunc(info, n)
+			if f == nil {
+				return true
+			}
+			if named := recvNamed(f); named != nil {
+				if named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "math/rand" {
+					sink = "RNG draw (order-dependent seed consumption)"
+					return false
+				}
+			}
+			if scheduleSinkNames[f.Name()] {
+				sink = "call to " + f.Name()
+				return false
+			}
+		}
+		return true
+	})
+	return sink
+}

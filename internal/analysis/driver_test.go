@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSuppressionCounting checks //lint:ignore accounting: a matching
+// suppression moves the finding to Suppressed with its reason; an
+// unsuppressed sibling still fails.
+func TestSuppressionCounting(t *testing.T) {
+	m, _ := loadFixture(t, "suppress")
+	cfg := Config{
+		Analyzers: []string{"detcheck"},
+		DetScope:  []string{fixtureImportBase + "suppress"},
+	}
+	res, err := Run(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) != 1 {
+		t.Fatalf("want 1 unsuppressed finding, got %d: %v", len(res.Findings), res.Findings)
+	}
+	if len(res.Suppressed) != 1 {
+		t.Fatalf("want 1 suppressed finding, got %d", len(res.Suppressed))
+	}
+	s := res.Suppressed[0]
+	if !s.Suppressed {
+		t.Error("suppressed finding not marked Suppressed")
+	}
+	if want := "fixture: deliberate wall-clock read"; s.SuppressReason != want {
+		t.Errorf("suppress reason = %q, want %q", s.SuppressReason, want)
+	}
+	if !strings.Contains(s.Message, "time.Now") {
+		t.Errorf("suppressed the wrong finding: %v", s)
+	}
+}
+
+// TestUnknownAnnotationError checks that an annotation typo is a hard
+// run error, not a silent no-op.
+func TestUnknownAnnotationError(t *testing.T) {
+	m, _ := loadFixture(t, "unknownann")
+	_, err := Run(m, Config{})
+	if err == nil {
+		t.Fatal("Run succeeded on a corpus with //spinnaker:hotpth")
+	}
+	if !strings.Contains(err.Error(), "unknown annotation") {
+		t.Errorf("error %q does not name the unknown annotation", err)
+	}
+}
+
+// TestModuleCleanSmoke loads the whole module and requires the default
+// invariant set to pass with zero unsuppressed findings — the same bar
+// CI's lint job enforces, kept here so `go test` alone catches a
+// regression (e.g. reverting the simtime routing in internal/sim).
+func TestModuleCleanSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type-check is slow; run without -short")
+	}
+	m, err := LoadModule("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Packages) < 10 {
+		t.Fatalf("implausibly few packages loaded: %d", len(m.Packages))
+	}
+	res, err := Run(m, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Findings {
+		t.Errorf("unsuppressed finding: %s", f)
+	}
+	for _, s := range res.Suppressed {
+		if s.SuppressReason == "" || s.SuppressReason == "(no reason given)" {
+			t.Errorf("suppression without a reason: %s", s)
+		}
+	}
+}

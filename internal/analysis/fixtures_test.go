@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureImportBase prefixes the import path of every fixture corpus
+// (testdata is invisible to the go tool but loads fine by directory).
+const fixtureImportBase = "spinnaker/internal/analysis/testdata/"
+
+// loadFixture loads one testdata corpus as its own package.
+func loadFixture(t *testing.T, rel string) (*Module, *Package) {
+	t.Helper()
+	m, pkg, err := LoadDir("../..", filepath.Join("internal/analysis/testdata", filepath.FromSlash(rel)))
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", rel, err)
+	}
+	return m, pkg
+}
+
+// wantMarkers collects the fixture's "// WANT <analyzer>" markers as
+// "analyzer@line" keys.
+func wantMarkers(m *Module, pkg *Package) map[string]int {
+	want := map[string]int{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// WANT ")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				p := m.Fset.Position(c.Pos())
+				want[fmt.Sprintf("%s@%d", fields[0], p.Line)]++
+			}
+		}
+	}
+	return want
+}
+
+// checkFixture runs cfg over the corpus at rel and requires the finding
+// set to equal the corpus's WANT markers (the empty set for green
+// corpora, which carry no markers).
+func checkFixture(t *testing.T, rel string, cfg Config) {
+	t.Helper()
+	m, pkg := loadFixture(t, rel)
+	res, err := Run(m, cfg)
+	if err != nil {
+		t.Fatalf("Run(%s): %v", rel, err)
+	}
+	got := map[string]int{}
+	for _, f := range res.Findings {
+		got[fmt.Sprintf("%s@%d", f.Analyzer, f.Pos.Line)]++
+	}
+	want := wantMarkers(m, pkg)
+	for k, n := range want {
+		if got[k] != n {
+			t.Errorf("%s: want %d finding(s) %s, got %d", rel, n, k, got[k])
+		}
+	}
+	for k, n := range got {
+		if want[k] == 0 {
+			t.Errorf("%s: unexpected finding %s (x%d): %v", rel, k, n, messagesAt(res.Findings, k))
+		}
+	}
+	if len(res.Suppressed) != 0 {
+		t.Errorf("%s: unexpected suppressed findings: %v", rel, res.Suppressed)
+	}
+}
+
+func messagesAt(fs []Finding, key string) []string {
+	var out []string
+	for _, f := range fs {
+		if fmt.Sprintf("%s@%d", f.Analyzer, f.Pos.Line) == key {
+			out = append(out, f.Message)
+		}
+	}
+	return out
+}
+
+func TestDetcheckFixtures(t *testing.T) {
+	cfg := Config{
+		Analyzers: []string{"detcheck"},
+		DetScope:  []string{fixtureImportBase + "det"},
+	}
+	checkFixture(t, "det/red", cfg)
+	checkFixture(t, "det/green", cfg)
+}
+
+func TestAliascheckFixtures(t *testing.T) {
+	cfg := Config{Analyzers: []string{"aliascheck"}}
+	checkFixture(t, "alias/red", cfg)
+	checkFixture(t, "alias/green", cfg)
+}
+
+func TestLockcheckFixtures(t *testing.T) {
+	for _, corpus := range []string{"lock/red", "lock/green"} {
+		base := fixtureImportBase + corpus
+		cfg := Config{
+			Analyzers: []string{"lockcheck"},
+			LockOrder: [][2]string{{base + ".Registry.mu", base + ".Table.mu"}},
+			NoHoldAcross: []NoHoldRule{{
+				Lock:     base + ".Table.mu",
+				Callees:  []string{base + ".Store"},
+				ChanSend: true,
+			}},
+		}
+		checkFixture(t, corpus, cfg)
+	}
+}
+
+func TestHotpathFixtures(t *testing.T) {
+	cfg := Config{Analyzers: []string{"hotpath"}}
+	checkFixture(t, "hot/red", cfg)
+	checkFixture(t, "hot/green", cfg)
+}

@@ -1,0 +1,440 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// lockcheck enforces the repo's lock discipline (PR 3/PR 4 contracts):
+//
+//   - //spinnaker:locked(mu) methods must only be called with the
+//     receiver type's mu held: either inside a mu.Lock()/Unlock()
+//     region of the caller, or from a method annotated locked(mu) on
+//     the same type. Lock identity is the (type, field) pair — two
+//     instances of the same type are not distinguished, which is the
+//     usual conservative choice for this class of lint.
+//   - Config.LockOrder pairs: the first lock is acquired before the
+//     second; acquiring the first while holding the second is a
+//     deadlock-shaped finding (e.g. layoutMu before any replica mu).
+//   - Config.NoHoldAcross: while the named lock is held, calls to
+//     methods of the listed types (blob/meta store I/O) and channel
+//     sends are findings (the engine lock must never wait on storage
+//     I/O or a consumer).
+//
+// The region tracking is statement-ordered and intra-procedural:
+// Lock()/RLock() adds the lock for subsequent statements at the same
+// nesting level, Unlock()/RUnlock() removes it, defer Unlock holds it
+// to function end, and sub-blocks (if/for/switch bodies) work on a copy
+// so a conditional unlock cannot leak outward. Function-literal bodies
+// are walked with an empty held set (they run later, under unknown
+// locks).
+func lockcheck(m *Module, cfg Config, idx *annIndex) ([]Finding, error) {
+	lc := &lockChecker{m: m, idx: idx, names: map[types.Object]string{}}
+	for _, pair := range cfg.LockOrder {
+		first := lc.resolve(pair[0])
+		second := lc.resolve(pair[1])
+		if first == nil || second == nil {
+			continue // package not loaded in this run (fixture corpora)
+		}
+		lc.order = append(lc.order, [2]types.Object{first, second})
+	}
+	for _, rule := range cfg.NoHoldAcross {
+		lock := lc.resolve(rule.Lock)
+		if lock == nil {
+			continue
+		}
+		r := noHold{lock: lock, chanSend: rule.ChanSend, callees: map[types.Object]bool{}}
+		for _, tn := range rule.Callees {
+			if obj := lc.resolveType(tn); obj != nil {
+				r.callees[obj] = true
+			}
+		}
+		lc.noHold = append(lc.noHold, r)
+	}
+	for _, pkg := range m.Pkgs() {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				lc.checkFunc(pkg, fd)
+			}
+		}
+	}
+	return lc.out, nil
+}
+
+type noHold struct {
+	lock     types.Object
+	chanSend bool
+	callees  map[types.Object]bool // named-type objects (interfaces)
+}
+
+type lockChecker struct {
+	m      *Module
+	idx    *annIndex
+	out    []Finding
+	order  [][2]types.Object
+	noHold []noHold
+	names  map[types.Object]string
+}
+
+// resolve maps "pkg/path.Type.field" (or "pkg/path.var") to the lock's
+// identity object; nil when the package is not part of this load.
+func (lc *lockChecker) resolve(name string) types.Object {
+	slash := strings.LastIndex(name, "/")
+	rest := name[slash+1:]
+	parts := strings.Split(rest, ".")
+	if len(parts) < 2 || len(parts) > 3 {
+		return nil
+	}
+	pkgPath := name[:slash+1] + parts[0]
+	pkg, ok := lc.m.Packages[pkgPath]
+	if !ok {
+		return nil
+	}
+	if len(parts) == 2 {
+		obj := pkg.Types.Scope().Lookup(parts[1])
+		if obj != nil {
+			lc.names[obj] = name
+		}
+		return obj
+	}
+	tobj := pkg.Types.Scope().Lookup(parts[1])
+	if tobj == nil {
+		return nil
+	}
+	named, ok := tobj.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	f := lockFieldObj(named, parts[2])
+	if f != nil {
+		lc.names[f] = parts[1] + "." + parts[2]
+	}
+	return f
+}
+
+// resolveType maps "pkg/path.Type" to the type's object.
+func (lc *lockChecker) resolveType(name string) types.Object {
+	slash := strings.LastIndex(name, "/")
+	rest := name[slash+1:]
+	pkgName, typeName, ok := strings.Cut(rest, ".")
+	if !ok {
+		return nil
+	}
+	pkg, okp := lc.m.Packages[name[:slash+1]+pkgName]
+	if !okp {
+		return nil
+	}
+	obj := pkg.Types.Scope().Lookup(typeName)
+	if obj != nil {
+		lc.names[obj] = rest
+	}
+	return obj
+}
+
+func (lc *lockChecker) lockName(obj types.Object) string {
+	if n, ok := lc.names[obj]; ok {
+		return n
+	}
+	return obj.Name()
+}
+
+// checkFunc analyzes one function body.
+func (lc *lockChecker) checkFunc(pkg *Package, fd *ast.FuncDecl) {
+	held := map[types.Object]bool{}
+	// A method annotated locked(mu) runs with mu held by contract.
+	if obj, _ := pkg.Info.Defs[fd.Name].(*types.Func); obj != nil {
+		if ann, ok := lc.idx.byFunc[obj]; ok {
+			if named := recvNamed(obj); named != nil {
+				for _, field := range ann.Locked {
+					if f := lockFieldObj(named, field); f != nil {
+						held[f] = true
+						lc.names[f] = named.Obj().Name() + "." + field
+					}
+				}
+			}
+		}
+	}
+	lc.stmts(pkg, fd.Body.List, held)
+}
+
+// stmts walks a statement list in order, tracking the held set.
+func (lc *lockChecker) stmts(pkg *Package, list []ast.Stmt, held map[types.Object]bool) {
+	for _, s := range list {
+		lc.stmt(pkg, s, held)
+	}
+}
+
+func copyHeld(held map[types.Object]bool) map[types.Object]bool {
+	c := make(map[types.Object]bool, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+func (lc *lockChecker) stmt(pkg *Package, s ast.Stmt, held map[types.Object]bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if op, lock := lockOp(pkg.Info, call); lock != nil {
+				switch op {
+				case "Lock", "RLock", "TryLock", "TryRLock":
+					lc.checkAcquire(pkg, call, lock, held)
+					held[lock] = true
+				case "Unlock", "RUnlock":
+					delete(held, lock)
+				}
+				return
+			}
+		}
+		lc.exprChecks(pkg, s.X, held)
+	case *ast.DeferStmt:
+		if op, lock := lockOp(pkg.Info, s.Call); lock != nil && (op == "Unlock" || op == "RUnlock") {
+			// defer mu.Unlock(): held through the rest of the function
+			// (this walk never clears it).
+			return
+		}
+		// Other deferred calls run at return under unknown lock state;
+		// only their argument expressions evaluate now.
+		for _, a := range s.Call.Args {
+			lc.exprChecks(pkg, a, held)
+		}
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			lc.exprChecks(pkg, a, held)
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			lc.exprChecks(pkg, e, held)
+		}
+		for _, e := range s.Lhs {
+			lc.exprChecks(pkg, e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			lc.exprChecks(pkg, e, held)
+		}
+	case *ast.SendStmt:
+		lc.checkSend(pkg, s, held)
+		lc.exprChecks(pkg, s.Chan, held)
+		lc.exprChecks(pkg, s.Value, held)
+	case *ast.IncDecStmt:
+		lc.exprChecks(pkg, s.X, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						lc.exprChecks(pkg, v, held)
+					}
+				}
+			}
+		}
+	case *ast.BlockStmt:
+		lc.stmts(pkg, s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			lc.stmt(pkg, s.Init, held)
+		}
+		lc.exprChecks(pkg, s.Cond, held)
+		lc.stmts(pkg, s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			lc.stmt(pkg, s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			lc.stmt(pkg, s.Init, held)
+		}
+		if s.Cond != nil {
+			lc.exprChecks(pkg, s.Cond, held)
+		}
+		body := copyHeld(held)
+		lc.stmts(pkg, s.Body.List, body)
+		if s.Post != nil {
+			lc.stmt(pkg, s.Post, body)
+		}
+	case *ast.RangeStmt:
+		lc.exprChecks(pkg, s.X, held)
+		lc.stmts(pkg, s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			lc.stmt(pkg, s.Init, held)
+		}
+		if s.Tag != nil {
+			lc.exprChecks(pkg, s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				lc.stmts(pkg, cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			lc.stmt(pkg, s.Init, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				lc.stmts(pkg, cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					lc.stmt(pkg, cc.Comm, copyHeld(held))
+				}
+				lc.stmts(pkg, cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.LabeledStmt:
+		lc.stmt(pkg, s.Stmt, held)
+	}
+}
+
+// exprChecks inspects an expression for calls and sends to check
+// against the current held set. Function-literal bodies are skipped
+// (they execute later under unknown lock state).
+func (lc *lockChecker) exprChecks(pkg *Package, e ast.Expr, held map[types.Object]bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if op, lock := lockOp(pkg.Info, n); lock != nil {
+				if op == "Lock" || op == "RLock" || op == "TryLock" || op == "TryRLock" {
+					lc.checkAcquire(pkg, n, lock, held)
+					held[lock] = true
+				} else {
+					delete(held, lock)
+				}
+				return true
+			}
+			lc.checkCall(pkg, n, held)
+		}
+		return true
+	})
+}
+
+// checkAcquire applies the lock-ordering table at an acquisition site.
+func (lc *lockChecker) checkAcquire(pkg *Package, at ast.Node, acquiring types.Object, held map[types.Object]bool) {
+	for _, pair := range lc.order {
+		if pair[0] == acquiring && held[pair[1]] {
+			lc.out = append(lc.out, finding(lc.m, "lockcheck", at,
+				"lock-order violation: acquiring %s while holding %s (order: %s before %s)",
+				lc.lockName(pair[0]), lc.lockName(pair[1]), lc.lockName(pair[0]), lc.lockName(pair[1])))
+		}
+	}
+}
+
+// checkCall applies the locked(mu) obligation and NoHoldAcross rules at
+// a call site.
+func (lc *lockChecker) checkCall(pkg *Package, call *ast.CallExpr, held map[types.Object]bool) {
+	f := calleeFunc(pkg.Info, call)
+	if f == nil {
+		return
+	}
+	if ann, ok := lc.idx.byFunc[f]; ok && len(ann.Locked) > 0 {
+		if named := recvNamed(f); named != nil {
+			for _, field := range ann.Locked {
+				lockObj := lockFieldObj(named, field)
+				if lockObj == nil {
+					lc.out = append(lc.out, finding(lc.m, "lockcheck", call,
+						"%s is annotated locked(%s) but %s has no field %q", f.Name(), field, named.Obj().Name(), field))
+					continue
+				}
+				if !held[lockObj] {
+					lc.out = append(lc.out, finding(lc.m, "lockcheck", call,
+						"call to %s.%s requires %s.%s held (//spinnaker:locked(%s)); not held on this path",
+						named.Obj().Name(), f.Name(), named.Obj().Name(), field, field))
+				}
+			}
+		}
+	}
+	// NoHoldAcross: method of a forbidden type while the lock is held.
+	if named := recvNamed(f); named != nil {
+		for _, rule := range lc.noHold {
+			if held[rule.lock] && rule.callees[named.Obj()] {
+				lc.out = append(lc.out, finding(lc.m, "lockcheck", call,
+					"call to %s.%s with %s held: this lock must not be held across %s I/O",
+					named.Obj().Name(), f.Name(), lc.lockName(rule.lock), named.Obj().Name()))
+			}
+		}
+	}
+}
+
+// checkSend applies NoHoldAcross channel-send rules.
+func (lc *lockChecker) checkSend(pkg *Package, s *ast.SendStmt, held map[types.Object]bool) {
+	for _, rule := range lc.noHold {
+		if rule.chanSend && held[rule.lock] {
+			lc.out = append(lc.out, finding(lc.m, "lockcheck", s,
+				"channel send with %s held: this lock must not be held across sends", lc.lockName(rule.lock)))
+		}
+	}
+}
+
+// lockOp recognizes mutex method calls (sync.Mutex / sync.RWMutex,
+// direct or promoted through an embedded field) and returns the method
+// name plus the lock's identity object: the mutex field (shared across
+// instances of the owning type) or the mutex variable itself.
+func lockOp(info *types.Info, call *ast.CallExpr) (string, types.Object) {
+	fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", nil
+	}
+	switch fun.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return "", nil
+	}
+	sel, ok := info.Selections[fun]
+	if !ok {
+		return "", nil
+	}
+	mf, ok := sel.Obj().(*types.Func)
+	if !ok || mf.Pkg() == nil || mf.Pkg().Path() != "sync" {
+		return "", nil
+	}
+	// Identity of the mutex expression fun.X.
+	switch x := ast.Unparen(fun.X).(type) {
+	case *ast.Ident:
+		obj := info.Uses[x]
+		if obj == nil {
+			return "", nil
+		}
+		// Promoted method on an embedded mutex: identify the embedded
+		// field via the selection's index path.
+		if idxPath := sel.Index(); len(idxPath) > 1 {
+			if named := derefNamed(obj.Type()); named != nil {
+				if st, ok := named.Underlying().(*types.Struct); ok && idxPath[0] < st.NumFields() {
+					return fun.Sel.Name, st.Field(idxPath[0])
+				}
+			}
+		}
+		return fun.Sel.Name, obj
+	case *ast.SelectorExpr:
+		if fsel, ok := info.Selections[x]; ok {
+			return fun.Sel.Name, fsel.Obj()
+		}
+		// Package-qualified var (pkg.mu).
+		if obj := info.Uses[x.Sel]; obj != nil {
+			return fun.Sel.Name, obj
+		}
+	}
+	return "", nil
+}
+
+func derefNamed(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}

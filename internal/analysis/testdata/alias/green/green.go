@@ -1,0 +1,35 @@
+// Package green uses the aliasing contracts correctly: copy before
+// mutating a shared decode, copy contents instead of retaining a
+// borrowed slice.
+package green
+
+// Msg is a decoded view over a wire buffer.
+type Msg struct {
+	Key   string
+	Value []byte
+}
+
+// decodeShared returns a Msg whose Value aliases b.
+//
+//spinnaker:aliases
+func decodeShared(b []byte) (Msg, error) {
+	return Msg{Key: "k", Value: b[:len(b):len(b)]}, nil
+}
+
+// Copy reads the shared view, then copies before mutating.
+func Copy(b []byte) []byte {
+	m, _ := decodeShared(b)
+	own := append([]byte(nil), m.Value...)
+	own[0] = 1
+	return own
+}
+
+type sink struct{ held []byte }
+
+// Keep copies the borrowed contents into caller-owned storage; the
+// spread form copies bytes, not the slice header.
+//
+//spinnaker:noretain
+func Keep(s *sink, p []byte) {
+	s.held = append(s.held[:0], p...)
+}

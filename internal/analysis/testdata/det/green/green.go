@@ -1,0 +1,24 @@
+// Package green is the sanctioned form of every pattern det/red gets
+// wrong: an explicitly seeded RNG and sorted iteration before anything
+// order-sensitive happens.
+package green
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Schedule draws from a seeded source and sends in sorted key order.
+func Schedule(seed int64, peers map[string]chan int) {
+	rng := rand.New(rand.NewSource(seed))
+	names := make([]string, 0, len(peers))
+	for name := range peers { // no sink in the body: order cannot leak
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if rng.Intn(2) == 0 {
+			peers[name] <- 1
+		}
+	}
+}

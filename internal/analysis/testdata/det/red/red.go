@@ -1,0 +1,20 @@
+// Package red violates every detcheck rule: wall-clock reads, global
+// RNG draws, and a map-ordered channel send. Each flagged line carries
+// a WANT marker consumed by the fixture tests.
+package red
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Schedule models a simulator scheduling step gone wrong.
+func Schedule(peers map[string]chan int) time.Duration {
+	start := time.Now()          // WANT detcheck
+	time.Sleep(time.Millisecond) // WANT detcheck
+	_ = rand.Intn(3)             // WANT detcheck
+	for _, ch := range peers {   // WANT detcheck
+		ch <- 1
+	}
+	return time.Since(start) // WANT detcheck
+}

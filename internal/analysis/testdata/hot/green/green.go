@@ -1,0 +1,36 @@
+// Package green does the same work as hot/red within the rules: static
+// error, map-index conversion (compiler-optimized, no allocation),
+// pre-sized append, and a call-only local closure that stays on the
+// stack.
+package green
+
+import "errors"
+
+var errNegative = errors.New("negative total")
+
+type item struct{ b []byte }
+
+// Sum is hot and allocation-clean.
+//
+//spinnaker:hotpath
+func Sum(items []item, lookup map[string]int) (int, []string, error) {
+	total := 0
+	names := make([]string, 0, len(items))
+	for _, it := range items {
+		total += lookup[string(it.b)]
+		names = append(names, "x")
+	}
+	positive := func(n int) bool { return n >= 0 }
+	if !positive(total) {
+		return 0, nil, errNegative
+	}
+	return total, names, nil
+}
+
+// Stamp stores the conversion result — a deliberate copy, allowed.
+//
+//spinnaker:hotpath
+func Stamp(b []byte) string {
+	s := string(b)
+	return s
+}

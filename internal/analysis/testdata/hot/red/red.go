@@ -1,0 +1,39 @@
+// Package red breaks every hotpath rule inside annotated functions:
+// fmt on the hot path, a per-iteration transient conversion, an
+// un-pre-sized in-loop append, an escaping closure, and a round-trip
+// conversion.
+package red
+
+import "fmt"
+
+type item struct{ b []byte }
+
+// Sum is hot but allocates per iteration and formats its error.
+//
+//spinnaker:hotpath
+func Sum(items []item, lookup func(string) int) (int, []string, error) {
+	total := 0
+	var names []string
+	for _, it := range items {
+		total += lookup(string(it.b)) // WANT hotpath
+		names = append(names, "x")    // WANT hotpath
+	}
+	if total < 0 {
+		return 0, nil, fmt.Errorf("negative total %d", total) // WANT hotpath
+	}
+	return total, names, nil
+}
+
+// Handler returns an escaping closure from the hot path.
+//
+//spinnaker:hotpath
+func Handler(n int) func() int {
+	return func() int { return n } // WANT hotpath
+}
+
+// Clone round-trips bytes through a string.
+//
+//spinnaker:hotpath
+func Clone(b []byte) []byte {
+	return []byte(string(b)) // WANT hotpath
+}

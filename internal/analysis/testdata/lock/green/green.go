@@ -1,0 +1,73 @@
+// Package green is the same shape as lock/red with the discipline
+// followed: locks held at locked() call sites (directly, by defer, or
+// by annotation on the caller), ordered acquisition, and I/O moved off
+// the lock.
+package green
+
+import "sync"
+
+// Table is shared state guarded by mu.
+type Table struct {
+	mu sync.Mutex
+	n  int
+}
+
+// bumpLocked requires t.mu held.
+//
+//spinnaker:locked(mu)
+func (t *Table) bumpLocked() { t.n++ }
+
+// Bump takes the lock first.
+func (t *Table) Bump() {
+	t.mu.Lock()
+	t.bumpLocked()
+	t.mu.Unlock()
+}
+
+// BumpDeferred holds the lock to function end via defer.
+func (t *Table) BumpDeferred() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.bumpLocked()
+}
+
+// doubleLocked shows a locked() caller satisfying a locked() callee by
+// contract: the annotation pre-seeds the held set.
+//
+//spinnaker:locked(mu)
+func (t *Table) doubleLocked() {
+	t.bumpLocked()
+}
+
+// Registry is configured to be acquired before any Table.mu.
+type Registry struct {
+	mu sync.Mutex
+}
+
+var (
+	reg Registry
+	tab Table
+)
+
+// GoodOrder acquires in the configured order.
+func GoodOrder() {
+	reg.mu.Lock()
+	tab.mu.Lock()
+	tab.mu.Unlock()
+	reg.mu.Unlock()
+}
+
+// Store models blob I/O that must never run under Table.mu.
+type Store interface {
+	Put(b []byte) error
+}
+
+// Flush snapshots under the lock, then does I/O and sends after
+// releasing it.
+func (t *Table) Flush(s Store, ch chan int) {
+	t.mu.Lock()
+	n := t.n
+	t.mu.Unlock()
+	_ = s.Put(nil)
+	ch <- n
+}

@@ -1,0 +1,61 @@
+// Package red violates the lock discipline three ways: calling a
+// locked() method without the lock, acquiring locks against the
+// configured order, and doing I/O plus a channel send with the lock
+// held.
+package red
+
+import "sync"
+
+// Table is shared state guarded by mu.
+type Table struct {
+	mu sync.Mutex
+	n  int
+}
+
+// bumpLocked requires t.mu held.
+//
+//spinnaker:locked(mu)
+func (t *Table) bumpLocked() { t.n++ }
+
+// Bump forgets the lock entirely.
+func (t *Table) Bump() {
+	t.bumpLocked() // WANT lockcheck
+}
+
+// Drop releases too early.
+func (t *Table) Drop() {
+	t.mu.Lock()
+	t.mu.Unlock()
+	t.bumpLocked() // WANT lockcheck
+}
+
+// Registry is configured to be acquired before any Table.mu.
+type Registry struct {
+	mu sync.Mutex
+}
+
+var (
+	reg Registry
+	tab Table
+)
+
+// BadOrder takes the locks backwards.
+func BadOrder() {
+	tab.mu.Lock()
+	reg.mu.Lock() // WANT lockcheck
+	reg.mu.Unlock()
+	tab.mu.Unlock()
+}
+
+// Store models blob I/O that must never run under Table.mu.
+type Store interface {
+	Put(b []byte) error
+}
+
+// Flush does I/O and a send while holding the lock.
+func (t *Table) Flush(s Store, ch chan int) {
+	t.mu.Lock()
+	_ = s.Put(nil) // WANT lockcheck
+	ch <- t.n      // WANT lockcheck
+	t.mu.Unlock()
+}

@@ -1,0 +1,12 @@
+// Package suppress exercises //lint:ignore accounting: one wall-clock
+// read is suppressed with a reason, a second is not.
+package suppress
+
+import "time"
+
+// Tick reads the wall clock twice.
+func Tick() time.Duration {
+	//lint:ignore spinnaker/detcheck fixture: deliberate wall-clock read
+	start := time.Now()
+	return time.Since(start) // WANT detcheck
+}

@@ -1,0 +1,8 @@
+// Package unknownann exercises the unknown-annotation hard error: a
+// typo must fail the run rather than silently unguard the function.
+package unknownann
+
+// Hot misspells its annotation.
+//
+//spinnaker:hotpth
+func Hot() {}

@@ -113,6 +113,8 @@ type Service struct {
 // deleted and re-created never repeats a version — which is what makes
 // version-guarded operations (CompareAndSet, DeleteVersion) safe against
 // delete/re-create races, not just against data changes. Callers hold s.mu.
+//
+//spinnaker:locked(mu)
 func (s *Service) nextVersionLocked() uint64 {
 	s.verSeq++
 	return s.verSeq
@@ -562,6 +564,8 @@ func deliver(events []pendingEvent) {
 // collectEventsLocked finds watches triggered by a change at path, removes
 // them (one-shot), and returns the notifications to deliver after the lock
 // is released. Callers hold s.mu.
+//
+//spinnaker:locked(mu)
 func (s *Service) collectEventsLocked(path string, typ EventType) []pendingEvent {
 	norm := "/" + strings.Trim(path, "/")
 	parent := parentPath(norm)

@@ -191,6 +191,8 @@ func (q *commitQueue) markAckedThrough(from string, lsn wal.LSN) {
 // live cohort reconfiguration: a member that has been moved out of the
 // cohort may logically truncate what it acked, so its acks stop counting
 // toward quorum the moment the leader adopts the new membership.
+//
+//spinnaker:locked(mu)
 func (q *commitQueue) ackCountLocked(p *pendingWrite, allowed map[string]bool) int {
 	n := 0
 	for peer := range p.ackFrom {
@@ -269,6 +271,8 @@ func (q *commitQueue) popThrough(through wal.LSN) []*pendingWrite {
 }
 
 // removeHeadLocked unlinks q.order[0]; callers hold q.mu.
+//
+//spinnaker:locked(mu)
 func (q *commitQueue) removeHeadLocked() {
 	lsn := q.order[0]
 	p := q.byLSN[lsn]

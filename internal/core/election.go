@@ -497,6 +497,8 @@ func (r *replica) syncFollower(peer string, lCmt, lLst wal.LSN) bool {
 
 // logLSNsInRangeLocked lists our durable write LSNs in (after, through];
 // callers hold r.mu.
+//
+//spinnaker:locked(mu)
 func (r *replica) logLSNsInRangeLocked(after, through wal.LSN) []wal.LSN {
 	var out []wal.LSN
 	_ = r.n.log.ScanCohort(r.rangeID, func(rec wal.Record) error {

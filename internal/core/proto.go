@@ -17,6 +17,7 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"spinnaker/internal/kv"
@@ -148,6 +149,8 @@ type WriteOp struct {
 }
 
 // WriteOpEncodedSize returns the number of bytes EncodeWriteOp will produce.
+//
+//spinnaker:hotpath
 func WriteOpEncodedSize(op WriteOp) int {
 	n := 2 + len(op.Row) + 2
 	for i := range op.Cols {
@@ -156,9 +159,25 @@ func WriteOpEncodedSize(op WriteOp) int {
 	return n
 }
 
+// Static decode errors for the replication hot path: the decoders below are
+// //spinnaker:hotpath, which forbids fmt.* (an Errorf per malformed message
+// allocates and formats on a path that normally never fails). A truncated
+// payload is a framing bug, not user input — the offset detail the old
+// dynamic messages carried is recoverable in a debugger, and the sentinel
+// form makes the errors comparable with errors.Is.
+var (
+	errWriteOpTruncated      = errors.New("core: write op truncated")
+	errProposeBatchTruncated = errors.New("core: propose batch truncated")
+	errProposeBatchCount     = errors.New("core: propose batch count exceeds payload")
+	errAckTruncated          = errors.New("core: ack payload truncated")
+	errCommitTruncated       = errors.New("core: commit payload truncated")
+)
+
 // growBuf extends dst by n bytes with at most one allocation and returns the
 // extended slice together with the n-byte window just added (the core-side
 // twin of the WAL's framing helper).
+//
+//spinnaker:hotpath
 func growBuf(dst []byte, n int) ([]byte, []byte) {
 	l := len(dst)
 	if cap(dst)-l < n {
@@ -172,6 +191,8 @@ func growBuf(dst []byte, n int) ([]byte, []byte) {
 
 // EncodeWriteOp serializes op, appending to dst. The destination grows at
 // most once (pre-size with WriteOpEncodedSize for zero growth).
+//
+//spinnaker:hotpath
 func EncodeWriteOp(dst []byte, op WriteOp) []byte {
 	dst, b := growBuf(dst, WriteOpEncodedSize(op))
 	binary.LittleEndian.PutUint16(b[0:2], uint16(len(op.Row)))
@@ -214,16 +235,20 @@ func DecodeWriteOp(b []byte) (WriteOp, int, error) {
 // is immutable once received (nothing writes to a payload after encode), so
 // the bytes can flow into the commit queue and memtable without a per-column
 // allocation.
+//
+//spinnaker:aliases
+//spinnaker:hotpath
 func decodeWriteOpShared(b []byte) (WriteOp, int, error) {
 	return decodeWriteOp(b, false)
 }
 
+//spinnaker:hotpath
 func decodeWriteOp(b []byte, copyValues bool) (WriteOp, int, error) {
 	var op WriteOp
 	off := 0
 	need := func(n int) error {
 		if len(b)-off < n {
-			return fmt.Errorf("core: write op truncated at %d", off)
+			return errWriteOpTruncated
 		}
 		return nil
 	}
@@ -364,6 +389,7 @@ type proposeBatchPayload struct {
 	Recs             []proposeRec
 }
 
+//spinnaker:hotpath
 func encodeProposeBatch(p proposeBatchPayload) []byte {
 	size := 12
 	for i := range p.Recs {
@@ -399,10 +425,13 @@ func encodeProposeBatch(p proposeBatchPayload) []byte {
 // encoded-op bytes (see proposeRec). Payloads are immutable after encode, so
 // the follower appends Raw to its WAL and applies Op to its memtable with no
 // per-record re-encode or copy.
+//
+//spinnaker:aliases
+//spinnaker:hotpath
 func decodeProposeBatch(b []byte) (proposeBatchPayload, error) {
 	var p proposeBatchPayload
 	if len(b) < 12 {
-		return p, fmt.Errorf("core: propose batch truncated")
+		return p, errProposeBatchTruncated
 	}
 	p.CommittedThrough = wal.LSN(binary.LittleEndian.Uint64(b[0:8]))
 	count := int(binary.LittleEndian.Uint32(b[8:12]))
@@ -411,14 +440,14 @@ func decodeProposeBatch(b []byte) (proposeBatchPayload, error) {
 	// count against the payload before allocating (a forged count must not
 	// drive a huge make — the decodeManifest hardening, applied here).
 	if count > (len(b)-off)/minProposeRecEncodedSize {
-		return p, fmt.Errorf("core: propose batch count %d exceeds %d payload bytes", count, len(b)-off)
+		return p, errProposeBatchCount
 	}
 	if count > 0 {
 		p.Recs = make([]proposeRec, 0, count)
 	}
 	for i := 0; i < count; i++ {
 		if len(b)-off < 8 {
-			return p, fmt.Errorf("core: propose batch record %d truncated", i)
+			return p, errProposeBatchTruncated
 		}
 		lsn := wal.LSN(binary.LittleEndian.Uint64(b[off:]))
 		off += 8
@@ -440,6 +469,8 @@ func decodeProposeBatch(b []byte) (proposeBatchPayload, error) {
 // watermark: compaction may only drop tombstones at or below it, because a
 // member can never advertise a catch-up f.cmt below its own floor (local
 // recovery raises f.cmt to the checkpoint), so EntriesSince stays complete.
+//
+//spinnaker:hotpath
 func encodeAck(lsn, floor wal.LSN) []byte {
 	var buf [16]byte
 	binary.LittleEndian.PutUint64(buf[0:8], uint64(lsn))
@@ -447,9 +478,10 @@ func encodeAck(lsn, floor wal.LSN) []byte {
 	return buf[:]
 }
 
+//spinnaker:hotpath
 func decodeAck(b []byte) (lsn, floor wal.LSN, err error) {
 	if len(b) < 8 {
-		return 0, 0, fmt.Errorf("core: ack payload truncated")
+		return 0, 0, errAckTruncated
 	}
 	lsn = wal.LSN(binary.LittleEndian.Uint64(b[0:8]))
 	if len(b) >= 16 {
@@ -462,6 +494,8 @@ func decodeAck(b []byte) (lsn, floor wal.LSN, err error) {
 // leader's cohort tombstone-GC watermark, which followers adopt to gate
 // their own compactions (every replica compacts its own engine; any of
 // them may later lead and serve SSTable-based catch-up from it).
+//
+//spinnaker:hotpath
 func encodeCommitMsg(cmt, gc wal.LSN) []byte {
 	var buf [16]byte
 	binary.LittleEndian.PutUint64(buf[0:8], uint64(cmt))
@@ -469,9 +503,10 @@ func encodeCommitMsg(cmt, gc wal.LSN) []byte {
 	return buf[:]
 }
 
+//spinnaker:hotpath
 func decodeCommitMsg(b []byte) (cmt, gc wal.LSN, err error) {
 	if len(b) < 8 {
-		return 0, 0, fmt.Errorf("core: commit payload truncated")
+		return 0, 0, errCommitTruncated
 	}
 	cmt = wal.LSN(binary.LittleEndian.Uint64(b[0:8]))
 	if len(b) >= 16 {

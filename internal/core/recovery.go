@@ -717,6 +717,8 @@ func (r *replica) absorbSnapshot(leader string, man snapManifest, ambiguous []wa
 
 // presentLSNsLocked returns the subset of the asked LSNs that appear in our
 // durable history (log or pending queue); callers hold r.mu.
+//
+//spinnaker:locked(mu)
 func (r *replica) presentLSNsLocked(asked []wal.LSN) []wal.LSN {
 	if len(asked) == 0 {
 		return nil
@@ -776,6 +778,8 @@ func (r *replica) onTakeover(m transport.Message) {
 
 // demoteLocked turns a (stale) leader back into a follower, failing any
 // writes still waiting for quorum; callers hold r.mu.
+//
+//spinnaker:locked(mu)
 func (r *replica) demoteLocked(newLeader string) {
 	r.role = RoleFollower
 	r.open = false

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"spinnaker/internal/simtime"
 	"strings"
 	"time"
 )
@@ -40,7 +41,7 @@ type CheckResult struct {
 func Check(ops []*Operation, timeout time.Duration) CheckResult {
 	var deadline time.Time
 	if timeout > 0 {
-		deadline = time.Now().Add(timeout)
+		deadline = simtime.Now().Add(timeout)
 	}
 	byKey := make(map[string][]*Operation)
 	res := CheckResult{Linearizable: true}
@@ -275,7 +276,7 @@ func checkKey(ops []*Operation, deadline time.Time) (bool, string, error) {
 	}
 	for head.next != nil {
 		steps++
-		if steps&0xfff == 0 && !deadline.IsZero() && time.Now().After(deadline) {
+		if steps&0xfff == 0 && !deadline.IsZero() && simtime.Now().After(deadline) {
 			return false, "", ErrUndecided
 		}
 		if entry == nil {

@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"spinnaker/internal/simtime"
 	"sync"
 	"time"
 
@@ -369,7 +370,7 @@ func leastLoaded(candidates []string, perNode map[string]int64, not string) stri
 // mutation, so no adoption risk beyond the barrier) and the current
 // leader steps down; the home-node election tie-break does the rest.
 func (sc *SpinnakerCluster) transferLeadership(id uint32, to string, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
+	deadline := simtime.Now().Add(timeout)
 	published, err := sc.mutateLayout(func(l *cluster.Layout) (*cluster.Layout, error) {
 		cur := l.Cohort(id)
 		if cur == nil {

@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"spinnaker/internal/simtime"
 	"sync"
 	"time"
 
@@ -125,7 +126,7 @@ func RunTruncatedRejoin(opts RejoinOptions) (*RejoinResult, error) {
 			if _, err = c.Put(row, "d", val); err == nil {
 				return nil
 			}
-			time.Sleep(10 * time.Millisecond)
+			simtime.Sleep(10 * time.Millisecond)
 		}
 		return fmt.Errorf("sim: preload put %s: %w", row, err)
 	}
@@ -225,7 +226,7 @@ func RunTruncatedRejoin(opts RejoinOptions) (*RejoinResult, error) {
 		ln, ok := sc.Node(sc.LeaderOf(r))
 		return ok && ln.LogTruncated(r) > target
 	}
-	deadline := time.Now().Add(60 * time.Second)
+	deadline := simtime.Now().Add(60 * time.Second)
 	for i := opts.PreloadRows; ; i++ {
 		done := true
 		for _, r := range ranges {
@@ -237,7 +238,7 @@ func RunTruncatedRejoin(opts RejoinOptions) (*RejoinResult, error) {
 		if done {
 			break
 		}
-		if time.Now().After(deadline) {
+		if simtime.Now().After(deadline) {
 			return bail(ErrNeverTruncated)
 		}
 		// Each filler write hits a FRESH row (offset inside the stride
@@ -263,26 +264,26 @@ func RunTruncatedRejoin(opts RejoinOptions) (*RejoinResult, error) {
 			}
 		}
 	}
-	start := time.Now()
+	start := simtime.Now()
 	if err := sc.RestartNode(victim); err != nil {
 		return bail(err)
 	}
 	vn, _ = sc.Node(victim)
-	deadline = time.Now().Add(120 * time.Second)
+	deadline = simtime.Now().Add(120 * time.Second)
 	for _, r := range ranges {
 		for {
 			st, ok := vn.ReplicaStats(r)
 			if ok && st.Role != core.RoleRecovering && st.LastCommitted >= target[r] {
 				break
 			}
-			if time.Now().After(deadline) {
+			if simtime.Now().After(deadline) {
 				return bail(fmt.Errorf("sim: range %d never caught up (at %s, want %s)",
 					r, st.LastCommitted, target[r]))
 			}
-			time.Sleep(2 * time.Millisecond)
+			simtime.Sleep(2 * time.Millisecond)
 		}
 	}
-	res.RejoinTime = time.Since(start)
+	res.RejoinTime = simtime.Since(start)
 	rec.Note("rejoin: %s caught up in %v", victim, res.RejoinTime)
 
 	for _, r := range ranges {
@@ -298,7 +299,7 @@ func RunTruncatedRejoin(opts RejoinOptions) (*RejoinResult, error) {
 
 	if !opts.Measure {
 		// Let the workload observe the recovered cluster, then check.
-		time.Sleep(300 * time.Millisecond)
+		simtime.Sleep(300 * time.Millisecond)
 		close(stop)
 		wg.Wait()
 		res.Check = rec.Check(opts.CheckTimeout)

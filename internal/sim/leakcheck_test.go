@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeTB satisfies TB, recording Errorf calls and letting the test run
+// registered cleanups on demand (LIFO, like testing.T).
+type fakeTB struct {
+	errs     []string
+	cleanups []func()
+}
+
+func (f *fakeTB) Helper() {}
+func (f *fakeTB) Errorf(format string, args ...any) {
+	f.errs = append(f.errs, fmt.Sprintf(format, args...))
+}
+func (f *fakeTB) Cleanup(fn func()) { f.cleanups = append(f.cleanups, fn) }
+func (f *fakeTB) runCleanups() {
+	for i := len(f.cleanups) - 1; i >= 0; i-- {
+		f.cleanups[i]()
+	}
+}
+
+func TestLeakSentinelPassesWhenClean(t *testing.T) {
+	ft := &fakeTB{}
+	CheckGoroutineLeaks(ft)
+	ft.runCleanups()
+	if len(ft.errs) != 0 {
+		t.Fatalf("sentinel fired on a clean run: %v", ft.errs)
+	}
+}
+
+func TestLeakSentinelCatchesLeak(t *testing.T) {
+	old := leakSettle
+	leakSettle = 200 * time.Millisecond // the leak is deliberate; don't wait 5s for it
+	defer func() { leakSettle = old }()
+
+	ft := &fakeTB{}
+	CheckGoroutineLeaks(ft)
+
+	release := make(chan struct{})
+	done := make(chan struct{})
+	const leaked = 4 // comfortably above leakSlack
+	for i := 0; i < leaked; i++ {
+		go func() {
+			<-release
+			done <- struct{}{}
+		}()
+	}
+
+	ft.runCleanups()
+	close(release)
+	for i := 0; i < leaked; i++ {
+		<-done
+	}
+
+	if len(ft.errs) != 1 {
+		t.Fatalf("sentinel reported %d errors, want 1: %v", len(ft.errs), ft.errs)
+	}
+	if !strings.Contains(ft.errs[0], "goroutine leak") {
+		t.Errorf("report does not name the leak: %s", ft.errs[0])
+	}
+	// The stack dump must point at the leaked goroutines so the failure
+	// is actionable, not just a count.
+	if !strings.Contains(ft.errs[0], "TestLeakSentinelCatchesLeak") {
+		t.Errorf("report carries no stack dump naming the leaker:\n%s", ft.errs[0])
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"spinnaker/internal/simtime"
 	"strings"
 	"sync"
 	"time"
@@ -284,7 +285,7 @@ func RunScenario(opts ScenarioOptions) (*ScenarioResult, error) {
 	if opts.Rebalance {
 		go func() {
 			defer close(rebalDone)
-			time.Sleep(opts.Duration / 5)
+			simtime.Sleep(opts.Duration / 5)
 			id, err := sc.AddNode("")
 			if err != nil {
 				rebalErr = err
@@ -313,8 +314,8 @@ func RunScenario(opts ScenarioOptions) (*ScenarioResult, error) {
 		return nil, err
 	}
 
-	deadline := time.Now().Add(opts.Duration)
-	for time.Now().Before(deadline) {
+	deadline := simtime.Now().Add(opts.Duration)
+	for simtime.Now().Before(deadline) {
 		fault := opts.Faults[nem.rng.Intn(len(opts.Faults))]
 		if err := nem.apply(fault); err != nil {
 			return bail(err)
@@ -337,7 +338,7 @@ func RunScenario(opts ScenarioOptions) (*ScenarioResult, error) {
 	if rebalErr != nil {
 		return bail(fmt.Errorf("sim: seed %d: rebalance under faults: %w", opts.Seed, rebalErr))
 	}
-	time.Sleep(500 * time.Millisecond)
+	simtime.Sleep(500 * time.Millisecond)
 	close(stop)
 	wg.Wait()
 	// The balancer (if any) finishes its in-flight action and the final
@@ -397,7 +398,7 @@ func (n *nemesis) draw(lo, hi int) time.Duration {
 
 // sleep waits a seeded-random duration in [lo, hi) milliseconds.
 func (n *nemesis) sleep(lo, hi int) {
-	time.Sleep(n.draw(lo, hi))
+	simtime.Sleep(n.draw(lo, hi))
 }
 
 // apply runs one fault primitive to completion (inject, hold, undo).
@@ -418,7 +419,7 @@ func (n *nemesis) apply(fault NemesisFault) error {
 		}
 		n.note("isolate leader %s of range %d for %v", leader, r, hold)
 		n.sc.Isolate(leader)
-		time.Sleep(hold)
+		simtime.Sleep(hold)
 		n.sc.HealAll()
 		n.note("heal")
 	case FaultSplitMajority:
@@ -435,7 +436,7 @@ func (n *nemesis) apply(fault NemesisFault) error {
 		n.decide("split draw=%d perm=%d hold=%v", raw, perm, hold)
 		n.note("split range %d: %v | %v for %v", r, minority, majority, hold)
 		n.sc.PartitionNodes(minority, majority)
-		time.Sleep(hold)
+		simtime.Sleep(hold)
 		n.sc.HealAll()
 		n.note("heal")
 	case FaultFlapLinks:
@@ -457,7 +458,7 @@ func (n *nemesis) apply(fault NemesisFault) error {
 			} else {
 				n.sc.Net.Partition(a, b)
 			}
-			time.Sleep(hold)
+			simtime.Sleep(hold)
 			n.sc.HealAll()
 		}
 		n.note("heal")
@@ -480,7 +481,7 @@ func (n *nemesis) apply(fault NemesisFault) error {
 		} else {
 			n.note("crash %s", victim)
 		}
-		time.Sleep(hold)
+		simtime.Sleep(hold)
 		if err := n.sc.RestartNode(victim); err != nil {
 			return err
 		}
@@ -508,7 +509,7 @@ func runWriter(c *core.Client, rec *lin.Recorder, keys []string, w int, seed int
 		// Pace the workload: contention stays high, but per-key
 		// histories remain small enough for the checker to search in
 		// seconds rather than minutes.
-		time.Sleep(time.Duration(100+rng.Intn(300)) * time.Microsecond)
+		simtime.Sleep(time.Duration(100+rng.Intn(300)) * time.Microsecond)
 		key := keys[rng.Intn(len(keys))]
 		switch p := rng.Float64(); {
 		case p < 0.40: // strong read

@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"spinnaker/internal/simtime"
 	"strconv"
 	"time"
 
@@ -106,10 +107,10 @@ func (sc *SpinnakerCluster) waitAdopted(version uint64, members []string, deadli
 			if n.LayoutVersion() >= version {
 				break
 			}
-			if time.Now().After(deadline) {
+			if simtime.Now().After(deadline) {
 				return fmt.Errorf("sim: node %s did not adopt layout v%d in time", m, version)
 			}
-			time.Sleep(reconfigPoll)
+			simtime.Sleep(reconfigPoll)
 		}
 	}
 	return nil
@@ -130,10 +131,10 @@ func (sc *SpinnakerCluster) waitCurrent(r uint32, node string, deadline time.Tim
 				}
 			}
 		}
-		if time.Now().After(deadline) {
+		if simtime.Now().After(deadline) {
 			return fmt.Errorf("sim: node %s did not catch up on range %d in time", node, r)
 		}
-		time.Sleep(reconfigPoll)
+		simtime.Sleep(reconfigPoll)
 	}
 }
 
@@ -148,10 +149,10 @@ func (sc *SpinnakerCluster) waitOpenLeader(r uint32, deadline time.Time) error {
 				}
 			}
 		}
-		if time.Now().After(deadline) {
+		if simtime.Now().After(deadline) {
 			return fmt.Errorf("sim: range %d has no open leader in time", r)
 		}
-		time.Sleep(reconfigPoll)
+		simtime.Sleep(reconfigPoll)
 	}
 }
 
@@ -168,7 +169,7 @@ func (sc *SpinnakerCluster) SplitRange(id uint32, key string, timeout time.Durat
 	}); err != nil {
 		return 0, err
 	}
-	deadline := time.Now().Add(timeout)
+	deadline := simtime.Now().Add(timeout)
 	if err := sc.waitOpenLeader(newID, deadline); err != nil {
 		return newID, err
 	}
@@ -182,7 +183,7 @@ func (sc *SpinnakerCluster) SplitRange(id uint32, key string, timeout time.Durat
 // triggers an election among the new membership). Blocks until the range
 // has an open leader under the final membership.
 func (sc *SpinnakerCluster) MoveRange(id uint32, from, to string, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
+	deadline := simtime.Now().Add(timeout)
 	cur := sc.CurrentLayout().Cohort(id)
 	if cur == nil {
 		return fmt.Errorf("sim: no range %d", id)
@@ -303,7 +304,7 @@ func (sc *SpinnakerCluster) midKey(low, high string) string {
 // while a workload is executing; writes to affected ranges see bounded
 // unavailability (re-routes and elections), never inconsistency.
 func (sc *SpinnakerCluster) Rebalance(timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
+	deadline := simtime.Now().Add(timeout)
 
 	// Phase 1: split until there is a range per node.
 	for {

@@ -16,6 +16,7 @@ package sim
 
 import (
 	"fmt"
+	"spinnaker/internal/simtime"
 	"sync"
 	"time"
 
@@ -260,7 +261,7 @@ func (sc *SpinnakerCluster) startNode(name string) error {
 // WaitReady blocks until every range of the current layout has an open
 // leader.
 func (sc *SpinnakerCluster) WaitReady(timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
+	deadline := simtime.Now().Add(timeout)
 	for _, r := range sc.CurrentLayout().RangeIDs() {
 		for {
 			if leader := sc.LeaderOf(r); leader != "" {
@@ -270,10 +271,10 @@ func (sc *SpinnakerCluster) WaitReady(timeout time.Duration) error {
 					}
 				}
 			}
-			if time.Now().After(deadline) {
+			if simtime.Now().After(deadline) {
 				return fmt.Errorf("sim: range %d has no open leader after %v", r, timeout)
 			}
-			time.Sleep(2 * time.Millisecond)
+			simtime.Sleep(2 * time.Millisecond)
 		}
 	}
 	return nil

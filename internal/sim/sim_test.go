@@ -9,6 +9,7 @@ import (
 )
 
 func TestSpinnakerClusterLifecycle(t *testing.T) {
+	CheckGoroutineLeaks(t)
 	sc, err := NewSpinnakerCluster(Options{Nodes: 3})
 	if err != nil {
 		t.Fatal(err)
@@ -28,6 +29,7 @@ func TestSpinnakerClusterLifecycle(t *testing.T) {
 }
 
 func TestSpinnakerClusterCrashRestart(t *testing.T) {
+	CheckGoroutineLeaks(t)
 	sc, err := NewSpinnakerCluster(Options{Nodes: 3})
 	if err != nil {
 		t.Fatal(err)
@@ -65,6 +67,7 @@ func TestSpinnakerClusterCrashRestart(t *testing.T) {
 }
 
 func TestDynamoClusterLifecycle(t *testing.T) {
+	CheckGoroutineLeaks(t)
 	dc, err := NewDynamoCluster(Options{Nodes: 3})
 	if err != nil {
 		t.Fatal(err)

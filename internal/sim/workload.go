@@ -3,6 +3,7 @@ package sim
 import (
 	"math/rand"
 	"sort"
+	"spinnaker/internal/simtime"
 	"sync"
 	"time"
 )
@@ -122,7 +123,7 @@ func RunClosedLoop(threads int, duration time.Duration, op Op) LoadPoint {
 	var errMu sync.Mutex
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
-	start := time.Now()
+	start := simtime.Now()
 	for t := 0; t < threads; t++ {
 		wg.Add(1)
 		go func(t int) {
@@ -133,7 +134,7 @@ func RunClosedLoop(threads int, duration time.Duration, op Op) LoadPoint {
 					return
 				default:
 				}
-				opStart := time.Now()
+				opStart := simtime.Now()
 				err := op(t, i)
 				if err != nil {
 					errMu.Lock()
@@ -141,14 +142,14 @@ func RunClosedLoop(threads int, duration time.Duration, op Op) LoadPoint {
 					errMu.Unlock()
 					continue
 				}
-				rec.Record(time.Since(opStart))
+				rec.Record(simtime.Since(opStart))
 			}
 		}(t)
 	}
-	time.Sleep(duration)
+	simtime.Sleep(duration)
 	close(stop)
 	wg.Wait()
-	elapsed := time.Since(start)
+	elapsed := simtime.Since(start)
 
 	return LoadPoint{
 		Threads:    threads,

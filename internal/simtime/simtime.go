@@ -23,6 +23,18 @@ import (
 // rare and short and cannot saturate the host.
 const spinMax = 2 * time.Millisecond
 
+// Now returns the current time. It is the sanctioned clock source for
+// the seed-pure packages (internal/sim, internal/transport,
+// internal/lin): spinnaker-lint's detcheck forbids direct time.Now
+// there, so every wall-clock read flows through this single chokepoint
+// — the one place a virtual clock would plug in, and the one place to
+// audit when a replayed FaultSeed diverges.
+func Now() time.Time { return time.Now() }
+
+// Since returns the time elapsed since t (the chokepoint twin of
+// time.Since; see Now).
+func Since(t time.Time) time.Duration { return time.Now().Sub(t) }
+
 // Sleep waits for d, accurately for short waits.
 func Sleep(d time.Duration) {
 	if d <= 0 {

@@ -113,6 +113,8 @@ func (n *Network) faultsFor(from, to string) LinkFaults {
 
 // cutLocked reports whether messages from → to are partitioned away, by
 // the symmetric cut set or the directed one; callers hold n.mu.
+//
+//spinnaker:locked(mu)
 func (n *Network) cutLocked(from, to string) bool {
 	return n.cut[pairKey(from, to)] || n.cutDir[[2]string{from, to}]
 }

@@ -55,7 +55,7 @@ func NewNetwork(delay time.Duration) *Network {
 func (n *Network) Join(id string) *LocalEndpoint {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	ep := &LocalEndpoint{id: id, net: n, pending: make(map[uint64]chan Message)}
+	ep := &LocalEndpoint{id: id, net: n, pending: make(map[uint64]chan Message), done: make(chan struct{})}
 	n.eps[id] = ep
 	return ep
 }
@@ -278,7 +278,8 @@ type LocalEndpoint struct {
 	net         *Network
 	handler     atomic.Value // Handler
 	closed      atomic.Bool
-	callTimeout atomic.Int64 // nanoseconds; 0 = DefaultCallTimeout
+	done        chan struct{} // closed by Close; unblocks in-flight Calls
+	callTimeout atomic.Int64  // nanoseconds; 0 = DefaultCallTimeout
 
 	mu      sync.Mutex
 	pending map[uint64]chan Message
@@ -318,7 +319,7 @@ func (e *LocalEndpoint) Send(m Message) error {
 	}
 	l := e.net.getLink(e.id, m.To)
 	select {
-	case l.ch <- timedMsg{m: m, due: time.Now().Add(e.net.delay)}:
+	case l.ch <- timedMsg{m: m, due: simtime.Now().Add(e.net.delay)}:
 		return nil
 	default:
 		// Link buffer overflow: shed load like a saturated socket.
@@ -355,6 +356,12 @@ func (e *LocalEndpoint) Call(m Message) (Message, error) {
 		return reply, nil
 	case <-time.After(timeout):
 		return Message{}, fmt.Errorf("%w: %s → %s kind %d", ErrTimeout, e.id, m.To, m.Kind)
+	case <-e.done:
+		// The caller's own endpoint closed (node stopping). Without this
+		// arm, every in-flight call to a dead peer pins its goroutine for
+		// the full timeout after teardown — the goroutine-leak sentinel in
+		// internal/sim is what catches regressions here.
+		return Message{}, fmt.Errorf("%w: %s", ErrClosed, e.id)
 	}
 }
 
@@ -390,7 +397,9 @@ func (e *LocalEndpoint) dispatch(m Message) {
 
 // Close implements Endpoint.
 func (e *LocalEndpoint) Close() error {
-	e.closed.Store(true)
+	if e.closed.CompareAndSwap(false, true) {
+		close(e.done)
+	}
 	return nil
 }
 

@@ -123,7 +123,11 @@ func NewMemDevice(profile DeviceProfile) *MemDevice {
 	return &MemDevice{profile: profile}
 }
 
-// Append implements Device.
+// Append implements Device. The contents of p are copied; p itself is not
+// retained (the WAL's pooled encode scratch depends on this — see
+// encodeScratch in log.go).
+//
+//spinnaker:noretain
 func (d *MemDevice) Append(p []byte) (int64, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -281,7 +285,10 @@ func OpenFileDevice(path string) (*FileDevice, error) {
 	return &FileDevice{f: f, size: st.Size()}, nil
 }
 
-// Append implements Device.
+// Append implements Device. p is written out synchronously and not
+// retained (see encodeScratch in log.go).
+//
+//spinnaker:noretain
 func (d *FileDevice) Append(p []byte) (int64, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()

@@ -119,6 +119,7 @@ func Open(cfg Config) (*Log, error) {
 		}
 	}
 	if len(l.segs) == 0 {
+		//lint:ignore spinnaker/lockcheck Open constructs l before any other goroutine can see it; the lock protocol starts when Open returns
 		if err := l.rollLocked(); err != nil {
 			return nil, err
 		}
@@ -129,6 +130,8 @@ func Open(cfg Config) (*Log, error) {
 }
 
 // rollLocked creates a fresh segment; callers hold l.mu (or are in Open).
+//
+//spinnaker:locked(mu)
 func (l *Log) rollLocked() error {
 	dev, err := l.cfg.Store.Create(l.nextSeg)
 	if err != nil {
@@ -161,6 +164,8 @@ var encodeScratch = sync.Pool{New: func() any { b := make([]byte, 0, 4<<10); ret
 // Append buffers rec at the end of the log without forcing it; used for
 // non-forced writes such as RecLastCommitted (paper §5). It returns the
 // logical end offset of the record, which can be passed to ForceTo.
+//
+//spinnaker:hotpath
 func (l *Log) Append(rec Record) (int64, error) {
 	scratch := encodeScratch.Get().(*[]byte)
 	buf := rec.Encode((*scratch)[:0])
@@ -175,6 +180,8 @@ func (l *Log) Append(rec Record) (int64, error) {
 // frame header, one checksum, one device append for the whole batch (the
 // per-MsgProposeBatch follower path). It returns the logical end offset of
 // the batch, which can be passed to ForceTo for a single force.
+//
+//spinnaker:hotpath
 func (l *Log) AppendBatch(recs []Record) (int64, error) {
 	switch len(recs) {
 	case 0:
@@ -198,6 +205,9 @@ func (l *Log) AppendBatch(recs []Record) (int64, error) {
 
 // appendEncoded appends one already-framed buffer carrying recs to the tail
 // segment, rolling first if the segment is over threshold.
+//
+//spinnaker:noretain
+//spinnaker:hotpath
 func (l *Log) appendEncoded(buf []byte, recs []Record) (int64, error) {
 	l.mu.Lock()
 	cur := l.segs[len(l.segs)-1]

@@ -73,12 +73,16 @@ var ErrCorruptRecord = errors.New("wal: corrupt record")
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // EncodedSize returns the number of bytes Encode will produce.
+//
+//spinnaker:hotpath
 func (r *Record) EncodedSize() int {
 	return recHeaderSize + recBodyFixed + len(r.Payload)
 }
 
 // grow extends dst by n bytes with at most one allocation and returns the
 // extended slice together with the n-byte window just added.
+//
+//spinnaker:hotpath
 func grow(dst []byte, n int) ([]byte, []byte) {
 	l := len(dst)
 	if cap(dst)-l < n {
@@ -91,6 +95,8 @@ func grow(dst []byte, n int) ([]byte, []byte) {
 }
 
 // Encode serializes the record with length+CRC framing, appending to dst.
+//
+//spinnaker:hotpath
 func (r *Record) Encode(dst []byte) []byte {
 	bodyLen := recBodyFixed + len(r.Payload)
 	dst, b := grow(dst, recHeaderSize+bodyLen)
@@ -150,6 +156,8 @@ const (
 )
 
 // GroupEncodedSize returns the number of bytes EncodeGroup will produce.
+//
+//spinnaker:hotpath
 func GroupEncodedSize(recs []Record) int {
 	n := recHeaderSize + groupBodyFixed
 	for i := range recs {
@@ -160,6 +168,8 @@ func GroupEncodedSize(recs []Record) int {
 
 // EncodeGroup serializes recs as one group frame, appending to dst. The
 // destination grows at most once (callers pre-size with GroupEncodedSize).
+//
+//spinnaker:hotpath
 func EncodeGroup(dst []byte, recs []Record) []byte {
 	need := GroupEncodedSize(recs)
 	dst, b := grow(dst, need)
